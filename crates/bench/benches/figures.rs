@@ -1,0 +1,165 @@
+//! Criterion benchmarks mirroring the paper's evaluation, one group per
+//! table/figure, at reduced ("tiny") sizes so `cargo bench` stays fast.
+//! The full-size regenerators are the `experiments` binaries; these benches
+//! give cheap, tracked wall-clock signals for the same code paths.
+
+use bows::{AdaptiveConfig, DdosConfig, DelayMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simt_core::{BasePolicy, GpuConfig};
+use workloads::sync::{Hashtable, HtMode};
+use workloads::{rodinia_suite, run_baseline, run_workload, sync_suite, Scale, Workload};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_tiny()
+}
+
+fn run_bows(w: &dyn Workload, base: BasePolicy, delay: DelayMode) {
+    let cfg = cfg();
+    let res = run_workload(
+        &cfg,
+        w,
+        &bows::policy_factory(base, Some(delay), cfg.gto_rotate_period),
+        &bows::ddos_factory(DdosConfig::default(), cfg.warps_per_sm()),
+    )
+    .expect("run");
+    assert!(res.verified.is_ok() || matches!(w.name(), "HT-ideal"));
+}
+
+/// Figure 1: the hashtable motivation kernel across contention levels.
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_hashtable_contention");
+    g.sample_size(10);
+    for buckets in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &bk| {
+            let ht = Hashtable::with_params(256, 2, bk, 128);
+            b.iter(|| run_baseline(&cfg(), &ht, BasePolicy::Gto).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Figure 2: the three baseline policies over a contended kernel.
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_baseline_policies");
+    g.sample_size(10);
+    for policy in [BasePolicy::Lrr, BasePolicy::Gto, BasePolicy::Cawa] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| {
+                let ht = Hashtable::with_params(256, 2, 8, 128);
+                b.iter(|| run_baseline(&cfg(), &ht, p).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Figure 3: the software back-off variant.
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_software_backoff");
+    g.sample_size(10);
+    for factor in [0u32, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            let mode = if f == 0 {
+                HtMode::Normal
+            } else {
+                HtMode::SwBackoff { factor: f }
+            };
+            let ht = Hashtable::with_params(128, 2, 4, 128).with_mode(mode);
+            b.iter(|| run_baseline(&cfg(), &ht, BasePolicy::Gto).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Table I: DDOS observation cost across the whole sync suite.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("ddos_on_sync_suite", |b| {
+        let suite = sync_suite(Scale::Tiny);
+        b.iter(|| {
+            for w in &suite {
+                run_bows(w.as_ref(), BasePolicy::Gto, DelayMode::Fixed(1000));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Figures 9/15: baseline vs BOWS(adaptive) on the hashtable.
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_bows_vs_baseline");
+    g.sample_size(10);
+    let ht = Hashtable::with_params(256, 2, 4, 128);
+    g.bench_function("gto", |b| {
+        b.iter(|| run_baseline(&cfg(), &ht, BasePolicy::Gto).unwrap())
+    });
+    g.bench_function("gto_bows_adaptive", |b| {
+        b.iter(|| {
+            run_bows(
+                &ht,
+                BasePolicy::Gto,
+                DelayMode::Adaptive(AdaptiveConfig::default()),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figures 10-13: the delay sweep on one kernel.
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_delay_sweep");
+    g.sample_size(10);
+    for delay in [0u64, 1000, 5000] {
+        g.bench_with_input(BenchmarkId::from_parameter(delay), &delay, |b, &d| {
+            let ht = Hashtable::with_params(256, 2, 4, 128);
+            b.iter(|| run_bows(&ht, BasePolicy::Gto, DelayMode::Fixed(d)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 14: sync-free kernels under DDOS observation.
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("syncfree_under_bows", |b| {
+        let suite = rodinia_suite(Scale::Tiny);
+        b.iter(|| {
+            for w in suite.iter().take(4) {
+                run_bows(w.as_ref(), BasePolicy::Gto, DelayMode::Fixed(5000));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Figure 16: the ideal-blocking proxy vs the spin-lock kernel.
+fn bench_fig16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_ideal_blocking");
+    g.sample_size(10);
+    g.bench_function("spinlock", |b| {
+        let ht = Hashtable::with_params(256, 2, 4, 128);
+        b.iter(|| run_baseline(&cfg(), &ht, BasePolicy::Gto).unwrap())
+    });
+    g.bench_function("ideal", |b| {
+        let ht = Hashtable::with_params(256, 2, 4, 128).with_mode(HtMode::IdealNoLock);
+        b.iter(|| run_baseline(&cfg(), &ht, BasePolicy::Gto).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_table1,
+    bench_fig9,
+    bench_fig10,
+    bench_fig14,
+    bench_fig16
+);
+criterion_main!(figures);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the simulator's hot components: cache lookups,
+//! coalescing, the SIMT stack, the scoreboard, DDOS history updates and the
+//! assembler. These bound the cost of a simulated cycle.
+
+use bows::{DdosConfig, HashKind, WarpHistory};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simt_core::{Scoreboard, SimtStack};
+use simt_isa::asm::assemble;
+use simt_isa::{Inst, Op, Reg, Ty};
+use simt_mem::{Cache, Coalescer, LaneAccess};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(16 * 1024, 4);
+        for i in 0..64u64 {
+            cache.fill(i * 128);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.access(i * 128))
+        })
+    });
+    c.bench_function("cache_fill_evict", |b| {
+        let mut cache = Cache::new(16 * 1024, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.fill(i * 128))
+        })
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let unit: Vec<LaneAccess> = (0..32)
+        .map(|l| LaneAccess {
+            lane: l,
+            addr: 0x1000 + l as u64 * 4,
+        })
+        .collect();
+    let scatter: Vec<LaneAccess> = (0..32)
+        .map(|l| LaneAccess {
+            lane: l,
+            addr: l as u64 * 128,
+        })
+        .collect();
+    c.bench_function("coalesce_unit_stride", |b| {
+        b.iter(|| black_box(Coalescer::coalesce(&unit)))
+    });
+    c.bench_function("coalesce_full_scatter", |b| {
+        b.iter(|| black_box(Coalescer::coalesce(&scatter)))
+    });
+}
+
+fn bench_simt_stack(c: &mut Criterion) {
+    c.bench_function("simt_stack_diverge_reconverge", |b| {
+        b.iter(|| {
+            let mut s = SimtStack::new(u32::MAX, 0);
+            s.branch(0x0000_ffff, 10, 1, 20);
+            s.advance(20);
+            s.advance(20);
+            black_box(s.active_mask())
+        })
+    });
+}
+
+fn bench_scoreboard(c: &mut Criterion) {
+    let producer = Inst::mov(Reg(5), 1);
+    let consumer = Inst::binary(Op::Add(Ty::S32), Reg(6), Reg(5), 1);
+    c.bench_function("scoreboard_hazard_check", |b| {
+        let mut sb = Scoreboard::new();
+        sb.reserve(&producer);
+        b.iter(|| black_box(sb.has_hazard(&consumer)))
+    });
+}
+
+fn bench_ddos_history(c: &mut Criterion) {
+    c.bench_function("ddos_history_observe_spin", |b| {
+        let cfg = DdosConfig::default();
+        let mut h = WarpHistory::new(cfg.hash, cfg.path_bits, cfg.value_bits, cfg.history_len);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            if flip {
+                h.observe(3, [1, 0]);
+            } else {
+                h.observe(9, [0, 0]);
+            }
+            black_box(h.spinning())
+        })
+    });
+    c.bench_function("ddos_xor_hash", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = v.wrapping_add(0x9e3779b9);
+            black_box(HashKind::Xor.hash(v, 8))
+        })
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    const SRC: &str = r#"
+        .kernel bench
+        .regs 16
+        .params 2
+            ld.param r1, [0]
+            mov r2, %gtid
+        top:
+            atom.global.cas r3, [r1], 0, 1 !acquire
+            setp.eq.s32 p1, r3, 0
+        @!p1 bra top !sib
+            atom.global.exch r4, [r1], 0 !release
+            exit
+    "#;
+    c.bench_function("assemble_spin_kernel", |b| {
+        b.iter(|| black_box(assemble(SRC).unwrap()))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_cache,
+    bench_coalescer,
+    bench_simt_stack,
+    bench_scoreboard,
+    bench_ddos_history,
+    bench_assembler
+);
+criterion_main!(micro);

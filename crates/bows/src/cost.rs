@@ -1,0 +1,78 @@
+//! Hardware-cost accounting (paper Table III).
+
+use crate::ddos::DdosConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-SM storage costs of DDOS and BOWS, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImplementationCost {
+    /// SIB-PT storage (entries × 35 bits).
+    pub sibpt_bits: u64,
+    /// Path + value history registers across all warps.
+    pub history_bits: u64,
+    /// Detector FSM state (2 bits = 4 states per warp).
+    pub fsm_bits: u64,
+    /// BOWS pending-delay counters (14 bits support delays to 10 000).
+    pub delay_counter_bits: u64,
+    /// Backed-off queue storage (warp ids).
+    pub backed_off_queue_bits: u64,
+}
+
+impl ImplementationCost {
+    /// Cost of a DDOS+BOWS implementation for an SM with `warps` warp
+    /// slots. With time sharing enabled only one history-register set is
+    /// needed (Section IV-B notes this as the cost-reduction option).
+    pub fn per_sm(cfg: &DdosConfig, warps: u64) -> ImplementationCost {
+        let history_sets = if cfg.time_share_epoch.is_some() {
+            1
+        } else {
+            warps
+        };
+        ImplementationCost {
+            sibpt_bits: cfg.sibpt_bits(),
+            history_bits: history_sets * cfg.history_bits_per_warp(),
+            fsm_bits: warps * 2,
+            delay_counter_bits: warps * 14,
+            backed_off_queue_bits: warps * 5,
+        }
+    }
+
+    /// Total bits per SM.
+    pub fn total_bits(&self) -> u64 {
+        self.sibpt_bits
+            + self.history_bits
+            + self.fsm_bits
+            + self.delay_counter_bits
+            + self.backed_off_queue_bits
+    }
+
+    /// Total bytes per SM, rounded up.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_reference_numbers() {
+        // GTX480: 48 warps/SM, default DDOS config.
+        let c = ImplementationCost::per_sm(&DdosConfig::default(), 48);
+        assert_eq!(c.sibpt_bits, 560, "16-entry SIB-PT, 35 bits each");
+        assert_eq!(c.history_bits, 9216, "48 warps x 192 bits");
+        assert_eq!(c.delay_counter_bits, 48 * 14);
+        assert_eq!(c.backed_off_queue_bits, 48 * 5);
+        // Under 1.5 KiB per SM in total.
+        assert!(c.total_bytes() < 1536);
+    }
+
+    #[test]
+    fn time_sharing_cuts_history_cost() {
+        let mut cfg = DdosConfig::default();
+        cfg.time_share_epoch = Some(1000);
+        let c = ImplementationCost::per_sm(&cfg, 48);
+        assert_eq!(c.history_bits, 192, "a single shared register set");
+    }
+}

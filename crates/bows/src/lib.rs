@@ -1,0 +1,109 @@
+//! The HPCA 2018 paper's mechanisms: **BOWS** (Back-Off Warp Spinning) and
+//! **DDOS** (Dynamic Detection Of Spinning).
+//!
+//! * [`Ddos`] implements [`simt_core::SpinDetector`]: per-warp path/value
+//!   history registers observe `setp` executions and classify warps as
+//!   spinning; a per-SM SIB-PT turns spinning observations into
+//!   *spin-inducing branch* predictions.
+//! * [`Bows`] implements [`simt_core::SchedulerPolicy`] by wrapping any
+//!   baseline policy (LRR, GTO, CAWA): warps that execute a SIB are pushed
+//!   into a backed-off queue and throttled by a (fixed or adaptive)
+//!   back-off delay.
+//!
+//! # Example: BOWS-on-GTO with DDOS, on a spin-lock kernel
+//!
+//! ```
+//! use bows::{Bows, Ddos, DdosConfig, DelayMode};
+//! use simt_core::{sched::BasePolicy, Gpu, GpuConfig, LaunchSpec};
+//! use simt_isa::asm::assemble;
+//!
+//! // Every thread increments a counter under a spin lock.
+//! let kernel = assemble(
+//!     r#"
+//!     .kernel locked_inc
+//!     .regs 10
+//!     .params 2
+//!         ld.param r1, [0]      ; mutex
+//!         ld.param r2, [4]      ; counter
+//!         mov r9, 0             ; done = false
+//!     SPIN:
+//!         atom.global.cas r3, [r1], 0, 1 !acquire !sync
+//!         setp.eq.s32 p1, r3, 0
+//!     @!p1 bra TEST
+//!         ld.global.volatile r4, [r2]
+//!         add r4, r4, 1
+//!         st.global [r2], r4
+//!         membar
+//!         atom.global.exch r5, [r1], 0 !release !sync
+//!         mov r9, 1
+//!     TEST:
+//!         setp.eq.s32 p2, r9, 0 !sync
+//!     @p2 bra SPIN !sib !sync
+//!         exit
+//!     "#,
+//! )?;
+//! let cfg = GpuConfig::test_tiny();
+//! let mut gpu = Gpu::new(cfg.clone());
+//! let mutex = gpu.mem_mut().gmem_mut().alloc(1);
+//! let counter = gpu.mem_mut().gmem_mut().alloc(1);
+//! let launch = LaunchSpec {
+//!     grid_ctas: 1,
+//!     threads_per_cta: 64,
+//!     params: vec![mutex as u32, counter as u32],
+//! };
+//! let warps = cfg.warps_per_sm();
+//! let report = gpu.run(
+//!     &kernel,
+//!     &launch,
+//!     &|| Box::new(Bows::new(BasePolicy::Gto.build(50_000), DelayMode::Fixed(1000))),
+//!     &move |_k| Box::new(Ddos::new(DdosConfig::default(), warps)),
+//! )?;
+//! assert_eq!(gpu.mem().gmem().read_u32(counter), 64, "mutual exclusion held");
+//! assert!(!report.confirmed_sibs.is_empty(), "DDOS found the spin branch");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cost;
+pub mod ddos;
+mod policy;
+
+pub use cost::ImplementationCost;
+pub use ddos::{Ddos, DdosConfig, HashKind, SibPt, WarpHistory};
+pub use policy::{AdaptiveConfig, Bows, BowsComponents, DelayMode};
+
+use simt_core::{BasePolicy, DetectorFactory, PolicyFactory, SchedulerPolicy};
+
+/// Convenience: a policy factory for `base` optionally wrapped in BOWS.
+pub fn policy_factory(
+    base: BasePolicy,
+    bows: Option<DelayMode>,
+    gto_rotate_period: u64,
+) -> Box<PolicyFactory<'static>> {
+    Box::new(move || -> Box<dyn SchedulerPolicy> {
+        let inner = base.build(gto_rotate_period);
+        match bows {
+            Some(delay) => Box::new(Bows::new(inner, delay)),
+            None => inner,
+        }
+    })
+}
+
+/// Convenience: a detector factory building a fresh DDOS per SM.
+pub fn ddos_factory(cfg: DdosConfig, warps_per_sm: usize) -> Box<DetectorFactory<'static>> {
+    Box::new(move |_k| Box::new(Ddos::new(cfg, warps_per_sm)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_compose() {
+        let f = policy_factory(BasePolicy::Gto, Some(DelayMode::Fixed(500)), 50_000);
+        let p = f();
+        assert_eq!(p.name(), "bows(gto)");
+        assert_eq!(p.current_delay_limit(), 500);
+        let f = policy_factory(BasePolicy::Cawa, None, 50_000);
+        assert_eq!(f().name(), "cawa");
+    }
+}

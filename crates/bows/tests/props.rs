@@ -1,0 +1,153 @@
+//! Property-based tests for DDOS and BOWS: detection soundness over
+//! synthetic observation streams, hashing bounds, and scheduler-state
+//! invariants.
+
+use bows::{AdaptiveConfig, Bows, Ddos, DdosConfig, DelayMode, HashKind, WarpHistory};
+use proptest::prelude::*;
+use simt_core::sched::{IssueInfo, SchedCtx, WarpMeta};
+use simt_core::{SchedulerPolicy, SpinDetector};
+
+fn meta(n: usize) -> Vec<WarpMeta> {
+    (0..n)
+        .map(|i| WarpMeta {
+            resident: true,
+            done: false,
+            age_key: i as u64,
+            eligible: true,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Hash outputs always fit the configured width, for both schemes.
+    #[test]
+    fn hash_respects_width(v in any::<u32>(), bits in 1u8..=16) {
+        for kind in [HashKind::Xor, HashKind::Modulo] {
+            prop_assert!(u32::from(kind.hash(v, bits)) < (1u32 << bits));
+        }
+    }
+
+    /// Any strictly periodic setp stream (period <= (l-1)/2) with constant
+    /// values is eventually classified as spinning.
+    #[test]
+    fn periodic_streams_are_detected(
+        period in 1usize..=3,
+        reps in 4usize..20,
+        pcs in proptest::collection::vec(0usize..64, 3),
+        vals in proptest::collection::vec(any::<u32>(), 3)
+    ) {
+        let mut h = WarpHistory::new(HashKind::Xor, 8, 8, 8);
+        for _ in 0..reps {
+            for i in 0..period {
+                h.observe(pcs[i], [vals[i], vals[(i + 1) % period]]);
+            }
+        }
+        // Distinct PCs guarantee a clean period; duplicated PCs in the
+        // sample may detect a shorter period — also spinning. Either way,
+        // after `reps >= 4` full periods the warp must be spinning.
+        prop_assert!(h.spinning());
+    }
+
+    /// A stream whose value changes every observation is never classified
+    /// as spinning under XOR hashing (the Figure 7c property).
+    #[test]
+    fn changing_values_never_spin(
+        pc in 0usize..64,
+        start in any::<u32>(),
+        n in 5usize..100
+    ) {
+        let mut h = WarpHistory::new(HashKind::Xor, 8, 8, 8);
+        for i in 0..n as u32 {
+            h.observe(pc, [start.wrapping_add(i), 1000]);
+            prop_assert!(!h.spinning(), "iteration {i}");
+        }
+    }
+
+    /// DDOS never confirms a forward branch, no matter the stream.
+    #[test]
+    fn forward_branches_never_confirmed(
+        events in proptest::collection::vec((0usize..8, 0usize..32, any::<u32>()), 1..200)
+    ) {
+        let mut d = Ddos::new(DdosConfig::default(), 8);
+        for (i, (warp, pc, val)) in events.iter().enumerate() {
+            d.on_setp(i as u64, *warp, *pc, [*val, 0]);
+            // Forward branch: target beyond pc.
+            d.on_branch(i as u64, *warp, *pc, pc + 1, true);
+        }
+        prop_assert!(d.confirmed_sibs().is_empty());
+    }
+
+    /// BOWS invariants under arbitrary event interleavings: a warp is in
+    /// the backed-off queue iff its flag says so; issuing always clears the
+    /// state; picks stay within the eligible set.
+    #[test]
+    fn bows_state_machine_consistent(
+        events in proptest::collection::vec((0usize..8, 0u8..3), 1..300)
+    ) {
+        let m = meta(8);
+        let mut b = Bows::new(
+            simt_core::BasePolicy::Gto.build(50_000),
+            DelayMode::Fixed(100),
+        );
+        let mut now = 0u64;
+        for (warp, ev) in events {
+            now += 1;
+            let ctx = SchedCtx { now, meta: &m, resident_version: 1 };
+            match ev {
+                0 => b.on_sib(&ctx, warp),
+                1 => {
+                    b.on_issue(&ctx, warp, &IssueInfo::default());
+                    prop_assert!(!b.is_backed_off(warp), "issue clears state");
+                }
+                _ => {
+                    let eligible: Vec<usize> =
+                        (0..8).filter(|&w| b.can_issue(now, w)).collect();
+                    if !eligible.is_empty() {
+                        let pick = b.pick(&ctx, &eligible);
+                        if let Some(w) = pick {
+                            prop_assert!(eligible.contains(&w));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The adaptive controller's delay limit always stays in [min, max]
+    /// after any sequence of windows.
+    #[test]
+    fn adaptive_limit_always_clamped(
+        sibs in proptest::collection::vec((0u64..2000, 0u64..2000), 1..60)
+    ) {
+        let acfg = AdaptiveConfig {
+            window: 10,
+            step: 250,
+            frac1: 0.1,
+            frac2: 0.8,
+            min: 100,
+            max: 2000,
+        };
+        let m = meta(2);
+        let mut b = Bows::new(
+            simt_core::BasePolicy::Lrr.build(1),
+            DelayMode::Adaptive(acfg),
+        );
+        let mut now = 0u64;
+        for (total, sib) in sibs {
+            let total = total.max(sib);
+            for i in 0..total {
+                let ctx = SchedCtx { now, meta: &m, resident_version: 1 };
+                b.on_issue(
+                    &ctx,
+                    0,
+                    &IssueInfo { is_sib: i < sib, ..IssueInfo::default() },
+                );
+                now += 1;
+                let ctx = SchedCtx { now, meta: &m, resident_version: 1 };
+                b.end_cycle(&ctx, &[0, 1], Some(0));
+                let limit = b.current_delay_limit();
+                prop_assert!((100..=2000).contains(&limit), "limit {limit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Blocking-lock comparison (the paper's Section VII / Figure 16b
+//! narrative): BOWS vs an *idealized* HQL-style queue-lock mechanism at the
+//! L2 partitions (warps park instead of spinning) across the hashtable
+//! contention sweep. The paper argues BOWS approximates the benefits of
+//! queue-based locking without its hardware; this experiment quantifies the
+//! remaining gap against a best-case (constraint-free) queue lock.
+
+use experiments::{r3, Opts, SchedConfig, Table};
+use simt_core::{BasePolicy, GpuConfig};
+use workloads::sync::Hashtable;
+use workloads::Scale;
+
+fn main() {
+    let opts = Opts::parse();
+    let (threads, per_thread, tpc) = match opts.scale {
+        Scale::Tiny => (1024, 1, 128),
+        Scale::Small => (12288, 2, 256),
+        Scale::Full => (24576, 4, 256),
+    };
+    let buckets_sweep: &[u32] = match opts.scale {
+        Scale::Tiny => &[32, 128],
+        // 32 buckets fit one cache line (parking fully engages); larger
+        // counts span several lines, where the mechanism degrades to
+        // spinning exactly as HQL does with many concurrent locks.
+        _ => &[32, 128, 512, 2048],
+    };
+    println!(
+        "BOWS vs idealized queue-based blocking locks (hashtable sweep)\n\
+         (time and dynamic instructions normalized to the GTO baseline)\n"
+    );
+    let mut t = Table::new(&[
+        "buckets",
+        "bows_time",
+        "blocking_time",
+        "bows_inst",
+        "blocking_inst",
+        "blocking_fails",
+    ]);
+    for &buckets in buckets_sweep {
+        let ht = Hashtable::with_params(threads, per_thread, buckets, tpc);
+        let base_cfg = GpuConfig::gtx480();
+        let base = experiments::run(&base_cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
+            .expect("gto");
+        assert!(base.verified.is_ok());
+        let bows = experiments::run(&base_cfg, &ht, SchedConfig::bows_adaptive(BasePolicy::Gto))
+            .expect("bows");
+        assert!(bows.verified.is_ok());
+        let mut blk_cfg = GpuConfig::gtx480();
+        blk_cfg.blocking_locks = true;
+        let blocking = experiments::run(&blk_cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
+            .expect("blocking");
+        assert!(blocking.verified.is_ok(), "{:?}", blocking.verified);
+        t.row(vec![
+            buckets.to_string(),
+            r3(bows.cycles as f64 / base.cycles as f64),
+            r3(blocking.cycles as f64 / base.cycles as f64),
+            r3(bows.sim.thread_inst as f64 / base.sim.thread_inst as f64),
+            r3(blocking.sim.thread_inst as f64 / base.sim.thread_inst as f64),
+            (blocking.mem.lock_inter_fail + blocking.mem.lock_intra_fail).to_string(),
+        ]);
+    }
+    t.emit(&opts);
+    println!(
+        "Expected shape: where parking engages (few buckets, locks within a\n\
+         warp's line reach) blocking is the time/instruction floor; as locks\n\
+         spread over more lines the mechanism reverts to spinning and loses\n\
+         its edge — the same degradation-with-many-locks the paper (Sec. VII)\n\
+         reports for HQL past 512 buckets, while BOWS keeps working. That is\n\
+         the paper's case for scheduler-side spin management."
+    );
+}

@@ -1,0 +1,120 @@
+//! Figure 1: the motivation study. Hashtable insertions vs. bucket count:
+//! (b) GPU (Fermi & Pascal configs) vs. a native serial CPU implementation,
+//! (c) dynamic-instruction synchronization overhead,
+//! (d) memory-traffic synchronization overhead,
+//! (e) SIMD efficiency with a single warp vs. the full machine.
+
+use experiments::{pct, r3, Opts, SchedConfig, Table};
+use simt_core::{BasePolicy, GpuConfig};
+use std::time::Instant;
+use workloads::sync::Hashtable;
+use workloads::{Lcg, Scale};
+
+/// Native serial CPU hashtable insertion (the paper's Intel i7 baseline).
+/// Returns milliseconds for `insertions` chained-list insertions.
+fn cpu_hashtable_ms(insertions: usize, buckets: usize) -> f64 {
+    #[derive(Clone, Copy)]
+    #[allow(dead_code)]
+    struct Node {
+        key: u32,
+        next: u32,
+    }
+    let mut heads = vec![0u32; buckets];
+    let mut pool: Vec<Node> = Vec::with_capacity(insertions);
+    let mut lcg = Lcg::new(1);
+    let t0 = Instant::now();
+    for _ in 0..insertions {
+        let key = lcg.next_u32();
+        let b = (key % buckets as u32) as usize;
+        pool.push(Node {
+            key,
+            next: heads[b],
+        });
+        heads[b] = pool.len() as u32;
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Keep the work observable.
+    assert_eq!(pool.len(), insertions);
+    std::hint::black_box(&heads);
+    ms
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let (threads, per_thread, tpc) = match opts.scale {
+        Scale::Tiny => (1024, 1, 128),
+        Scale::Small => (12288, 2, 256),
+        Scale::Full => (24576, 4, 256),
+    };
+    let buckets_sweep: &[u32] = match opts.scale {
+        Scale::Tiny => &[32, 128, 512],
+        _ => &[128, 256, 512, 1024, 2048, 4096],
+    };
+    let insertions = threads * per_thread;
+    println!(
+        "Figure 1: hashtable motivation ({insertions} insertions, {threads} threads)\n"
+    );
+
+    let mut t = Table::new(&[
+        "buckets",
+        "cpu_ms",
+        "fermi_ms",
+        "pascal_ms",
+        "sync_inst",
+        "sync_mem",
+        "simd_eff",
+    ]);
+    for &buckets in buckets_sweep {
+        let ht = Hashtable::with_params(threads, per_thread, buckets, tpc);
+        let cpu_ms = cpu_hashtable_ms(insertions, buckets as usize);
+        let fermi = experiments::run(
+            &GpuConfig::gtx480(),
+            &ht,
+            SchedConfig::baseline(BasePolicy::Gto),
+        )
+        .expect("fermi run");
+        let pascal = experiments::run(
+            &GpuConfig::gtx1080ti(),
+            &ht,
+            SchedConfig::baseline(BasePolicy::Gto),
+        )
+        .expect("pascal run");
+        t.row(vec![
+            buckets.to_string(),
+            r3(cpu_ms),
+            r3(fermi.time_ms(&GpuConfig::gtx480())),
+            r3(pascal.time_ms(&GpuConfig::gtx1080ti())),
+            pct(fermi.sim.sync_inst_fraction()),
+            pct(fermi.mem.sync_fraction()),
+            pct(fermi.sim.simd_efficiency()),
+        ]);
+    }
+    println!("Fig 1b-d: execution time and synchronization overheads");
+    t.emit(&opts);
+
+    // Fig 1e: single warp vs multiple warps.
+    let mut t = Table::new(&["buckets", "simd_eff_1warp", "simd_eff_multi"]);
+    for &buckets in buckets_sweep {
+        let single = Hashtable::with_params(32, per_thread, buckets, 32);
+        let multi = Hashtable::with_params(threads, per_thread, buckets, tpc);
+        let s = experiments::run(
+            &GpuConfig::gtx480(),
+            &single,
+            SchedConfig::baseline(BasePolicy::Gto),
+        )
+        .expect("single-warp run");
+        let m = experiments::run(
+            &GpuConfig::gtx480(),
+            &multi,
+            SchedConfig::baseline(BasePolicy::Gto),
+        )
+        .expect("multi-warp run");
+        t.row(vec![
+            buckets.to_string(),
+            pct(s.sim.simd_efficiency()),
+            pct(m.sim.simd_efficiency()),
+        ]);
+    }
+    println!("Fig 1e: divergence overheads (inter-warp lock conflicts)");
+    t.emit(&opts);
+}

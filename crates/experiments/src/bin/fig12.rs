@@ -1,0 +1,47 @@
+//! Figure 12: lock-acquire / wait outcome distribution across the back-off
+//! delay sweep (GTO baseline).
+
+use experiments::{r3, Opts, Table};
+use simt_core::GpuConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let cfg = GpuConfig::gtx480();
+    println!(
+        "Figure 12: lock/wait outcomes per config, normalized to the GTO\n\
+         baseline's total attempts (success stays constant; failures shrink)\n"
+    );
+    let (labels, results) = experiments::delay_sweep(&cfg, opts.scale);
+    let mut header = vec!["kernel", "outcome"];
+    header.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(&header);
+    for (name, runs) in &results {
+        let norm = (runs[0].mem.lock_success
+            + runs[0].mem.lock_inter_fail
+            + runs[0].mem.lock_intra_fail
+            + runs[0].sim.wait_exit_success
+            + runs[0].sim.wait_exit_fail)
+            .max(1) as f64;
+        for (label, get) in [
+            ("success", 0usize),
+            ("inter_fail", 1),
+            ("intra_fail", 2),
+            ("wait_ok", 3),
+            ("wait_fail", 4),
+        ] {
+            let mut row = vec![name.clone(), label.to_string()];
+            for r in runs {
+                let v = match get {
+                    0 => r.mem.lock_success,
+                    1 => r.mem.lock_inter_fail,
+                    2 => r.mem.lock_intra_fail,
+                    3 => r.sim.wait_exit_success,
+                    _ => r.sim.wait_exit_fail,
+                };
+                row.push(r3(v as f64 / norm));
+            }
+            t.row(row);
+        }
+    }
+    t.emit(&opts);
+}

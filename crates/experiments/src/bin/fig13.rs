@@ -1,0 +1,52 @@
+//! Figure 13: BOWS's impact on dynamic overheads across the delay sweep —
+//! (a) dynamic instruction count, (b) memory transactions, (c) SIMD
+//! efficiency (all relative to GTO).
+//!
+//! Paper reference points: 2.1x fewer dynamic instructions and 19% fewer
+//! memory transactions on average; HT/ATM SIMD efficiency up 3.4x / 1.85x.
+
+use experiments::{pct, r3, Opts, Table};
+use simt_core::GpuConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let cfg = GpuConfig::gtx480();
+    println!("Figure 13: dynamic overheads vs back-off delay (normalized to GTO)\n");
+    let (labels, results) = experiments::delay_sweep(&cfg, opts.scale);
+    let mut header = vec!["kernel", "metric"];
+    header.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(&header);
+    let mut geo_inst = vec![0.0f64; labels.len()];
+    let mut geo_mem = vec![0.0f64; labels.len()];
+    for (name, runs) in &results {
+        let base_inst = runs[0].sim.thread_inst.max(1) as f64;
+        let base_mem = runs[0].mem.total_transactions.max(1) as f64;
+        let mut row = vec![name.clone(), "inst".to_string()];
+        for (i, r) in runs.iter().enumerate() {
+            let v = r.sim.thread_inst as f64 / base_inst;
+            geo_inst[i] += v.ln();
+            row.push(r3(v));
+        }
+        t.row(row);
+        let mut row = vec![name.clone(), "mem_tx".to_string()];
+        for (i, r) in runs.iter().enumerate() {
+            let v = r.mem.total_transactions as f64 / base_mem;
+            geo_mem[i] += v.ln();
+            row.push(r3(v));
+        }
+        t.row(row);
+        let mut row = vec![name.clone(), "simd_eff".to_string()];
+        for r in runs {
+            row.push(pct(r.sim.simd_efficiency()));
+        }
+        t.row(row);
+    }
+    let n = results.len() as f64;
+    let mut row = vec!["Gmean".to_string(), "inst".to_string()];
+    row.extend(geo_inst.iter().map(|&x| r3((x / n).exp())));
+    t.row(row);
+    let mut row = vec!["Gmean".to_string(), "mem_tx".to_string()];
+    row.extend(geo_mem.iter().map(|&x| r3((x / n).exp())));
+    t.row(row);
+    t.emit(&opts);
+}

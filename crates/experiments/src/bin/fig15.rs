@@ -1,0 +1,14 @@
+//! Figure 15: the Figure 9 experiment on the GTX1080Ti (Pascal) config.
+//!
+//! Paper reference points: BOWS speedups of 1.9x / 1.7x / 1.5x over
+//! LRR / GTO / CAWA; behavior is flatter across baselines because the same
+//! inputs under-subscribe Pascal (about a quarter of the warps per
+//! scheduler compared to Fermi).
+
+use experiments::{perf_energy_figure, Opts};
+use simt_core::GpuConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    perf_energy_figure(&GpuConfig::gtx1080ti(), &opts, "Figure 15");
+}

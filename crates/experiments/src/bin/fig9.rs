@@ -1,0 +1,13 @@
+//! Figure 9: normalized execution time and dynamic energy on the GTX480
+//! (Fermi) for LRR/GTO/CAWA with and without BOWS (adaptive delay, DDOS).
+//!
+//! Paper reference points: BOWS speedups of 2.2x / 1.4x / 1.5x and energy
+//! savings of 2.3x / 1.7x / 1.6x over LRR / GTO / CAWA respectively.
+
+use experiments::{perf_energy_figure, Opts};
+use simt_core::GpuConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    perf_energy_figure(&GpuConfig::gtx480(), &opts, "Figure 9");
+}

@@ -1,0 +1,45 @@
+//! Stall-cycle breakdown (not a paper figure — supporting analysis for the
+//! paper's Sections II–III): where every resident warp-cycle goes under GTO
+//! vs GTO+BOWS on the sync suite. Shows the mechanism of BOWS's win: issue
+//! and data-stall cycles spent on failed spin iterations turn into
+//! backed-off cycles, freeing the machine for lock holders.
+
+use experiments::{pct, Opts, SchedConfig, Table};
+use simt_core::{BasePolicy, GpuConfig};
+use workloads::sync_suite;
+
+fn main() {
+    let opts = Opts::parse();
+    let cfg = GpuConfig::gtx480();
+    println!("Warp-cycle breakdown per kernel (fractions of resident warp-cycles)\n");
+    let mut t = Table::new(&[
+        "kernel",
+        "sched",
+        "issued",
+        "data_stall",
+        "barrier",
+        "membar",
+        "backoff",
+        "arb_loss",
+    ]);
+    for w in sync_suite(opts.scale) {
+        for sched in [
+            SchedConfig::baseline(BasePolicy::Gto),
+            SchedConfig::bows_adaptive(BasePolicy::Gto),
+        ] {
+            let res = experiments::run(&cfg, w.as_ref(), sched).expect("run");
+            let b = res.sim.stall_breakdown();
+            t.row(vec![
+                res.name.clone(),
+                sched.label(),
+                pct(b[0]),
+                pct(b[1]),
+                pct(b[2]),
+                pct(b[3]),
+                pct(b[4]),
+                pct(b[5]),
+            ]);
+        }
+    }
+    t.emit(&opts);
+}

@@ -1,0 +1,121 @@
+//! Combined regenerator for Figures 10–13: runs the back-off delay sweep
+//! once and prints all four figures' tables (each figure also has its own
+//! standalone binary; this one exists so a full-suite run does not repeat
+//! the most expensive sweep four times).
+
+use experiments::{pct, r3, Opts, Table};
+use simt_core::GpuConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let cfg = GpuConfig::gtx480();
+    let (labels, results) = experiments::delay_sweep(&cfg, opts.scale);
+    let n = results.len() as f64;
+    let mut header = vec!["kernel"];
+    header.extend(labels.iter().map(String::as_str));
+
+    // ---- Figure 10: normalized execution time ----
+    println!("Figure 10: execution time vs back-off delay limit (normalized to GTO)\n");
+    let mut t = Table::new(&header);
+    let mut geo = vec![0.0f64; labels.len()];
+    for (name, runs) in &results {
+        let base = runs[0].cycles.max(1) as f64;
+        let mut row = vec![name.clone()];
+        for (i, r) in runs.iter().enumerate() {
+            let v = r.cycles as f64 / base;
+            geo[i] += v.ln();
+            row.push(r3(v));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["Gmean".to_string()];
+    row.extend(geo.iter().map(|&x| r3((x / n).exp())));
+    t.row(row);
+    t.emit(&opts);
+
+    // ---- Figure 11: backed-off warp distribution ----
+    println!("Figure 11: fraction of resident warps in the backed-off state\n");
+    let mut t = Table::new(&header);
+    for (name, runs) in &results {
+        let mut row = vec![name.clone()];
+        for r in runs {
+            row.push(pct(r.sim.backed_off_fraction()));
+        }
+        t.row(row);
+    }
+    t.emit(&opts);
+
+    // ---- Figure 12: lock/wait outcomes ----
+    println!(
+        "Figure 12: lock/wait outcomes, normalized to the GTO baseline's\n\
+         total attempts\n"
+    );
+    let mut header12 = vec!["kernel", "outcome"];
+    header12.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(&header12);
+    for (name, runs) in &results {
+        let norm = (runs[0].mem.lock_success
+            + runs[0].mem.lock_inter_fail
+            + runs[0].mem.lock_intra_fail
+            + runs[0].sim.wait_exit_success
+            + runs[0].sim.wait_exit_fail)
+            .max(1) as f64;
+        for (label, sel) in [
+            ("success", 0usize),
+            ("inter_fail", 1),
+            ("intra_fail", 2),
+            ("wait_ok", 3),
+            ("wait_fail", 4),
+        ] {
+            let mut row = vec![name.clone(), label.to_string()];
+            for r in runs {
+                let v = match sel {
+                    0 => r.mem.lock_success,
+                    1 => r.mem.lock_inter_fail,
+                    2 => r.mem.lock_intra_fail,
+                    3 => r.sim.wait_exit_success,
+                    _ => r.sim.wait_exit_fail,
+                };
+                row.push(r3(v as f64 / norm));
+            }
+            t.row(row);
+        }
+    }
+    t.emit(&opts);
+
+    // ---- Figure 13: dynamic overheads ----
+    println!("Figure 13: dynamic overheads vs back-off delay (normalized to GTO)\n");
+    let mut t = Table::new(&header12);
+    let mut geo_inst = vec![0.0f64; labels.len()];
+    let mut geo_mem = vec![0.0f64; labels.len()];
+    for (name, runs) in &results {
+        let base_inst = runs[0].sim.thread_inst.max(1) as f64;
+        let base_mem = runs[0].mem.total_transactions.max(1) as f64;
+        let mut row = vec![name.clone(), "inst".to_string()];
+        for (i, r) in runs.iter().enumerate() {
+            let v = r.sim.thread_inst as f64 / base_inst;
+            geo_inst[i] += v.ln();
+            row.push(r3(v));
+        }
+        t.row(row);
+        let mut row = vec![name.clone(), "mem_tx".to_string()];
+        for (i, r) in runs.iter().enumerate() {
+            let v = r.mem.total_transactions as f64 / base_mem;
+            geo_mem[i] += v.ln();
+            row.push(r3(v));
+        }
+        t.row(row);
+        let mut row = vec![name.clone(), "simd_eff".to_string()];
+        for r in runs {
+            row.push(pct(r.sim.simd_efficiency()));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["Gmean".to_string(), "inst".to_string()];
+    row.extend(geo_inst.iter().map(|&x| r3((x / n).exp())));
+    t.row(row);
+    let mut row = vec!["Gmean".to_string(), "mem_tx".to_string()];
+    row.extend(geo_mem.iter().map(|&x| r3((x / n).exp())));
+    t.row(row);
+    t.emit(&opts);
+}

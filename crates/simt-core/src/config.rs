@@ -1,0 +1,174 @@
+//! GPU configuration presets (the paper's Table II).
+
+use serde::{Deserialize, Serialize};
+use simt_mem::MemConfig;
+
+/// Functional-unit latencies (cycles from issue to register writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latencies {
+    /// Integer / logic / predicate ops.
+    pub int_alu: u64,
+    /// Single-precision float ops.
+    pub fp_alu: u64,
+    /// Special function unit (div, rem, sqrt).
+    pub sfu: u64,
+    /// Shared-memory access.
+    pub shared_mem: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            int_alu: 4,
+            fp_alu: 6,
+            sfu: 16,
+            shared_mem: 24,
+        }
+    }
+}
+
+/// Top-level GPU configuration.
+///
+/// Presets follow the paper's Table II: [`GpuConfig::gtx480`] (Fermi) and
+/// [`GpuConfig::gtx1080ti`] (Pascal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Streaming multiprocessors ("cores" in Table II).
+    pub num_sms: usize,
+    /// Threads per warp (32 throughout the paper).
+    pub warp_size: usize,
+    /// Max resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Max resident CTAs per SM.
+    pub max_ctas_per_sm: usize,
+    /// 32-bit registers per SM (limits CTA residency).
+    pub regs_per_sm: usize,
+    /// Shared-memory words per SM.
+    pub shared_words_per_sm: usize,
+    /// Warp-scheduler units per SM; warp *w* belongs to unit `w % n`.
+    pub schedulers_per_sm: usize,
+    /// Core clock, MHz (converts cycles to wall time for Figure 1b).
+    pub core_clock_mhz: u64,
+    /// Functional-unit latencies.
+    pub lat: Latencies,
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// GTO age-priority rotation period (the paper rotates every 50 000
+    /// cycles to avoid livelock on HT/ATM).
+    pub gto_rotate_period: u64,
+    /// Abort the run after this many cycles (0 = unlimited).
+    pub max_cycles: u64,
+    /// Declare livelock if no SM issues and memory is quiescent for this
+    /// many consecutive cycles.
+    pub watchdog_cycles: u64,
+    /// Enable the idealized queue-based blocking-lock mechanism at the L2
+    /// partitions (the HQL-style comparator of the paper's Section VII /
+    /// Figure 16b). Off for all paper-reproduction runs.
+    pub blocking_locks: bool,
+}
+
+impl GpuConfig {
+    /// GTX480 (Fermi): 15 SMs, 1536 threads/SM, 2 schedulers/SM, 700 MHz.
+    pub fn gtx480() -> GpuConfig {
+        GpuConfig {
+            name: "GTX480".to_string(),
+            num_sms: 15,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_ctas_per_sm: 8,
+            regs_per_sm: 32768,
+            shared_words_per_sm: 48 * 1024 / 4,
+            schedulers_per_sm: 2,
+            core_clock_mhz: 700,
+            lat: Latencies::default(),
+            mem: MemConfig::fermi(),
+            gto_rotate_period: 50_000,
+            max_cycles: 0,
+            watchdog_cycles: 1_000_000,
+            blocking_locks: false,
+        }
+    }
+
+    /// GTX1080Ti (Pascal): 28 SMs, 2048 threads/SM, 4 schedulers/SM,
+    /// 1481 MHz.
+    pub fn gtx1080ti() -> GpuConfig {
+        GpuConfig {
+            name: "GTX1080Ti".to_string(),
+            num_sms: 28,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_ctas_per_sm: 32,
+            regs_per_sm: 65536,
+            shared_words_per_sm: 96 * 1024 / 4,
+            schedulers_per_sm: 4,
+            core_clock_mhz: 1481,
+            lat: Latencies::default(),
+            mem: MemConfig::pascal(),
+            gto_rotate_period: 50_000,
+            max_cycles: 0,
+            watchdog_cycles: 1_000_000,
+            blocking_locks: false,
+        }
+    }
+
+    /// A deliberately small single-SM configuration for unit tests.
+    pub fn test_tiny() -> GpuConfig {
+        GpuConfig {
+            name: "tiny".to_string(),
+            num_sms: 1,
+            warp_size: 32,
+            max_threads_per_sm: 256,
+            max_ctas_per_sm: 4,
+            regs_per_sm: 16384,
+            shared_words_per_sm: 4096,
+            schedulers_per_sm: 2,
+            core_clock_mhz: 700,
+            lat: Latencies::default(),
+            mem: MemConfig::fermi(),
+            gto_rotate_period: 50_000,
+            max_cycles: 20_000_000,
+            watchdog_cycles: 200_000,
+            blocking_locks: false,
+        }
+    }
+
+    /// Warp slots per SM.
+    pub fn warps_per_sm(&self) -> usize {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Convert a cycle count into milliseconds at the core clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.core_clock_mhz as f64 * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_headline_numbers() {
+        let fermi = GpuConfig::gtx480();
+        assert_eq!(fermi.num_sms, 15);
+        assert_eq!(fermi.warps_per_sm(), 48);
+        assert_eq!(fermi.schedulers_per_sm, 2);
+        let pascal = GpuConfig::gtx1080ti();
+        assert_eq!(pascal.num_sms, 28);
+        assert_eq!(pascal.warps_per_sm(), 64);
+        assert_eq!(pascal.schedulers_per_sm, 4);
+        // Warp slots per scheduler: 24 on Fermi vs 16 on Pascal; combined
+        // with twice the SMs, a fixed workload leaves each Pascal scheduler
+        // with ~1/4 of the warps (the paper's Section VI-D analysis).
+        assert_eq!(fermi.warps_per_sm() / fermi.schedulers_per_sm, 24);
+        assert_eq!(pascal.warps_per_sm() / pascal.schedulers_per_sm, 16);
+    }
+
+    #[test]
+    fn cycles_to_ms() {
+        let c = GpuConfig::gtx480();
+        assert!((c.cycles_to_ms(700_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-warp scoreboard tracking in-flight register writes.
+
+use simt_isa::{Inst, Pred, Reg};
+
+/// Dependency scoreboard for one warp: registers and predicates with
+/// outstanding writes. An instruction may not issue while any of its source
+/// *or* destination registers is pending (RAW and WAW hazards).
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    /// Bitmask over 256 possible registers.
+    regs: [u64; 4],
+    /// Bitmask over 8 predicates.
+    preds: u8,
+}
+
+impl Scoreboard {
+    /// Fresh scoreboard with nothing pending.
+    pub fn new() -> Scoreboard {
+        Scoreboard::default()
+    }
+
+    #[inline]
+    fn reg_bit(r: Reg) -> (usize, u64) {
+        ((r.0 >> 6) as usize, 1u64 << (r.0 & 63))
+    }
+
+    /// Is this register pending?
+    pub fn reg_pending(&self, r: Reg) -> bool {
+        let (w, b) = Self::reg_bit(r);
+        self.regs[w] & b != 0
+    }
+
+    /// Is this predicate pending?
+    pub fn pred_pending(&self, p: Pred) -> bool {
+        self.preds & (1 << p.0) != 0
+    }
+
+    /// Would `inst` have a hazard right now?
+    pub fn has_hazard(&self, inst: &Inst) -> bool {
+        for r in inst.src_regs() {
+            if self.reg_pending(r) {
+                return true;
+            }
+        }
+        if let Some(d) = inst.dst {
+            if self.reg_pending(d) {
+                return true;
+            }
+        }
+        for p in inst
+            .psrcs
+            .iter()
+            .copied()
+            .chain(inst.guard.map(|(p, _)| p))
+            .chain(inst.pdst)
+        {
+            if self.pred_pending(p) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reserve the destinations of `inst` at issue.
+    pub fn reserve(&mut self, inst: &Inst) {
+        if let Some(d) = inst.dst {
+            let (w, b) = Self::reg_bit(d);
+            self.regs[w] |= b;
+        }
+        if let Some(p) = inst.pdst {
+            self.preds |= 1 << p.0;
+        }
+    }
+
+    /// Release a register at writeback.
+    pub fn release_reg(&mut self, r: Reg) {
+        let (w, b) = Self::reg_bit(r);
+        self.regs[w] &= !b;
+    }
+
+    /// Release a predicate at writeback.
+    pub fn release_pred(&mut self, p: Pred) {
+        self.preds &= !(1 << p.0);
+    }
+
+    /// Anything still pending? (warp-completion sanity check)
+    pub fn is_clear(&self) -> bool {
+        self.regs == [0; 4] && self.preds == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{CmpOp, Op, Ty};
+
+    #[test]
+    fn raw_hazard() {
+        let mut sb = Scoreboard::new();
+        let producer = Inst::mov(Reg(5), 1);
+        sb.reserve(&producer);
+        let consumer = Inst::binary(Op::Add(Ty::S32), Reg(6), Reg(5), 1);
+        assert!(sb.has_hazard(&consumer));
+        sb.release_reg(Reg(5));
+        assert!(!sb.has_hazard(&consumer));
+        assert!(sb.is_clear());
+    }
+
+    #[test]
+    fn waw_hazard() {
+        let mut sb = Scoreboard::new();
+        sb.reserve(&Inst::mov(Reg(5), 1));
+        assert!(sb.has_hazard(&Inst::mov(Reg(5), 2)));
+        assert!(!sb.has_hazard(&Inst::mov(Reg(6), 2)));
+    }
+
+    #[test]
+    fn pred_hazards_including_guard() {
+        let mut sb = Scoreboard::new();
+        let setp = Inst::setp(CmpOp::Eq, Ty::S32, Pred(2), Reg(0), 0);
+        sb.reserve(&setp);
+        assert!(sb.pred_pending(Pred(2)));
+        // A branch guarded by p2 must wait.
+        let mut bra = Inst::bra(0);
+        bra.guard = Some((Pred(2), true));
+        assert!(sb.has_hazard(&bra));
+        sb.release_pred(Pred(2));
+        assert!(!sb.has_hazard(&bra));
+    }
+
+    #[test]
+    fn high_register_indices() {
+        let mut sb = Scoreboard::new();
+        sb.reserve(&Inst::mov(Reg(200), 1));
+        assert!(sb.reg_pending(Reg(200)));
+        assert!(!sb.reg_pending(Reg(199)));
+        sb.release_reg(Reg(200));
+        assert!(sb.is_clear());
+    }
+
+    #[test]
+    fn addr_base_is_a_source() {
+        let mut sb = Scoreboard::new();
+        sb.reserve(&Inst::mov(Reg(3), 1));
+        let ld = Inst::ld(simt_isa::Space::Global, Reg(4), simt_isa::MemAddr::new(Reg(3), 0));
+        assert!(sb.has_hazard(&ld));
+    }
+}

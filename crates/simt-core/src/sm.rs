@@ -1,0 +1,1048 @@
+//! The streaming multiprocessor: issue, functional execution, divergence,
+//! barriers, memory interfacing and scheduler-unit orchestration.
+
+use crate::detect::{BranchLog, SpinDetector};
+use crate::sched::{IssueInfo, SchedCtx, SchedulerPolicy, WarpMeta};
+use crate::warp::{Cta, Warp};
+use crate::{GpuConfig, SimStats};
+use simt_isa::{Inst, Kernel, Op, OpClass, Operand, Reg, Space, Special, Ty};
+use simt_mem::{
+    LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind,
+};
+use std::collections::HashMap;
+
+/// Writeback-wheel capacity; must exceed every ALU latency.
+const WHEEL: usize = 64;
+
+/// Immutable launch context shared by all SMs during a kernel run.
+#[derive(Debug)]
+pub struct LaunchCtx<'a> {
+    /// The kernel being executed.
+    pub kernel: &'a Kernel,
+    /// Kernel parameters (32-bit slots; `ld.param [4*i]` reads slot *i*).
+    pub params: &'a [u32],
+    /// Threads per CTA.
+    pub threads_per_cta: usize,
+    /// CTAs in the grid.
+    pub grid_ctas: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WbEntry {
+    warp: usize,
+    reg: Option<Reg>,
+    pred: Option<simt_isa::Pred>,
+    /// Clear the warp's fence wait if memory drained (unused for ALU).
+    _pad: (),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendKind {
+    Load { dst: Reg },
+    Store,
+    Atomic { dst: Reg },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingMem {
+    warp: usize,
+    remaining: u32,
+    kind: PendKind,
+}
+
+/// CTA-level event produced by executing an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtaEvent {
+    /// All live warps arrived at the barrier: release them.
+    BarrierFull(usize),
+    /// A warp finished; the CTA may be complete.
+    WarpDone(usize),
+}
+
+#[derive(Debug, Default)]
+struct ExecOutcome {
+    info: IssueInfo,
+    sib_taken: bool,
+    cta_event: Option<CtaEvent>,
+}
+
+/// Result of one SM cycle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SmCycle {
+    /// Warp instructions issued this cycle.
+    pub issued: u32,
+    /// CTAs that completed this cycle.
+    pub ctas_finished: u32,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    /// SM index.
+    pub id: usize,
+    num_units: usize,
+    lat_int: u64,
+    lat_fp: u64,
+    lat_sfu: u64,
+    lat_shared: u64,
+    /// Warp slots.
+    pub warps: Vec<Warp>,
+    ctas: Vec<Option<Cta>>,
+    units: Vec<Box<dyn SchedulerPolicy>>,
+    /// The SM's spin detector (DDOS, static oracle, or none).
+    pub detector: Box<dyn SpinDetector>,
+    /// Backward-branch encounter timelines (Table I's DPR denominator).
+    pub branch_log: BranchLog,
+    pending: HashMap<u64, PendingMem>,
+    next_tag: u64,
+    wheel: Vec<Vec<WbEntry>>,
+    resident_version: u64,
+    regs_in_use: usize,
+    shared_in_use: usize,
+    max_regs: usize,
+    max_shared: usize,
+    meta: Vec<WarpMeta>,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("warps", &self.warps.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Sm {
+    /// Build an SM with one scheduler policy instance per unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` does not match `cfg.schedulers_per_sm`.
+    pub fn new(
+        id: usize,
+        cfg: &GpuConfig,
+        units: Vec<Box<dyn SchedulerPolicy>>,
+        detector: Box<dyn SpinDetector>,
+    ) -> Sm {
+        assert_eq!(units.len(), cfg.schedulers_per_sm, "one policy per unit");
+        assert!(
+            (cfg.lat.int_alu.max(cfg.lat.fp_alu).max(cfg.lat.sfu).max(cfg.lat.shared_mem)
+                as usize)
+                < WHEEL,
+            "latency exceeds writeback wheel"
+        );
+        Sm {
+            id,
+            num_units: cfg.schedulers_per_sm,
+            lat_int: cfg.lat.int_alu,
+            lat_fp: cfg.lat.fp_alu,
+            lat_sfu: cfg.lat.sfu,
+            lat_shared: cfg.lat.shared_mem,
+            warps: (0..cfg.warps_per_sm()).map(|_| Warp::vacant()).collect(),
+            ctas: (0..cfg.max_ctas_per_sm).map(|_| None).collect(),
+            units,
+            detector,
+            branch_log: BranchLog::default(),
+            pending: HashMap::new(),
+            next_tag: 1,
+            wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            resident_version: 0,
+            regs_in_use: 0,
+            shared_in_use: 0,
+            max_regs: cfg.regs_per_sm,
+            max_shared: cfg.shared_words_per_sm,
+            meta: vec![WarpMeta::default(); cfg.warps_per_sm()],
+        }
+    }
+
+    /// Number of resident, unfinished warps.
+    pub fn resident_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.resident && !w.done).count()
+    }
+
+    /// Per-unit scheduler policies (instrumentation access).
+    pub fn units(&self) -> &[Box<dyn SchedulerPolicy>] {
+        &self.units
+    }
+
+    /// Try to launch CTA `cta_id`; returns false if resources are exhausted.
+    pub fn try_launch_cta(
+        &mut self,
+        cta_id: usize,
+        lctx: &LaunchCtx<'_>,
+        age_counter: &mut u64,
+    ) -> bool {
+        let threads = lctx.threads_per_cta;
+        let regs_needed = threads * lctx.kernel.num_regs as usize;
+        let shared_needed = lctx.kernel.shared_words as usize;
+        let num_warps = threads.div_ceil(32);
+        let Some(slot) = self.ctas.iter().position(Option::is_none) else {
+            return false;
+        };
+        if self.regs_in_use + regs_needed > self.max_regs
+            || self.shared_in_use + shared_needed > self.max_shared
+        {
+            return false;
+        }
+        let free_slots: Vec<usize> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.resident)
+            .map(|(i, _)| i)
+            .take(num_warps)
+            .collect();
+        if free_slots.len() < num_warps {
+            return false;
+        }
+        self.ctas[slot] = Some(Cta::new(
+            cta_id,
+            threads,
+            lctx.kernel.num_regs as usize,
+            shared_needed,
+        ));
+        self.regs_in_use += regs_needed;
+        self.shared_in_use += shared_needed;
+        for (wic, &ws) in free_slots.iter().enumerate() {
+            let lanes = (threads - wic * 32).min(32);
+            let mask = if lanes == 32 {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
+            *age_counter += 1;
+            self.warps[ws].launch(slot, wic, mask, *age_counter);
+            self.units[ws % self.num_units].on_warp_launch(ws, lctx.kernel.static_len());
+            self.detector.warp_reset(ws);
+        }
+        self.resident_version += 1;
+        true
+    }
+
+    fn free_cta(&mut self, cta_slot: usize) {
+        let cta = self.ctas[cta_slot].take().expect("freeing live CTA");
+        self.regs_in_use -= cta.threads * cta.regs_per_thread;
+        self.shared_in_use -= cta.shared.len();
+        for w in &mut self.warps {
+            if w.resident && w.cta_slot == cta_slot {
+                w.resident = false;
+                w.done = false;
+            }
+        }
+        self.resident_version += 1;
+    }
+
+    /// Handle a memory completion routed to this SM.
+    pub fn on_mem_complete(&mut self, c: MemCompletion) {
+        let Some(entry) = self.pending.get_mut(&c.tag) else {
+            panic!("completion for unknown tag {}", c.tag);
+        };
+        let warp = entry.warp;
+        let kind = entry.kind;
+        entry.remaining -= 1;
+        let finished = entry.remaining == 0;
+        if finished {
+            self.pending.remove(&c.tag);
+        }
+        if let PendKind::Atomic { dst } = kind {
+            let cta_slot = self.warps[warp].cta_slot;
+            let warp_in_cta = self.warps[warp].warp_in_cta;
+            let cta = self.ctas[cta_slot].as_mut().expect("atomic CTA live");
+            for (lane, old) in &c.atomic_results {
+                cta.set_reg(warp_in_cta * 32 + *lane as usize, dst, *old);
+            }
+        }
+        if finished {
+            let w = &mut self.warps[warp];
+            w.outstanding_mem -= 1;
+            match kind {
+                PendKind::Load { dst } | PendKind::Atomic { dst } => w.sb.release_reg(dst),
+                PendKind::Store => {}
+            }
+        }
+    }
+
+    /// Advance one cycle: writebacks, then one issue attempt per unit.
+    pub fn cycle(
+        &mut self,
+        now: u64,
+        lctx: &LaunchCtx<'_>,
+        mem: &mut MemorySystem,
+        stats: &mut SimStats,
+    ) -> SmCycle {
+        let mut result = SmCycle::default();
+        // 1. Writebacks.
+        let slot = (now as usize) % WHEEL;
+        let drained: Vec<WbEntry> = std::mem::take(&mut self.wheel[slot]);
+        for wb in drained {
+            let w = &mut self.warps[wb.warp];
+            if let Some(r) = wb.reg {
+                w.sb.release_reg(r);
+            }
+            if let Some(p) = wb.pred {
+                w.sb.release_pred(p);
+            }
+        }
+        // 2. Retire CTAs whose warps have all exited and drained their
+        // outstanding memory (stores may still be in flight at exit).
+        for slot in 0..self.ctas.len() {
+            let complete = matches!(&self.ctas[slot], Some(c) if c.warps_done == c.num_warps);
+            if complete {
+                let drained = self
+                    .warps
+                    .iter()
+                    .all(|w| !(w.resident && w.cta_slot == slot) || w.outstanding_mem == 0);
+                if drained {
+                    self.free_cta(slot);
+                    result.ctas_finished += 1;
+                    stats.ctas_completed += 1;
+                }
+            }
+        }
+        // 3. Clear drained fences and compute per-warp eligibility.
+        for i in 0..self.warps.len() {
+            let w = &mut self.warps[i];
+            if w.waiting_membar && w.outstanding_mem == 0 {
+                w.waiting_membar = false;
+            }
+            let mut m = WarpMeta {
+                resident: w.resident,
+                done: w.done,
+                age_key: w.age_key,
+                eligible: false,
+            };
+            if w.resident && !w.done {
+                if w.at_barrier {
+                    stats.stall_barrier += 1;
+                } else if w.waiting_membar {
+                    stats.stall_membar += 1;
+                } else if now >= w.next_issue && !w.stack.is_empty() {
+                    let pc = w.stack.pc();
+                    let inst = &lctx.kernel.insts[pc];
+                    if w.sb.has_hazard(inst) {
+                        stats.stall_data += 1;
+                    } else {
+                        m.eligible = true;
+                    }
+                }
+            }
+            self.meta[i] = m;
+        }
+        // 3. Issue per scheduler unit.
+        let mut issued_by_unit: Vec<Option<usize>> = vec![None; self.num_units];
+        for u in 0..self.num_units {
+            let mut eligible: Vec<usize> = Vec::new();
+            for w in (u..self.warps.len()).step_by(self.num_units) {
+                if self.meta[w].eligible {
+                    if self.units[u].can_issue(now, w) {
+                        eligible.push(w);
+                    } else {
+                        stats.stall_backoff += 1;
+                    }
+                }
+            }
+            if eligible.is_empty() {
+                continue;
+            }
+            let ctx = SchedCtx {
+                now,
+                meta: &self.meta,
+                resident_version: self.resident_version,
+            };
+            let Some(w) = self.units[u].pick(&ctx, &eligible) else {
+                continue;
+            };
+            debug_assert!(eligible.contains(&w), "policy picked ineligible warp");
+            stats.issued_cycles += 1;
+            stats.stall_arbitration += (eligible.len() - 1) as u64;
+            let outcome = self.execute(w, now, lctx, mem, stats);
+            result.issued += 1;
+            issued_by_unit[u] = Some(w);
+            let ctx = SchedCtx {
+                now,
+                meta: &self.meta,
+                resident_version: self.resident_version,
+            };
+            // Issue bookkeeping first; a SIB pushes the warp into the
+            // backed-off state only *after* the SIB itself has issued (the
+            // next instruction is what leaves the state again).
+            self.units[u].on_issue(&ctx, w, &outcome.info);
+            if outcome.sib_taken {
+                self.units[u].on_sib(&ctx, w);
+            }
+            match outcome.cta_event {
+                Some(CtaEvent::BarrierFull(slot)) => {
+                    let cta = self.ctas[slot].as_mut().expect("barrier CTA live");
+                    cta.barrier_arrived = 0;
+                    stats.barriers += 1;
+                    for wp in &mut self.warps {
+                        if wp.resident && wp.cta_slot == slot {
+                            wp.at_barrier = false;
+                        }
+                    }
+                }
+                Some(CtaEvent::WarpDone(slot)) => {
+                    let cta = self.ctas[slot].as_mut().expect("CTA live");
+                    // A warp exiting may also release the barrier.
+                    if cta.live_warps() > 0 && cta.barrier_arrived >= cta.live_warps() {
+                        cta.barrier_arrived = 0;
+                        stats.barriers += 1;
+                        for wp in &mut self.warps {
+                            if wp.resident && wp.cta_slot == slot {
+                                wp.at_barrier = false;
+                            }
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        // 4. End-of-cycle policy bookkeeping + Figure 11 sampling.
+        for u in 0..self.num_units {
+            let unit_warps: Vec<usize> =
+                (u..self.warps.len()).step_by(self.num_units).collect();
+            let ctx = SchedCtx {
+                now,
+                meta: &self.meta,
+                resident_version: self.resident_version,
+            };
+            self.units[u].end_cycle(&ctx, &unit_warps, issued_by_unit[u]);
+            for &w in &unit_warps {
+                if self.meta[w].resident && !self.meta[w].done {
+                    stats.resident_warp_samples += 1;
+                    if self.units[u].is_backed_off(w) {
+                        stats.backed_off_warp_samples += 1;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Functionally execute the instruction at the warp's PC.
+    fn execute(
+        &mut self,
+        w_idx: usize,
+        now: u64,
+        lctx: &LaunchCtx<'_>,
+        mem: &mut MemorySystem,
+        stats: &mut SimStats,
+    ) -> ExecOutcome {
+        let (lat_int, lat_fp, lat_sfu, lat_shared) =
+            (self.lat_int, self.lat_fp, self.lat_sfu, self.lat_shared);
+        let latency = move |class: OpClass| match class {
+            OpClass::IntAlu | OpClass::Control => lat_int,
+            OpClass::FpAlu => lat_fp,
+            OpClass::Sfu => lat_sfu,
+            OpClass::SharedMem => lat_shared,
+            OpClass::GlobalMem | OpClass::Atomic | OpClass::Sync => lat_int,
+        };
+        let warp = &mut self.warps[w_idx];
+        let pc = warp.stack.pc();
+        let inst = &lctx.kernel.insts[pc];
+        let active = warp.stack.active_mask();
+        let cta_slot = warp.cta_slot;
+        let cta = self.ctas[cta_slot].as_mut().expect("executing CTA live");
+
+        // Guard evaluation.
+        let mut exec = active;
+        if let Some((p, want)) = inst.guard {
+            let mut m = 0u32;
+            for lane in BitIter(active) {
+                if cta.pred(warp.thread_of(lane), p) == want {
+                    m |= 1 << lane;
+                }
+            }
+            exec = m;
+        }
+        let lanes = exec.count_ones();
+        stats.issued_inst += 1;
+        stats.thread_inst += lanes as u64;
+        if inst.ann.sync {
+            stats.sync_thread_inst += lanes as u64;
+        }
+        warp.next_issue = now + 1;
+
+        let mut outcome = ExecOutcome {
+            info: IssueInfo {
+                pc,
+                active_lanes: lanes,
+                ..IssueInfo::default()
+            },
+            ..ExecOutcome::default()
+        };
+
+        let sval = SpecialCtx {
+            sm_id: self.id,
+            cta_id: cta.id,
+            threads_per_cta: lctx.threads_per_cta,
+            grid_ctas: lctx.grid_ctas,
+            now,
+        };
+
+        macro_rules! val {
+            ($operand:expr, $lane:expr, $thread:expr) => {
+                operand_value($operand, cta, $thread, $lane, &sval, lctx.params)
+            };
+        }
+
+        match inst.op {
+            // ---- ALU ----
+            Op::Mov
+            | Op::Add(_)
+            | Op::Sub(_)
+            | Op::Mul(_)
+            | Op::Mad(_)
+            | Op::Div(_)
+            | Op::Rem(_)
+            | Op::Min(_)
+            | Op::Max(_)
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::Neg(_)
+            | Op::Shl
+            | Op::Shr
+            | Op::Sra
+            | Op::Sqrt
+            | Op::CvtI2F
+            | Op::CvtF2I => {
+                let dst = inst.dst.expect("ALU dst");
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let a = inst.srcs.first().map(|s| val!(s, lane, t)).unwrap_or(0);
+                    let b = inst.srcs.get(1).map(|s| val!(s, lane, t)).unwrap_or(0);
+                    let c = inst.srcs.get(2).map(|s| val!(s, lane, t)).unwrap_or(0);
+                    cta.set_reg(t, dst, alu_eval(inst.op, a, b, c));
+                }
+                warp.sb.reserve(inst);
+                let lat = latency(inst.op.class());
+                self.wheel[((now + lat) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: Some(dst),
+                    pred: None,
+                    _pad: (),
+                });
+                warp.stack.advance(pc + 1);
+            }
+            Op::Selp => {
+                let dst = inst.dst.expect("selp dst");
+                let p = inst.psrcs[0];
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let a = val!(&inst.srcs[0], lane, t);
+                    let b = val!(&inst.srcs[1], lane, t);
+                    let v = if cta.pred(t, p) { a } else { b };
+                    cta.set_reg(t, dst, v);
+                }
+                warp.sb.reserve(inst);
+                self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: Some(dst),
+                    pred: None,
+                    _pad: (),
+                });
+                warp.stack.advance(pc + 1);
+            }
+            Op::Setp(cmp, ty) => {
+                let pdst = inst.pdst.expect("setp pdst");
+                let mut profiled: Option<[u32; 2]> = None;
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let a = val!(&inst.srcs[0], lane, t);
+                    let b = val!(&inst.srcs[1], lane, t);
+                    if profiled.is_none() {
+                        profiled = Some([a, b]);
+                    }
+                    cta.set_pred(t, pdst, cmp.eval(ty, a, b));
+                }
+                warp.sb.reserve(inst);
+                let lat = latency(inst.op.class());
+                self.wheel[((now + lat) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: None,
+                    pred: Some(pdst),
+                    _pad: (),
+                });
+                if let Some(srcs) = profiled {
+                    self.detector.on_setp(now, w_idx, pc, srcs);
+                }
+                warp.stack.advance(pc + 1);
+            }
+            Op::PAnd | Op::POr | Op::PNot => {
+                let pdst = inst.pdst.expect("pred dst");
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let a = cta.pred(t, inst.psrcs[0]);
+                    let v = match inst.op {
+                        Op::PAnd => a && cta.pred(t, inst.psrcs[1]),
+                        Op::POr => a || cta.pred(t, inst.psrcs[1]),
+                        _ => !a,
+                    };
+                    cta.set_pred(t, pdst, v);
+                }
+                warp.sb.reserve(inst);
+                self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: None,
+                    pred: Some(pdst),
+                    _pad: (),
+                });
+                warp.stack.advance(pc + 1);
+            }
+            // ---- Control ----
+            Op::Bra => {
+                let target = inst.target.expect("resolved branch");
+                let rpc = lctx.kernel.reconv[pc];
+                let taken = exec;
+                let taken_any = taken != 0;
+                let backward = target <= pc;
+                if backward {
+                    self.branch_log.record(pc, now);
+                }
+                self.detector.on_branch(now, w_idx, pc, target, taken_any);
+                let is_sib = self.detector.is_sib(pc);
+                if is_sib {
+                    stats.sib_inst += 1;
+                }
+                if inst.ann.wait {
+                    stats.wait_exit_fail += taken.count_ones() as u64;
+                    stats.wait_exit_success += (active & !taken).count_ones() as u64;
+                }
+                warp.stack.branch(taken, target, pc + 1, rpc);
+                outcome.info.is_branch = true;
+                outcome.info.taken_backward = backward && taken_any;
+                outcome.info.branch_distance = if backward { pc - target } else { 0 };
+                outcome.info.is_sib = is_sib;
+                outcome.sib_taken = is_sib && backward && taken_any;
+            }
+            Op::Exit => {
+                warp.stack.exit_threads(exec);
+                if warp.stack.is_empty() {
+                    warp.done = true;
+                    cta.warps_done += 1;
+                    outcome.cta_event = Some(CtaEvent::WarpDone(cta_slot));
+                } else if warp.stack.pc() == pc {
+                    // Guarded exit: surviving lanes fall through.
+                    warp.stack.advance(pc + 1);
+                }
+            }
+            Op::Nop => warp.stack.advance(pc + 1),
+            Op::Clock => {
+                let dst = inst.dst.expect("clock dst");
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    cta.set_reg(t, dst, now as u32);
+                }
+                warp.sb.reserve(inst);
+                self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: Some(dst),
+                    pred: None,
+                    _pad: (),
+                });
+                warp.stack.advance(pc + 1);
+            }
+            Op::Bar => {
+                warp.at_barrier = true;
+                warp.stack.advance(pc + 1);
+                cta.barrier_arrived += 1;
+                if cta.barrier_arrived >= cta.live_warps() {
+                    outcome.cta_event = Some(CtaEvent::BarrierFull(cta_slot));
+                }
+            }
+            Op::Membar => {
+                if warp.outstanding_mem > 0 {
+                    warp.waiting_membar = true;
+                }
+                warp.stack.advance(pc + 1);
+            }
+            // ---- Memory ----
+            Op::Ld(space, volatile) => {
+                let dst = inst.dst.expect("load dst");
+                match space {
+                    Space::Param => {
+                        for lane in BitIter(exec) {
+                            let t = warp.thread_of(lane);
+                            let addr = mem_addr(inst, cta, t);
+                            let slot = (addr / 4) as usize;
+                            let v = lctx.params.get(slot).copied().unwrap_or_else(|| {
+                                panic!("param slot {slot} out of range")
+                            });
+                            cta.set_reg(t, dst, v);
+                        }
+                        warp.sb.reserve(inst);
+                        self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
+                            warp: w_idx,
+                            reg: Some(dst),
+                            pred: None,
+                            _pad: (),
+                        });
+                    }
+                    Space::Shared => {
+                        for lane in BitIter(exec) {
+                            let t = warp.thread_of(lane);
+                            let addr = mem_addr(inst, cta, t);
+                            let v = cta.shared[(addr / 4) as usize];
+                            cta.set_reg(t, dst, v);
+                        }
+                        warp.sb.reserve(inst);
+                        self.wheel[((now + lat_shared) as usize) % WHEEL].push(WbEntry {
+                            warp: w_idx,
+                            reg: Some(dst),
+                            pred: None,
+                            _pad: (),
+                        });
+                    }
+                    Space::Global => {
+                        stats.load_inst += 1;
+                        let mut accesses = Vec::with_capacity(lanes as usize);
+                        for lane in BitIter(exec) {
+                            let t = warp.thread_of(lane);
+                            let addr = mem_addr(inst, cta, t);
+                            let v = mem.gmem().read_u32(addr);
+                            cta.set_reg(t, dst, v);
+                            accesses.push(simt_mem::LaneAccess {
+                                lane: lane as u8,
+                                addr,
+                            });
+                        }
+                        if accesses.is_empty() {
+                            warp.stack.advance(pc + 1);
+                            return outcome;
+                        }
+                        warp.sb.reserve(inst);
+                        let txs = simt_mem::Coalescer::coalesce(&accesses);
+                        let tag = self.next_tag;
+                        self.next_tag += 1;
+                        self.pending.insert(
+                            tag,
+                            PendingMem {
+                                warp: w_idx,
+                                remaining: txs.len() as u32,
+                                kind: PendKind::Load { dst },
+                            },
+                        );
+                        warp.outstanding_mem += 1;
+                        for tx in txs {
+                            let mut req = MemRequest::new(
+                                ReqKind::Load {
+                                    bypass_l1: volatile,
+                                },
+                                tx.line,
+                                tag,
+                            );
+                            if inst.ann.sync {
+                                req = req.sync();
+                            }
+                            mem.enqueue(self.id, req, now);
+                        }
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+            Op::St(space, _volatile) => {
+                match space {
+                    Space::Param => panic!("stores to param space are invalid"),
+                    Space::Shared => {
+                        for lane in BitIter(exec) {
+                            let t = warp.thread_of(lane);
+                            let addr = mem_addr(inst, cta, t);
+                            let v = val!(&inst.srcs[0], lane, t);
+                            cta.shared[(addr / 4) as usize] = v;
+                        }
+                        // Shared stores complete in-pipeline; no scoreboard.
+                    }
+                    Space::Global => {
+                        stats.store_inst += 1;
+                        let mut accesses = Vec::with_capacity(lanes as usize);
+                        for lane in BitIter(exec) {
+                            let t = warp.thread_of(lane);
+                            let addr = mem_addr(inst, cta, t);
+                            let v = val!(&inst.srcs[0], lane, t);
+                            mem.gmem_mut().write_u32(addr, v);
+                            accesses.push(simt_mem::LaneAccess {
+                                lane: lane as u8,
+                                addr,
+                            });
+                        }
+                        if !accesses.is_empty() {
+                            let txs = simt_mem::Coalescer::coalesce(&accesses);
+                            let tag = self.next_tag;
+                            self.next_tag += 1;
+                            self.pending.insert(
+                                tag,
+                                PendingMem {
+                                    warp: w_idx,
+                                    remaining: txs.len() as u32,
+                                    kind: PendKind::Store,
+                                },
+                            );
+                            warp.outstanding_mem += 1;
+                            for tx in txs {
+                                let mut req = MemRequest::new(ReqKind::Store, tx.line, tag);
+                                if inst.ann.sync {
+                                    req = req.sync();
+                                }
+                                mem.enqueue(self.id, req, now);
+                            }
+                        }
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+            Op::Atom(aop) => {
+                stats.atomic_inst += 1;
+                let dst = inst.dst.expect("atomic dst");
+                let role = if inst.ann.acquire {
+                    LockRole::Acquire
+                } else if inst.ann.release {
+                    LockRole::Release
+                } else {
+                    LockRole::None
+                };
+                let holder = ((self.id as u64) << 32) | w_idx as u64;
+                // Group lane ops by line, preserving lane order.
+                let mut groups: Vec<(u64, Vec<LaneAtomic>)> = Vec::new();
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let addr = mem_addr(inst, cta, t);
+                    let a = val!(&inst.srcs[0], lane, t);
+                    let b = inst.srcs.get(1).map(|s| val!(s, lane, t)).unwrap_or(0);
+                    let op = LaneAtomic {
+                        lane: lane as u8,
+                        addr,
+                        op: aop,
+                        a,
+                        b,
+                        role,
+                        holder,
+                    };
+                    let line = simt_mem::line_of(addr);
+                    match groups.iter_mut().find(|(l, _)| *l == line) {
+                        Some((_, v)) => v.push(op),
+                        None => groups.push((line, vec![op])),
+                    }
+                }
+                if !groups.is_empty() {
+                    warp.sb.reserve(inst);
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    self.pending.insert(
+                        tag,
+                        PendingMem {
+                            warp: w_idx,
+                            remaining: groups.len() as u32,
+                            kind: PendKind::Atomic { dst },
+                        },
+                    );
+                    warp.outstanding_mem += 1;
+                    let sole = groups.len() == 1;
+                    for (line, ops) in groups {
+                        let mut req = MemRequest::new(ReqKind::Atomic { ops }, line, tag);
+                        req.sole = sole;
+                        if inst.ann.sync {
+                            req = req.sync();
+                        }
+                        mem.enqueue(self.id, req, now);
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+        }
+
+        outcome
+    }
+
+    /// True once every pending memory op and writeback has drained
+    /// (watchdog support).
+    pub fn quiescent(&self) -> bool {
+        self.pending.is_empty() && self.wheel.iter().all(Vec::is_empty)
+    }
+
+    /// Resident-version counter (bumped on CTA launch/retire).
+    pub fn resident_version(&self) -> u64 {
+        self.resident_version
+    }
+
+    /// Any CTA slots occupied?
+    pub fn has_work(&self) -> bool {
+        self.ctas.iter().any(Option::is_some)
+    }
+}
+
+/// Values needed to evaluate special registers.
+struct SpecialCtx {
+    sm_id: usize,
+    cta_id: usize,
+    threads_per_cta: usize,
+    grid_ctas: usize,
+    now: u64,
+}
+
+fn special_value(s: Special, thread: usize, lane: usize, ctx: &SpecialCtx) -> u32 {
+    match s {
+        Special::TidX => thread as u32,
+        Special::CtaIdX => ctx.cta_id as u32,
+        Special::NTidX => ctx.threads_per_cta as u32,
+        Special::NCtaIdX => ctx.grid_ctas as u32,
+        Special::LaneId => lane as u32,
+        Special::WarpId => (thread / 32) as u32,
+        Special::GlobalTid => (ctx.cta_id * ctx.threads_per_cta + thread) as u32,
+        Special::Clock => ctx.now as u32,
+        Special::SmId => ctx.sm_id as u32,
+    }
+}
+
+fn operand_value(
+    op: &Operand,
+    cta: &Cta,
+    thread: usize,
+    lane: usize,
+    ctx: &SpecialCtx,
+    _params: &[u32],
+) -> u32 {
+    match op {
+        Operand::Reg(r) => cta.reg(thread, *r),
+        Operand::Imm(v) => *v,
+        Operand::Special(s) => special_value(*s, thread, lane, ctx),
+    }
+}
+
+/// Effective byte address of a memory operand for `thread`.
+fn mem_addr(inst: &Inst, cta: &Cta, thread: usize) -> u64 {
+    let a = inst.addr.expect("memory instruction has address");
+    let base = a.base.map(|r| cta.reg(thread, r)).unwrap_or(0) as i64;
+    (base + a.offset as i64) as u64
+}
+
+/// Evaluate an ALU op over up to three operands.
+fn alu_eval(op: Op, a: u32, b: u32, c: u32) -> u32 {
+    let f = |x: u32| f32::from_bits(x);
+    match op {
+        Op::Mov => a,
+        Op::Add(Ty::F32) => (f(a) + f(b)).to_bits(),
+        Op::Add(_) => a.wrapping_add(b),
+        Op::Sub(Ty::F32) => (f(a) - f(b)).to_bits(),
+        Op::Sub(_) => a.wrapping_sub(b),
+        Op::Mul(Ty::F32) => (f(a) * f(b)).to_bits(),
+        Op::Mul(_) => a.wrapping_mul(b),
+        Op::Mad(Ty::F32) => (f(a) * f(b) + f(c)).to_bits(),
+        Op::Mad(_) => a.wrapping_mul(b).wrapping_add(c),
+        Op::Div(Ty::F32) => (f(a) / f(b)).to_bits(),
+        Op::Div(Ty::U32) => a.checked_div(b).unwrap_or(u32::MAX),
+        Op::Div(Ty::S32) => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        Op::Rem(Ty::U32) => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        Op::Rem(_) => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+        Op::Min(Ty::F32) => f(a).min(f(b)).to_bits(),
+        Op::Min(Ty::U32) => a.min(b),
+        Op::Min(_) => ((a as i32).min(b as i32)) as u32,
+        Op::Max(Ty::F32) => f(a).max(f(b)).to_bits(),
+        Op::Max(Ty::U32) => a.max(b),
+        Op::Max(_) => ((a as i32).max(b as i32)) as u32,
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Not => !a,
+        Op::Neg(Ty::F32) => (-f(a)).to_bits(),
+        Op::Neg(_) => (a as i32).wrapping_neg() as u32,
+        Op::Shl => a.wrapping_shl(b & 31),
+        Op::Shr => a.wrapping_shr(b & 31),
+        Op::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        Op::Sqrt => f(a).sqrt().to_bits(),
+        Op::CvtI2F => (a as i32 as f32).to_bits(),
+        Op::CvtF2I => (f(a) as i32) as u32,
+        other => unreachable!("{other:?} is not an ALU op"),
+    }
+}
+
+/// Iterator over set bits of a u32 (lane indices).
+struct BitIter(u32);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_iter_yields_lanes() {
+        let v: Vec<usize> = BitIter(0b1010_0001).collect();
+        assert_eq!(v, vec![0, 5, 7]);
+        assert_eq!(BitIter(0).count(), 0);
+        assert_eq!(BitIter(u32::MAX).count(), 32);
+    }
+
+    #[test]
+    fn alu_eval_int() {
+        assert_eq!(alu_eval(Op::Add(Ty::S32), 2, 3, 0), 5);
+        assert_eq!(alu_eval(Op::Sub(Ty::S32), 2, 3, 0), (-1i32) as u32);
+        assert_eq!(alu_eval(Op::Mad(Ty::S32), 2, 3, 4), 10);
+        assert_eq!(alu_eval(Op::Div(Ty::S32), 7, 2, 0), 3);
+        assert_eq!(alu_eval(Op::Div(Ty::S32), 7, 0, 0), u32::MAX);
+        assert_eq!(alu_eval(Op::Rem(Ty::S32), 7, 3, 0), 1);
+        assert_eq!(alu_eval(Op::Shl, 1, 5, 0), 32);
+        assert_eq!(alu_eval(Op::Sra, (-8i32) as u32, 1, 0), (-4i32) as u32);
+        assert_eq!(alu_eval(Op::Min(Ty::S32), (-1i32) as u32, 1, 0), (-1i32) as u32);
+        assert_eq!(alu_eval(Op::Min(Ty::U32), u32::MAX, 1, 0), 1);
+    }
+
+    #[test]
+    fn alu_eval_float() {
+        let b = |x: f32| x.to_bits();
+        assert_eq!(alu_eval(Op::Add(Ty::F32), b(1.5), b(2.0), 0), b(3.5));
+        assert_eq!(alu_eval(Op::Sqrt, b(9.0), 0, 0), b(3.0));
+        assert_eq!(alu_eval(Op::CvtI2F, 3, 0, 0), b(3.0));
+        assert_eq!(alu_eval(Op::CvtF2I, b(3.7), 0, 0), 3);
+    }
+
+    #[test]
+    fn special_values() {
+        let ctx = SpecialCtx {
+            sm_id: 2,
+            cta_id: 5,
+            threads_per_cta: 128,
+            grid_ctas: 10,
+            now: 42,
+        };
+        assert_eq!(special_value(Special::TidX, 37, 5, &ctx), 37);
+        assert_eq!(special_value(Special::LaneId, 37, 5, &ctx), 5);
+        assert_eq!(special_value(Special::WarpId, 37, 5, &ctx), 1);
+        assert_eq!(special_value(Special::GlobalTid, 37, 5, &ctx), 677);
+        assert_eq!(special_value(Special::Clock, 37, 5, &ctx), 42);
+        assert_eq!(special_value(Special::NCtaIdX, 0, 0, &ctx), 10);
+        assert_eq!(special_value(Special::SmId, 0, 0, &ctx), 2);
+    }
+}

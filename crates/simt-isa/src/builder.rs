@@ -1,0 +1,223 @@
+//! Programmatic kernel construction, an alternative to the text assembler.
+//!
+//! Useful for parameterized kernels (e.g. unrolled loops) where generating
+//! text would be awkward.
+//!
+//! ```
+//! use simt_isa::builder::KernelBuilder;
+//! use simt_isa::{CmpOp, Op, Pred, Reg, Ty};
+//!
+//! let mut b = KernelBuilder::new("count");
+//! b.regs(4);
+//! b.push(simt_isa::Inst::mov(Reg(0), 0));
+//! b.label("loop");
+//! b.push(simt_isa::Inst::binary(Op::Add(Ty::S32), Reg(0), Reg(0), 1));
+//! b.push(simt_isa::Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 10));
+//! b.bra_to("loop").guard(Pred(0), true);
+//! b.push(simt_isa::Inst::new(Op::Exit));
+//! let k = b.build()?;
+//! assert_eq!(k.backward_branches().len(), 1);
+//! # Ok::<(), simt_isa::AsmError>(())
+//! ```
+
+use crate::{AsmError, Inst, Kernel, Op, Pred};
+use std::collections::HashMap;
+
+/// Incremental builder for a [`Kernel`].
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    /// (inst index, label) pending resolution.
+    fixups: Vec<(usize, String)>,
+    num_regs: u8,
+    num_params: u32,
+    shared_words: u32,
+}
+
+/// Handle to the most recently pushed instruction, for chained modifiers.
+#[derive(Debug)]
+pub struct InstRef<'a> {
+    inst: &'a mut Inst,
+}
+
+impl InstRef<'_> {
+    /// Attach a `@p` / `@!p` guard.
+    pub fn guard(self, p: Pred, expect: bool) -> Self {
+        self.inst.guard = Some((p, expect));
+        self
+    }
+
+    /// Mark as a lock-acquire atomic.
+    pub fn acquire(self) -> Self {
+        self.inst.ann.acquire = true;
+        self
+    }
+
+    /// Mark as a lock-release atomic.
+    pub fn release(self) -> Self {
+        self.inst.ann.release = true;
+        self
+    }
+
+    /// Mark as a wait-loop exit test.
+    pub fn wait(self) -> Self {
+        self.inst.ann.wait = true;
+        self
+    }
+
+    /// Mark as a ground-truth spin-inducing branch.
+    pub fn sib(self) -> Self {
+        self.inst.ann.sib = true;
+        self
+    }
+
+    /// Mark as synchronization-overhead code.
+    pub fn sync(self) -> Self {
+        self.inst.ann.sync = true;
+        self
+    }
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with 32 registers, 8 params, no shared memory.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            num_regs: 32,
+            num_params: 8,
+            shared_words: 0,
+        }
+    }
+
+    /// Set the per-thread register count.
+    pub fn regs(&mut self, n: u8) -> &mut Self {
+        self.num_regs = n;
+        self
+    }
+
+    /// Set the parameter-slot count.
+    pub fn params(&mut self, n: u32) -> &mut Self {
+        self.num_params = n;
+        self
+    }
+
+    /// Set the shared-memory words per CTA.
+    pub fn shared(&mut self, words: u32) -> &mut Self {
+        self.shared_words = words;
+        self
+    }
+
+    /// Define a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate label names (a programming error in the caller).
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.insts.len());
+        assert!(prev.is_none(), "duplicate label {name}");
+        self
+    }
+
+    /// Append an instruction; returns a handle for chained modifiers.
+    pub fn push(&mut self, inst: Inst) -> InstRef<'_> {
+        self.insts.push(inst);
+        InstRef {
+            inst: self.insts.last_mut().expect("just pushed"),
+        }
+    }
+
+    /// Append a branch to a (possibly not-yet-defined) label.
+    pub fn bra_to(&mut self, label: impl Into<String>) -> InstRef<'_> {
+        let idx = self.insts.len();
+        self.fixups.push((idx, label.into()));
+        self.push(Inst::new(Op::Bra))
+    }
+
+    /// Current instruction count (the PC the next `push` will get).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Resolve labels and build the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unresolved labels or kernel validation failures.
+    pub fn build(mut self) -> Result<Kernel, AsmError> {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let t = *self.labels.get(&label).ok_or_else(|| AsmError {
+                line: 0,
+                msg: format!("unresolved label {label}"),
+            })?;
+            self.insts[idx].target = Some(t);
+        }
+        Kernel::from_insts(
+            self.name,
+            self.insts,
+            self.labels,
+            self.num_regs,
+            self.num_params,
+            self.shared_words,
+        )
+        .map_err(AsmError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, Reg, Ty};
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = KernelBuilder::new("t");
+        b.regs(4);
+        b.bra_to("end"); // forward reference
+        b.label("top");
+        b.push(Inst::mov(Reg(0), 1));
+        b.bra_to("top");
+        b.label("end");
+        b.push(Inst::new(Op::Exit));
+        let k = b.build().unwrap();
+        assert_eq!(k.insts[0].target, Some(3));
+        assert_eq!(k.insts[2].target, Some(1));
+        assert_eq!(k.backward_branches(), vec![2]);
+    }
+
+    #[test]
+    fn unresolved_label_errors() {
+        let mut b = KernelBuilder::new("t");
+        b.bra_to("nowhere");
+        b.push(Inst::new(Op::Exit));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn chained_modifiers() {
+        let mut b = KernelBuilder::new("t");
+        b.regs(4);
+        b.label("top");
+        b.push(Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 3));
+        b.bra_to("top").guard(Pred(0), true).sib().sync();
+        b.push(Inst::new(Op::Exit));
+        let k = b.build().unwrap();
+        assert_eq!(k.insts[1].guard, Some((Pred(0), true)));
+        assert!(k.insts[1].ann.sib);
+        assert!(k.insts[1].ann.sync);
+        assert_eq!(k.true_sibs, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = KernelBuilder::new("t");
+        b.label("a");
+        b.label("a");
+    }
+}

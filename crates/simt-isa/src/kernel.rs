@@ -1,0 +1,274 @@
+//! Assembled kernels.
+
+use crate::cfg::Cfg;
+use crate::{Inst, Op, Pred, INST_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reconvergence-PC sentinel meaning "reconverge only at thread exit".
+pub const RECONV_EXIT: usize = usize::MAX;
+
+/// Errors produced by [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A register index is out of the declared range.
+    RegOutOfRange { pc: usize, reg: u8, regs: u8 },
+    /// A predicate index is out of range.
+    PredOutOfRange { pc: usize, pred: u8 },
+    /// A branch target does not point inside the kernel.
+    BadTarget { pc: usize, target: usize },
+    /// The kernel contains no `exit` instruction.
+    NoExit,
+    /// The kernel is empty.
+    Empty,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::RegOutOfRange { pc, reg, regs } => {
+                write!(f, "pc {pc}: register r{reg} out of declared range {regs}")
+            }
+            KernelError::PredOutOfRange { pc, pred } => {
+                write!(f, "pc {pc}: predicate p{pred} out of range")
+            }
+            KernelError::BadTarget { pc, target } => {
+                write!(f, "pc {pc}: branch target {target} outside kernel")
+            }
+            KernelError::NoExit => write!(f, "kernel has no exit instruction"),
+            KernelError::Empty => write!(f, "kernel is empty"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// An assembled, validated kernel ready to launch on the simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name from the `.kernel` directive.
+    pub name: String,
+    /// The instruction stream; the program counter is an index here.
+    pub insts: Vec<Inst>,
+    /// Label name → instruction index.
+    pub labels: HashMap<String, usize>,
+    /// Per-thread general registers required (`.regs`).
+    pub num_regs: u8,
+    /// Number of 32-bit kernel parameters (`.params` or inferred).
+    pub num_params: u32,
+    /// Shared-memory words per CTA (`.shared`).
+    pub shared_words: u32,
+    /// Per-instruction reconvergence PC: for branches, the IPDOM start;
+    /// [`RECONV_EXIT`] otherwise.
+    pub reconv: Vec<usize>,
+    /// Ground-truth spin-inducing branches (from `!sib` annotations): the
+    /// oracle that Table I's detection-accuracy metrics compare DDOS against.
+    pub true_sibs: Vec<usize>,
+}
+
+impl Kernel {
+    /// Assemble a kernel from parts: resolves nothing (targets must already
+    /// be instruction indices), computes reconvergence points, validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`KernelError`] found by [`Kernel::validate`].
+    pub fn from_insts(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        labels: HashMap<String, usize>,
+        num_regs: u8,
+        num_params: u32,
+        shared_words: u32,
+    ) -> Result<Kernel, KernelError> {
+        let cfg = Cfg::build(&insts);
+        let reconv = cfg.reconv_points(&insts);
+        let true_sibs = insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.ann.sib)
+            .map(|(pc, _)| pc)
+            .collect();
+        let k = Kernel {
+            name: name.into(),
+            insts,
+            labels,
+            num_regs,
+            num_params,
+            shared_words,
+            reconv,
+            true_sibs,
+        };
+        k.validate()?;
+        Ok(k)
+    }
+
+    /// Check internal consistency (register ranges, branch targets, an exit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), KernelError> {
+        if self.insts.is_empty() {
+            return Err(KernelError::Empty);
+        }
+        let mut has_exit = false;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if inst.op == Op::Exit {
+                has_exit = true;
+            }
+            for r in inst.src_regs().into_iter().chain(inst.dst_reg()) {
+                if r.0 >= self.num_regs {
+                    return Err(KernelError::RegOutOfRange {
+                        pc,
+                        reg: r.0,
+                        regs: self.num_regs,
+                    });
+                }
+            }
+            let preds = inst
+                .pdst
+                .into_iter()
+                .chain(inst.psrcs.iter().copied())
+                .chain(inst.guard.map(|(p, _)| p));
+            for p in preds {
+                if p.0 >= Pred::COUNT {
+                    return Err(KernelError::PredOutOfRange { pc, pred: p.0 });
+                }
+            }
+            if let Some(t) = inst.target {
+                if t >= self.insts.len() {
+                    return Err(KernelError::BadTarget { pc, target: t });
+                }
+            }
+        }
+        if !has_exit {
+            return Err(KernelError::NoExit);
+        }
+        Ok(())
+    }
+
+    /// Byte program counter of an instruction index, as hardware (and DDOS's
+    /// path hashing) sees it.
+    pub fn byte_pc(&self, pc: usize) -> u64 {
+        pc as u64 * INST_BYTES
+    }
+
+    /// All backward branches — the candidate set DDOS classifies.
+    pub fn backward_branches(&self) -> Vec<usize> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(pc, i)| i.is_backward_branch(*pc))
+            .map(|(pc, _)| pc)
+            .collect()
+    }
+
+    /// Static instruction count (used by CAWA's initial `nInst` estimate).
+    pub fn static_len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Render a human-readable disassembly with synthesized labels.
+    pub fn disasm(&self) -> String {
+        use std::collections::BTreeSet;
+        let targets: BTreeSet<usize> = self.insts.iter().filter_map(|i| i.target).collect();
+        let mut out = format!(
+            ".kernel {}\n.regs {}\n.params {}\n.shared {}\n",
+            self.name, self.num_regs, self.num_params, self.shared_words
+        );
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if targets.contains(&pc) {
+                out.push_str(&format!("L{pc}:\n"));
+            }
+            let mut line = format!("    {inst}");
+            if let Some(t) = inst.target {
+                line = line.replace(&format!("@{t}"), &format!("L{t}"));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, Reg, Ty};
+
+    fn tiny() -> Vec<Inst> {
+        vec![Inst::mov(Reg(0), 1), Inst::new(Op::Exit)]
+    }
+
+    #[test]
+    fn from_insts_validates() {
+        let k = Kernel::from_insts("t", tiny(), HashMap::new(), 4, 0, 0).unwrap();
+        assert_eq!(k.static_len(), 2);
+        assert_eq!(k.byte_pc(1), 8);
+    }
+
+    #[test]
+    fn rejects_reg_out_of_range() {
+        let insts = vec![Inst::mov(Reg(9), 1), Inst::new(Op::Exit)];
+        let err = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap_err();
+        assert!(matches!(err, KernelError::RegOutOfRange { reg: 9, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_exit() {
+        let insts = vec![Inst::mov(Reg(0), 1)];
+        let err = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap_err();
+        assert_eq!(err, KernelError::NoExit);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = Kernel::from_insts("t", vec![], HashMap::new(), 4, 0, 0).unwrap_err();
+        assert_eq!(err, KernelError::Empty);
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        let insts = vec![Inst::bra(17), Inst::new(Op::Exit)];
+        let err = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap_err();
+        assert!(matches!(err, KernelError::BadTarget { target: 17, .. }));
+    }
+
+    #[test]
+    fn backward_branch_and_sib_listing() {
+        // 0: nop
+        // 1: setp
+        // 2: @p0 bra 0 (!sib)
+        // 3: exit
+        let mut back = Inst::bra(0);
+        back.guard = Some((Pred(0), true));
+        back.ann.sib = true;
+        let insts = vec![
+            Inst::new(Op::Nop),
+            Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 3),
+            back,
+            Inst::new(Op::Exit),
+        ];
+        let k = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap();
+        assert_eq!(k.backward_branches(), vec![2]);
+        assert_eq!(k.true_sibs, vec![2]);
+    }
+
+    #[test]
+    fn disasm_roundtrip_smoke() {
+        let mut back = Inst::bra(0);
+        back.guard = Some((Pred(0), true));
+        let insts = vec![
+            Inst::new(Op::Nop),
+            Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 3),
+            back,
+            Inst::new(Op::Exit),
+        ];
+        let k = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap();
+        let d = k.disasm();
+        assert!(d.contains("L0:"), "{d}");
+        assert!(d.contains("bra L0"), "{d}");
+    }
+}

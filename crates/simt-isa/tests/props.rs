@@ -1,0 +1,121 @@
+//! Property-based tests for the ISA crate: assembler/disassembler round
+//! trips and CFG invariants over arbitrary (structured) programs.
+
+use proptest::prelude::*;
+use simt_isa::asm::assemble;
+use simt_isa::builder::KernelBuilder;
+use simt_isa::{CmpOp, Inst, Op, Pred, Reg, Ty, RECONV_EXIT};
+
+/// Generate a structured random kernel: a sequence of blocks, each with a
+/// few ALU ops and ending in a (possibly guarded) branch to a random label
+/// or a fall-through; always ends with exit.
+fn arb_kernel() -> impl Strategy<Value = simt_isa::Kernel> {
+    // (block count, per-block (op choices, branch target choice, guarded))
+    (2usize..8)
+        .prop_flat_map(|nblocks| {
+            let block = (
+                proptest::collection::vec(0u8..5, 1..4),
+                0usize..nblocks,
+                any::<bool>(),
+            );
+            proptest::collection::vec(block, nblocks)
+        })
+        .prop_map(|blocks| {
+            let mut b = KernelBuilder::new("prop");
+            b.regs(8);
+            let n = blocks.len();
+            for (i, (ops, target, guarded)) in blocks.iter().enumerate() {
+                b.label(format!("L{i}"));
+                for (j, &op) in ops.iter().enumerate() {
+                    let dst = Reg((j % 4) as u8);
+                    let inst = match op {
+                        0 => Inst::mov(dst, 1),
+                        1 => Inst::binary(Op::Add(Ty::S32), dst, Reg(1), 2),
+                        2 => Inst::binary(Op::Xor, dst, Reg(2), Reg(3)),
+                        3 => Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 5),
+                        _ => Inst::binary(Op::Shl, dst, Reg(0), 1),
+                    };
+                    b.push(inst);
+                }
+                // Branch to a random block; guarded branches fall through.
+                let r = b.bra_to(format!("L{}", target % n));
+                if *guarded {
+                    r.guard(Pred(0), true);
+                }
+            }
+            b.label(format!("L{n}"));
+            b.push(Inst::new(Op::Exit));
+            // Note: blocks may branch anywhere, including skipping the
+            // exit; the final exit keeps validation happy.
+            b.build().expect("structured kernel builds")
+        })
+}
+
+proptest! {
+    /// Disassembling and reassembling preserves the instruction stream.
+    #[test]
+    fn disasm_reassembles_identically(k in arb_kernel()) {
+        let text = k.disasm();
+        let k2 = assemble(&text).expect("disassembly reassembles");
+        prop_assert_eq!(k.insts.len(), k2.insts.len());
+        for (a, b) in k.insts.iter().zip(&k2.insts) {
+            prop_assert_eq!(a.op, b.op);
+            prop_assert_eq!(&a.srcs, &b.srcs);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.pdst, b.pdst);
+            prop_assert_eq!(a.target, b.target);
+            prop_assert_eq!(a.guard, b.guard);
+            prop_assert_eq!(a.ann, b.ann);
+        }
+    }
+
+    /// Reconvergence points are strictly after their branch for forward
+    /// control flow, or the exit sentinel; and they are block leaders.
+    #[test]
+    fn reconvergence_points_are_valid_pcs(k in arb_kernel()) {
+        for (pc, inst) in k.insts.iter().enumerate() {
+            let r = k.reconv[pc];
+            if inst.op.is_branch() {
+                prop_assert!(r == RECONV_EXIT || r < k.insts.len());
+                if r != RECONV_EXIT {
+                    // A reconvergence point post-dominates: executing from
+                    // the branch the warp must be able to reach it, so it
+                    // can never be the branch itself.
+                    prop_assert_ne!(r, pc);
+                }
+            } else {
+                prop_assert_eq!(r, RECONV_EXIT);
+            }
+        }
+    }
+
+    /// `backward_branches` finds exactly the branches with target <= pc.
+    #[test]
+    fn backward_branch_listing_is_exact(k in arb_kernel()) {
+        let expect: Vec<usize> = k
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(pc, i)| i.op.is_branch() && i.target.unwrap() <= *pc)
+            .map(|(pc, _)| pc)
+            .collect();
+        prop_assert_eq!(k.backward_branches(), expect);
+    }
+
+    /// The assembler rejects garbage without panicking.
+    #[test]
+    fn assembler_never_panics(text in "\\PC{0,200}") {
+        let _ = assemble(&text);
+    }
+
+    /// Immediate parsing round-trips through Display for plain integers.
+    #[test]
+    fn imm_display_roundtrip(v in -4096i32..=4096) {
+        let src = format!(".kernel t\n.regs 4\n mov r1, {v}\n exit\n");
+        let k = assemble(&src).expect("assembles");
+        prop_assert_eq!(k.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
+        let text = k.disasm();
+        let k2 = assemble(&text).expect("reassembles");
+        prop_assert_eq!(k2.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
+    }
+}

@@ -1,0 +1,227 @@
+//! A set-associative cache with true-LRU replacement.
+
+use crate::{line_of, Addr, LINE_BYTES};
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent (the caller decides whether to allocate via
+    /// [`Cache::fill`]).
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    last_use: u64,
+}
+
+/// Set-associative, true-LRU cache directory (tags only — data lives in the
+/// functional [`crate::GlobalMem`]).
+///
+/// Both the per-SM L1D and each L2 partition slice use this type; write
+/// policy (write-through, no write-allocate) is enforced by the caller in
+/// [`crate::MemorySystem`].
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Way>,
+    tick: u64,
+}
+
+impl Cache {
+    /// A cache of `size_bytes` capacity with `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, capacity not a
+    /// multiple of `ways * LINE_BYTES`, or a non-power-of-two set count).
+    pub fn new(size_bytes: u64, ways: usize) -> Cache {
+        assert!(ways > 0, "cache needs at least one way");
+        let lines_total = size_bytes / LINE_BYTES;
+        assert!(
+            lines_total as usize % ways == 0,
+            "capacity {size_bytes} not a multiple of ways*line"
+        );
+        let sets = lines_total as usize / ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        Cache {
+            sets,
+            ways,
+            lines: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    last_use: 0,
+                };
+                sets * ways
+            ],
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, line: Addr) -> usize {
+        ((line / LINE_BYTES) as usize) & (self.sets - 1)
+    }
+
+    /// Probe for the line containing `addr`, updating LRU state on hit.
+    pub fn access(&mut self, addr: Addr) -> AccessOutcome {
+        self.tick += 1;
+        let line = line_of(addr);
+        let set = self.set_of(line);
+        for w in 0..self.ways {
+            let e = &mut self.lines[set * self.ways + w];
+            if e.valid && e.tag == line {
+                e.last_use = self.tick;
+                return AccessOutcome::Hit;
+            }
+        }
+        AccessOutcome::Miss
+    }
+
+    /// Probe without updating LRU state (for instrumentation).
+    pub fn peek(&self, addr: Addr) -> AccessOutcome {
+        let line = line_of(addr);
+        let set = self.set_of(line);
+        for w in 0..self.ways {
+            let e = &self.lines[set * self.ways + w];
+            if e.valid && e.tag == line {
+                return AccessOutcome::Hit;
+            }
+        }
+        AccessOutcome::Miss
+    }
+
+    /// Insert the line containing `addr`, evicting the LRU way if needed.
+    /// Returns the evicted line address, if any.
+    pub fn fill(&mut self, addr: Addr) -> Option<Addr> {
+        self.tick += 1;
+        let line = line_of(addr);
+        let set = self.set_of(line);
+        // Already present (racing fills merge silently).
+        for w in 0..self.ways {
+            let e = &mut self.lines[set * self.ways + w];
+            if e.valid && e.tag == line {
+                e.last_use = self.tick;
+                return None;
+            }
+        }
+        // Free way?
+        let mut victim = 0;
+        let mut victim_use = u64::MAX;
+        for w in 0..self.ways {
+            let e = &self.lines[set * self.ways + w];
+            if !e.valid {
+                victim = w;
+                break;
+            }
+            if e.last_use < victim_use {
+                victim = w;
+                victim_use = e.last_use;
+            }
+        }
+        let e = &mut self.lines[set * self.ways + victim];
+        let evicted = e.valid.then_some(e.tag);
+        e.tag = line;
+        e.valid = true;
+        e.last_use = self.tick;
+        evicted
+    }
+
+    /// Invalidate every line (kernel-launch boundary).
+    pub fn flush(&mut self) {
+        for e in &mut self.lines {
+            e.valid = false;
+        }
+    }
+
+    /// Number of valid lines (test/instrumentation helper).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(16 * 1024, 4);
+        assert_eq!(c.access(0x1000), AccessOutcome::Miss);
+        c.fill(0x1000);
+        assert_eq!(c.access(0x1000), AccessOutcome::Hit);
+        // Same line, different word.
+        assert_eq!(c.access(0x107c), AccessOutcome::Hit);
+        // Next line misses.
+        assert_eq!(c.access(0x1080), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way, small cache: sets = 2*128*2/128/2 ... pick 512B, 2-way => 2 sets.
+        let mut c = Cache::new(512, 2);
+        assert_eq!(c.sets(), 2);
+        // Three lines mapping to set 0: line numbers 0, 2, 4 (even).
+        let l0 = 0;
+        let l2 = 2 * LINE_BYTES;
+        let l4 = 4 * LINE_BYTES;
+        c.fill(l0);
+        c.fill(l2);
+        // Touch l0 so l2 is LRU.
+        assert_eq!(c.access(l0), AccessOutcome::Hit);
+        let evicted = c.fill(l4);
+        assert_eq!(evicted, Some(l2));
+        assert_eq!(c.access(l0), AccessOutcome::Hit);
+        assert_eq!(c.access(l2), AccessOutcome::Miss);
+        assert_eq!(c.access(l4), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = Cache::new(1024, 2); // 8 lines
+        for i in 0..100u64 {
+            c.fill(i * LINE_BYTES);
+        }
+        assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(1024, 2);
+        c.fill(0);
+        c.flush();
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn duplicate_fill_is_idempotent() {
+        let mut c = Cache::new(1024, 2);
+        assert_eq!(c.fill(0), None);
+        assert_eq!(c.fill(0), None);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        // 3 sets.
+        let _ = Cache::new(3 * 2 * LINE_BYTES, 2);
+    }
+}

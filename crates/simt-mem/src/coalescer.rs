@@ -1,0 +1,118 @@
+//! Memory-access coalescing: a warp's lane accesses → line transactions.
+
+use crate::{line_of, Addr};
+
+/// One lane's memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneAccess {
+    /// Lane index within the warp (0..32).
+    pub lane: u8,
+    /// Byte address accessed.
+    pub addr: Addr,
+}
+
+/// A coalesced 128-byte transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Line-aligned address.
+    pub line: Addr,
+    /// Bitmask of lanes participating in this transaction.
+    pub lane_mask: u32,
+}
+
+impl Transaction {
+    /// Number of lanes served by this transaction.
+    pub fn lanes(&self) -> u32 {
+        self.lane_mask.count_ones()
+    }
+}
+
+/// Coalescing unit: groups the active lanes' addresses by cache line,
+/// preserving first-touch order (the order transactions are issued to the
+/// memory system, as on hardware).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coalescer;
+
+impl Coalescer {
+    /// Coalesce a warp's accesses into per-line transactions.
+    pub fn coalesce(accesses: &[LaneAccess]) -> Vec<Transaction> {
+        let mut out: Vec<Transaction> = Vec::new();
+        for a in accesses {
+            let line = line_of(a.addr);
+            match out.iter_mut().find(|t| t.line == line) {
+                Some(t) => t.lane_mask |= 1u32 << a.lane,
+                None => out.push(Transaction {
+                    line,
+                    lane_mask: 1u32 << a.lane,
+                }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LINE_BYTES;
+
+    fn acc(lane: u8, addr: Addr) -> LaneAccess {
+        LaneAccess { lane, addr }
+    }
+
+    #[test]
+    fn unit_stride_coalesces_to_one_line() {
+        let accesses: Vec<_> = (0..32).map(|l| acc(l, 0x1000 + l as u64 * 4)).collect();
+        let txs = Coalescer::coalesce(&accesses);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].line, 0x1000);
+        assert_eq!(txs[0].lane_mask, u32::MAX);
+        assert_eq!(txs[0].lanes(), 32);
+    }
+
+    #[test]
+    fn strided_accesses_fan_out() {
+        // 128-byte stride: every lane its own line.
+        let accesses: Vec<_> = (0..32)
+            .map(|l| acc(l, l as u64 * LINE_BYTES))
+            .collect();
+        let txs = Coalescer::coalesce(&accesses);
+        assert_eq!(txs.len(), 32);
+        for (i, t) in txs.iter().enumerate() {
+            assert_eq!(t.lanes(), 1);
+            assert_eq!(t.line, i as u64 * LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn same_address_merges() {
+        // All lanes hit the same mutex word (the lock-acquire pattern).
+        let accesses: Vec<_> = (0..32).map(|l| acc(l, 0x2000)).collect();
+        let txs = Coalescer::coalesce(&accesses);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].lane_mask, u32::MAX);
+    }
+
+    #[test]
+    fn misaligned_straddle_hits_two_lines() {
+        // Lane 0 at line end, lane 1 in next line.
+        let txs = Coalescer::coalesce(&[acc(0, LINE_BYTES - 4), acc(1, LINE_BYTES)]);
+        assert_eq!(txs.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Coalescer::coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn lane_union_covers_all_inputs() {
+        let accesses: Vec<_> = (0..32).map(|l| acc(l, (l as u64 % 3) * LINE_BYTES)).collect();
+        let txs = Coalescer::coalesce(&accesses);
+        let union: u32 = txs.iter().fold(0, |m, t| m | t.lane_mask);
+        assert_eq!(union, u32::MAX);
+        // Masks are disjoint (each access is word-sized, one line each).
+        let total: u32 = txs.iter().map(|t| t.lanes()).sum();
+        assert_eq!(total, 32);
+    }
+}

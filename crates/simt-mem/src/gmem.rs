@@ -1,0 +1,135 @@
+//! Functional device global memory.
+
+use crate::{Addr, LINE_BYTES};
+
+/// A flat, bump-allocated functional global memory.
+///
+/// Timing is modeled elsewhere; this type only answers "what value does this
+/// word hold". Allocations are line-aligned so distinct buffers never share a
+/// cache line (matching how CUDA allocators behave and keeping experiments
+/// free of false sharing).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMem {
+    data: Vec<u32>,
+    next: Addr,
+}
+
+impl GlobalMem {
+    /// An empty memory.
+    pub fn new() -> GlobalMem {
+        GlobalMem::default()
+    }
+
+    /// Allocate `words` 32-bit words; returns the (line-aligned) base byte
+    /// address. The contents are zero-initialized.
+    pub fn alloc(&mut self, words: u64) -> Addr {
+        let base = self.next;
+        let bytes = words * 4;
+        let aligned = (bytes + LINE_BYTES - 1) & !(LINE_BYTES - 1);
+        self.next += aligned;
+        self.data.resize((self.next / 4) as usize, 0);
+        base
+    }
+
+    /// Total allocated bytes.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next
+    }
+
+    /// Read the word at a 4-byte-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds access — both indicate a kernel
+    /// bug, and failing loudly beats silently corrupting an experiment.
+    #[inline]
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        assert_eq!(addr % 4, 0, "unaligned global read at {addr:#x}");
+        let idx = (addr / 4) as usize;
+        assert!(
+            idx < self.data.len(),
+            "global read out of bounds: {addr:#x} (allocated {:#x})",
+            self.next
+        );
+        self.data[idx]
+    }
+
+    /// Write the word at a 4-byte-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds access.
+    #[inline]
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        assert_eq!(addr % 4, 0, "unaligned global write at {addr:#x}");
+        let idx = (addr / 4) as usize;
+        assert!(
+            idx < self.data.len(),
+            "global write out of bounds: {addr:#x} (allocated {:#x})",
+            self.next
+        );
+        self.data[idx] = value;
+    }
+
+    /// Copy a slice into memory starting at `base`.
+    pub fn write_slice(&mut self, base: Addr, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_u32(base + i as u64 * 4, v);
+        }
+    }
+
+    /// Read `len` words starting at `base`.
+    pub fn read_vec(&self, base: Addr, len: u64) -> Vec<u32> {
+        (0..len).map(|i| self.read_u32(base + i * 4)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(1);
+        let b = m.alloc(33); // 132 bytes -> two lines
+        let c = m.alloc(1);
+        assert_eq!(a % LINE_BYTES, 0);
+        assert_eq!(b % LINE_BYTES, 0);
+        assert_eq!(c % LINE_BYTES, 0);
+        assert_eq!(b, a + LINE_BYTES);
+        assert_eq!(c, b + 2 * LINE_BYTES);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(64);
+        m.write_u32(a + 8, 0xdead_beef);
+        assert_eq!(m.read_u32(a + 8), 0xdead_beef);
+        assert_eq!(m.read_u32(a), 0, "zero initialized");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(8);
+        m.write_slice(a, &[1, 2, 3]);
+        assert_eq!(m.read_vec(a, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = GlobalMem::new();
+        m.read_u32(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_write_panics() {
+        let mut m = GlobalMem::new();
+        m.alloc(4);
+        m.write_u32(2, 1);
+    }
+}

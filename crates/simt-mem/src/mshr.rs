@@ -1,0 +1,105 @@
+//! Miss-status holding registers: merge concurrent misses to the same line.
+
+use crate::Addr;
+use std::collections::HashMap;
+
+/// MSHR file for one cache. Each entry tracks an in-flight line fill and the
+/// opaque request tags waiting on it.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: HashMap<Addr, Vec<u64>>,
+    capacity: usize,
+}
+
+impl Mshr {
+    /// An MSHR file with `capacity` distinct in-flight lines.
+    pub fn new(capacity: usize) -> Mshr {
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// True if a new (non-merging) miss can currently be tracked.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// True if `line` already has an in-flight fill.
+    pub fn pending(&self, line: Addr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Record a miss on `line` for `tag`.
+    ///
+    /// Returns `true` if this allocated a new entry (the caller must send a
+    /// fill request downstream) and `false` if it merged into an existing
+    /// one. Callers should check [`Mshr::has_space`] / [`Mshr::pending`]
+    /// first; allocating past capacity panics.
+    pub fn record(&mut self, line: Addr, tag: u64) -> bool {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(tag);
+            false
+        } else {
+            assert!(
+                self.entries.len() < self.capacity,
+                "MSHR overflow: caller must check has_space()"
+            );
+            self.entries.insert(line, vec![tag]);
+            true
+        }
+    }
+
+    /// The fill for `line` arrived: release and return all waiting tags.
+    pub fn fill(&mut self, line: Addr) -> Vec<u64> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Number of lines currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_release() {
+        let mut m = Mshr::new(4);
+        assert!(m.record(0x100, 1), "first miss allocates");
+        assert!(!m.record(0x100, 2), "second merges");
+        assert!(m.pending(0x100));
+        assert_eq!(m.in_flight(), 1);
+        let tags = m.fill(0x100);
+        assert_eq!(tags, vec![1, 2]);
+        assert!(!m.pending(0x100));
+    }
+
+    #[test]
+    fn capacity_gates_new_entries() {
+        let mut m = Mshr::new(2);
+        m.record(0x000, 1);
+        m.record(0x080, 2);
+        assert!(!m.has_space());
+        // Merging into an existing line is still allowed.
+        assert!(!m.record(0x000, 3));
+        m.fill(0x000);
+        assert!(m.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR overflow")]
+    fn overflow_panics() {
+        let mut m = Mshr::new(1);
+        m.record(0x000, 1);
+        m.record(0x080, 2);
+    }
+
+    #[test]
+    fn fill_unknown_line_is_empty() {
+        let mut m = Mshr::new(1);
+        assert!(m.fill(0x40).is_empty());
+    }
+}

@@ -1,0 +1,988 @@
+//! The cycle-level memory system: per-SM L1s, banked L2 partitions with
+//! atomic units, and DRAM channels.
+
+use crate::{
+    line_of, Addr, AccessOutcome, Cache, GlobalMem, MemConfig, MemStats, Mshr, LINE_BYTES,
+};
+use simt_isa::AtomOp;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Lock-protocol role of an atomic lane operation, for the exact
+/// lock-outcome classification the paper's Figures 2 and 12 report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LockRole {
+    /// Not part of a lock protocol.
+    #[default]
+    None,
+    /// A lock-acquire attempt (CAS whose compare operand is the "free"
+    /// value); success is `old == compare`.
+    Acquire,
+    /// A lock release (the owner is cleared).
+    Release,
+}
+
+/// One lane's atomic operation within a warp-level atomic request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneAtomic {
+    /// Lane index (0..32).
+    pub lane: u8,
+    /// Word address the lane operates on.
+    pub addr: Addr,
+    /// The read-modify-write operation.
+    pub op: AtomOp,
+    /// First operand (CAS compare value / add amount / exchange value...).
+    pub a: u32,
+    /// Second operand (CAS new value; unused otherwise).
+    pub b: u32,
+    /// Lock-protocol role, for outcome statistics.
+    pub role: LockRole,
+    /// Identity of the issuing warp (`sm << 32 | warp`), used to classify
+    /// failed acquires as intra- vs inter-warp.
+    pub holder: u64,
+}
+
+impl LaneAtomic {
+    /// A plain atomic lane op with no lock-protocol role.
+    pub fn new(lane: u8, addr: Addr, op: AtomOp, a: u32, b: u32) -> LaneAtomic {
+        LaneAtomic {
+            lane,
+            addr,
+            op,
+            a,
+            b,
+            role: LockRole::None,
+            holder: 0,
+        }
+    }
+}
+
+/// Kind of a coalesced memory request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReqKind {
+    /// A read of one line. `bypass_l1` models `ld.volatile`, which skips the
+    /// (incoherent) L1 and is serviced at the L2 partition.
+    Load { bypass_l1: bool },
+    /// A write-through of (part of) one line.
+    Store,
+    /// A warp-level atomic: bypasses L1; the lane operations are applied to
+    /// functional memory in lane order at the instant the request is
+    /// serviced by the partition's atomic unit. That service instant is the
+    /// global serialization point that makes inter-warp lock races behave
+    /// as on hardware.
+    Atomic { ops: Vec<LaneAtomic> },
+}
+
+/// A coalesced (single-line) memory request from an SM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Request kind.
+    pub kind: ReqKind,
+    /// Line-aligned address.
+    pub line: Addr,
+    /// Opaque tag returned in the matching [`MemCompletion`].
+    pub tag: u64,
+    /// Statistic annotation: this request is synchronization traffic.
+    pub sync: bool,
+    /// True when this is the *only* request its instruction generated.
+    /// Queue-lock parking is restricted to sole requests: a warp must never
+    /// block on one line while holding locks acquired through a sibling
+    /// request of the same instruction (hold-and-wait would deadlock).
+    pub sole: bool,
+}
+
+impl MemRequest {
+    /// Build a request; `addr` may be any address within the line.
+    pub fn new(kind: ReqKind, addr: Addr, tag: u64) -> MemRequest {
+        MemRequest {
+            kind,
+            line: line_of(addr),
+            tag,
+            sync: false,
+            sole: true,
+        }
+    }
+
+    /// Mark as synchronization traffic (for overhead accounting).
+    pub fn sync(mut self) -> MemRequest {
+        self.sync = true;
+        self
+    }
+}
+
+/// Completion of a [`MemRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemCompletion {
+    /// SM that issued the request.
+    pub sm: usize,
+    /// The request's tag.
+    pub tag: u64,
+    /// For atomics: `(lane, old value)` per lane op, in lane-op order.
+    pub atomic_results: Vec<(u8, u32)>,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A line fill arrives at an SM's L1.
+    L1Fill { sm: usize, line: Addr },
+    /// A request completes back at its SM.
+    Complete(MemCompletion),
+}
+
+#[derive(Debug)]
+struct L1 {
+    cache: Cache,
+    mshr: Mshr,
+    inq: VecDeque<(u64, MemRequest)>,
+}
+
+#[derive(Debug)]
+struct PartReq {
+    sm: usize,
+    req: MemRequest,
+    /// True when this is an L1 miss fill (completion goes via L1Fill).
+    l1_fill: bool,
+}
+
+#[derive(Debug)]
+struct Partition {
+    cache: Cache,
+    inq: VecDeque<(u64, PartReq)>,
+    /// DRAM-bound work: `(earliest_start, Option<request>)`; `None` is a
+    /// fire-and-forget write that only consumes bandwidth.
+    dramq: VecDeque<(u64, Option<PartReq>)>,
+    dram_next_free: u64,
+    /// The atomic unit applies one lane operation per cycle, so a k-lane
+    /// atomic occupies the partition port for k cycles. This is the
+    /// serialization that lets spinning warps' failed CAS traffic delay
+    /// lock holders — the paper's central contention mechanism.
+    port_free: u64,
+}
+
+/// The device memory system shared by all SMs.
+///
+/// Drive it by calling [`MemorySystem::enqueue`] when warps issue memory
+/// instructions and [`MemorySystem::cycle`] once per core cycle.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    gmem: GlobalMem,
+    l1s: Vec<L1>,
+    parts: Vec<Partition>,
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    event_bodies: Vec<Option<Event>>,
+    free_slots: Vec<usize>,
+    seq: u64,
+    stats: MemStats,
+    lock_owners: HashMap<Addr, u64>,
+    /// Idealized queue-based blocking locks (the HQL-style mechanism of
+    /// Yilmazer & Kaeli that the paper compares against, without its cache
+    /// constraints): when enabled, a lock-acquire whose lock is held by
+    /// *another* warp — and whose request has acquired nothing yet — parks
+    /// at the partition instead of failing; the matching release wakes the
+    /// oldest parked request. Deadlock-free as long as programs acquire
+    /// multiple locks in a global order (all bundled workloads do).
+    blocking_locks: bool,
+    parked: HashMap<Addr, VecDeque<PartReq>>,
+}
+
+impl MemorySystem {
+    /// A memory system serving `num_sms` SMs.
+    pub fn new(cfg: MemConfig, num_sms: usize) -> MemorySystem {
+        let l1s = (0..num_sms)
+            .map(|_| L1 {
+                cache: Cache::new(cfg.l1_bytes, cfg.l1_ways),
+                mshr: Mshr::new(cfg.l1_mshrs),
+                inq: VecDeque::new(),
+            })
+            .collect();
+        let parts = (0..cfg.l2_partitions)
+            .map(|_| Partition {
+                cache: Cache::new(cfg.l2_bytes_per_partition, cfg.l2_ways),
+                inq: VecDeque::new(),
+                dramq: VecDeque::new(),
+                dram_next_free: 0,
+                port_free: 0,
+            })
+            .collect();
+        MemorySystem {
+            cfg,
+            gmem: GlobalMem::new(),
+            l1s,
+            parts,
+            events: BinaryHeap::new(),
+            event_bodies: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            stats: MemStats::default(),
+            lock_owners: HashMap::new(),
+            blocking_locks: false,
+            parked: HashMap::new(),
+        }
+    }
+
+    /// Enable idealized queue-based blocking locks (see the field docs).
+    pub fn set_blocking_locks(&mut self, on: bool) {
+        self.blocking_locks = on;
+    }
+
+    /// Parked (blocked) acquire requests currently queued at locks.
+    pub fn parked_requests(&self) -> usize {
+        self.parked.values().map(VecDeque::len).sum()
+    }
+
+    /// Functional global memory.
+    pub fn gmem(&self) -> &GlobalMem {
+        &self.gmem
+    }
+
+    /// Functional global memory, mutable (host-side setup and the SM's
+    /// at-issue load/store semantics).
+    pub fn gmem_mut(&mut self) -> &mut GlobalMem {
+        &mut self.gmem
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// True when no request is in flight anywhere (watchdog support).
+    pub fn quiescent(&self) -> bool {
+        self.events.is_empty()
+            && self.l1s.iter().all(|l| l.inq.is_empty() && l.mshr.in_flight() == 0)
+            && self
+                .parts
+                .iter()
+                .all(|p| p.inq.is_empty() && p.dramq.is_empty())
+    }
+
+    fn partition_of(&self, line: Addr) -> usize {
+        ((line / LINE_BYTES) % self.parts.len() as u64) as usize
+    }
+
+    fn schedule(&mut self, at: u64, ev: Event) {
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.event_bodies[s] = Some(ev);
+                s
+            }
+            None => {
+                self.event_bodies.push(Some(ev));
+                self.event_bodies.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.events.push(Reverse((at, (self.seq << 32) | slot as u64)));
+    }
+
+    /// Submit a coalesced request from `sm` at `cycle`.
+    ///
+    /// Atomics and volatile loads route directly to the owning L2 partition;
+    /// everything else enters the SM's L1 queue.
+    pub fn enqueue(&mut self, sm: usize, req: MemRequest, cycle: u64) {
+        self.stats.total_transactions += 1;
+        if req.sync {
+            self.stats.sync_transactions += 1;
+        }
+        match &req.kind {
+            ReqKind::Atomic { ops } => {
+                self.stats.atomic_transactions += 1;
+                self.stats.atomic_lane_ops += ops.len() as u64;
+                let part = self.partition_of(req.line);
+                let at = cycle + self.cfg.icnt_latency;
+                self.parts[part].inq.push_back((
+                    at,
+                    PartReq {
+                        sm,
+                        req,
+                        l1_fill: false,
+                    },
+                ));
+            }
+            ReqKind::Load { bypass_l1: true } => {
+                let part = self.partition_of(req.line);
+                let at = cycle + self.cfg.icnt_latency;
+                self.parts[part].inq.push_back((
+                    at,
+                    PartReq {
+                        sm,
+                        req,
+                        l1_fill: false,
+                    },
+                ));
+            }
+            _ => {
+                self.l1s[sm].inq.push_back((cycle, req));
+            }
+        }
+    }
+
+    /// Advance one cycle; returns completions that fire this cycle.
+    pub fn cycle(&mut self, now: u64) -> Vec<MemCompletion> {
+        self.step_l1s(now);
+        self.step_partitions(now);
+        self.drain_events(now)
+    }
+
+    fn step_l1s(&mut self, now: u64) {
+        for sm in 0..self.l1s.len() {
+            let mut served = 0;
+            while served < self.cfg.l1_ports {
+                let Some(&(ready, _)) = self.l1s[sm].inq.front() else {
+                    break;
+                };
+                if ready > now {
+                    break;
+                }
+                // MSHR-full loads stall the queue head (models backpressure).
+                let is_load = matches!(
+                    self.l1s[sm].inq.front().unwrap().1.kind,
+                    ReqKind::Load { .. }
+                );
+                if is_load {
+                    let line = self.l1s[sm].inq.front().unwrap().1.line;
+                    let l1 = &mut self.l1s[sm];
+                    if l1.cache.peek(line) == AccessOutcome::Miss
+                        && !l1.mshr.pending(line)
+                        && !l1.mshr.has_space()
+                    {
+                        break;
+                    }
+                }
+                let (_, req) = self.l1s[sm].inq.pop_front().expect("checked front");
+                self.service_l1(sm, req, now);
+                served += 1;
+            }
+        }
+    }
+
+    fn service_l1(&mut self, sm: usize, req: MemRequest, now: u64) {
+        self.stats.l1_accesses += 1;
+        let line = req.line;
+        match req.kind {
+            ReqKind::Load { .. } => {
+                let l1 = &mut self.l1s[sm];
+                if l1.cache.access(line) == AccessOutcome::Hit {
+                    self.stats.l1_hits += 1;
+                    let done = now + self.cfg.l1_hit_latency;
+                    self.schedule(
+                        done,
+                        Event::Complete(MemCompletion {
+                            sm,
+                            tag: req.tag,
+                            atomic_results: Vec::new(),
+                        }),
+                    );
+                } else {
+                    self.stats.l1_misses += 1;
+                    let allocated = l1.mshr.record(line, req.tag);
+                    if allocated {
+                        let part = self.partition_of(line);
+                        let at = now + self.cfg.icnt_latency;
+                        self.parts[part].inq.push_back((
+                            at,
+                            PartReq {
+                                sm,
+                                req,
+                                l1_fill: true,
+                            },
+                        ));
+                    }
+                }
+            }
+            ReqKind::Store => {
+                // Write-through, no write-allocate: probe for stats, always
+                // forward to the partition; completion happens there.
+                let l1 = &mut self.l1s[sm];
+                if l1.cache.access(line) == AccessOutcome::Hit {
+                    self.stats.l1_hits += 1;
+                } else {
+                    self.stats.l1_misses += 1;
+                }
+                let part = self.partition_of(line);
+                let at = now + self.cfg.icnt_latency;
+                self.parts[part].inq.push_back((
+                    at,
+                    PartReq {
+                        sm,
+                        req,
+                        l1_fill: false,
+                    },
+                ));
+            }
+            ReqKind::Atomic { .. } => unreachable!("atomics bypass L1"),
+        }
+    }
+
+    fn step_partitions(&mut self, now: u64) {
+        for p in 0..self.parts.len() {
+            // DRAM channel: start at most one service per `dram_interval`.
+            while let Some(&(earliest, _)) = self.parts[p].dramq.front() {
+                let part = &mut self.parts[p];
+                if earliest > now || part.dram_next_free > now {
+                    break;
+                }
+                part.dram_next_free = now + self.cfg.dram_interval;
+                let (_, body) = part.dramq.pop_front().expect("checked front");
+                if let Some(preq) = body {
+                    let done = now + self.cfg.dram_latency;
+                    self.finish_at_partition(p, preq, done);
+                } else {
+                    self.stats.dram_writes += 1;
+                }
+            }
+            // L2 service ports; the atomic unit may still be draining a
+            // previous multi-lane atomic.
+            let mut served = 0;
+            while served < self.cfg.l2_ports {
+                if self.parts[p].port_free > now {
+                    break;
+                }
+                let Some(&(ready, _)) = self.parts[p].inq.front() else {
+                    break;
+                };
+                if ready > now {
+                    break;
+                }
+                let (_, preq) = self.parts[p].inq.pop_front().expect("checked front");
+                if let ReqKind::Atomic { ops } = &preq.req.kind {
+                    self.parts[p].port_free = now + ops.len() as u64;
+                }
+                self.service_partition(p, preq, now);
+                served += 1;
+            }
+        }
+    }
+
+    fn service_partition(&mut self, p: usize, preq: PartReq, now: u64) {
+        self.stats.l2_accesses += 1;
+        let line = preq.req.line;
+        let hit = self.parts[p].cache.access(line) == AccessOutcome::Hit;
+        if hit {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+        }
+        match preq.req.kind {
+            ReqKind::Store => {
+                // Write-through to DRAM (bandwidth only), complete now+L2 lat.
+                let done = now + self.cfg.l2_hit_latency;
+                self.schedule(
+                    done,
+                    Event::Complete(MemCompletion {
+                        sm: preq.sm,
+                        tag: preq.req.tag,
+                        atomic_results: Vec::new(),
+                    }),
+                );
+                self.parts[p].dramq.push_back((now, None));
+            }
+            ReqKind::Load { .. } | ReqKind::Atomic { .. } => {
+                if hit {
+                    let done = now + self.cfg.l2_hit_latency;
+                    self.finish_at_partition(p, preq, done);
+                } else {
+                    self.stats.dram_reads += 1;
+                    self.parts[p].cache.fill(line);
+                    self.parts[p].dramq.push_back((now, Some(preq)));
+                }
+            }
+        }
+    }
+
+    /// A load/atomic finished its L2/DRAM access at `done`; apply side
+    /// effects and send the response toward the SM.
+    fn finish_at_partition(&mut self, _p: usize, preq: PartReq, done: u64) {
+        let back = done + self.cfg.icnt_latency;
+        match preq.req.kind {
+            ReqKind::Load { .. } => {
+                if preq.l1_fill {
+                    self.schedule(
+                        back,
+                        Event::L1Fill {
+                            sm: preq.sm,
+                            line: preq.req.line,
+                        },
+                    );
+                } else {
+                    self.schedule(
+                        back,
+                        Event::Complete(MemCompletion {
+                            sm: preq.sm,
+                            tag: preq.req.tag,
+                            atomic_results: Vec::new(),
+                        }),
+                    );
+                }
+            }
+            ReqKind::Atomic { ref ops } => {
+                // Idealized blocking locks: a pure-acquire request that
+                // would succeed on no lane — and whose locks are all held
+                // by *other* warps — parks until a release wakes it.
+                // Requests park only while holding nothing, so there is no
+                // hold-and-wait and no deadlock.
+                if self.blocking_locks
+                    && preq.req.sole
+                    && ops.iter().all(|o| o.role == LockRole::Acquire)
+                {
+                    let would_succeed = ops
+                        .iter()
+                        .any(|o| self.gmem.read_u32(o.addr) == o.a);
+                    let intra = ops.iter().any(|o| {
+                        self.lock_owners.get(&o.addr) == Some(&o.holder)
+                    });
+                    if !would_succeed && !intra {
+                        let park_on = ops[0].addr;
+                        self.parked.entry(park_on).or_default().push_back(preq);
+                        return;
+                    }
+                }
+                let ReqKind::Atomic { ops } = preq.req.kind else {
+                    unreachable!()
+                };
+                // Serialization point: apply lane ops in order against
+                // functional memory, capturing old values.
+                let mut results = Vec::with_capacity(ops.len());
+                let mut released: Vec<Addr> = Vec::new();
+                for op in &ops {
+                    let old = self.gmem.read_u32(op.addr);
+                    let new = op.op.apply(old, op.a, op.b);
+                    self.gmem.write_u32(op.addr, new);
+                    match op.role {
+                        LockRole::Acquire => {
+                            if old == op.a {
+                                self.stats.lock_success += 1;
+                                self.lock_owners.insert(op.addr, op.holder);
+                            } else if self.lock_owners.get(&op.addr) == Some(&op.holder) {
+                                self.stats.lock_intra_fail += 1;
+                            } else {
+                                self.stats.lock_inter_fail += 1;
+                            }
+                        }
+                        LockRole::Release => {
+                            self.lock_owners.remove(&op.addr);
+                            released.push(op.addr);
+                        }
+                        LockRole::None => {}
+                    }
+                    results.push((op.lane, old));
+                }
+                // Releases wake the oldest parked acquirer (it re-enters
+                // the partition queue and re-arbitrates for the port).
+                for addr in released {
+                    let waiter = match self.parked.get_mut(&addr) {
+                        Some(q) => {
+                            let w = q.pop_front();
+                            if q.is_empty() {
+                                self.parked.remove(&addr);
+                            }
+                            w
+                        }
+                        None => None,
+                    };
+                    if let Some(waiter) = waiter {
+                        let part = self.partition_of(waiter.req.line);
+                        self.parts[part].inq.push_back((done, waiter));
+                    }
+                }
+                self.schedule(
+                    back,
+                    Event::Complete(MemCompletion {
+                        sm: preq.sm,
+                        tag: preq.req.tag,
+                        atomic_results: results,
+                    }),
+                );
+            }
+            ReqKind::Store => unreachable!("stores complete at service"),
+        }
+    }
+
+    fn drain_events(&mut self, now: u64) -> Vec<MemCompletion> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((at, key))) = self.events.peek() {
+            if at > now {
+                break;
+            }
+            self.events.pop();
+            let slot = (key & 0xffff_ffff) as usize;
+            let ev = self.event_bodies[slot].take().expect("event slot live");
+            self.free_slots.push(slot);
+            match ev {
+                Event::Complete(c) => out.push(c),
+                Event::L1Fill { sm, line } => {
+                    let l1 = &mut self.l1s[sm];
+                    l1.cache.fill(line);
+                    for tag in l1.mshr.fill(line) {
+                        out.push(MemCompletion {
+                            sm,
+                            tag,
+                            atomic_results: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until(mem: &mut MemorySystem, mut now: u64, horizon: u64) -> (u64, Vec<MemCompletion>) {
+        let mut all = Vec::new();
+        while now < horizon {
+            let done = mem.cycle(now);
+            if !done.is_empty() {
+                return (now, done);
+            }
+            all.extend(done);
+            now += 1;
+        }
+        (now, all)
+    }
+
+    fn new_mem() -> MemorySystem {
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let base = mem.gmem_mut().alloc(1024);
+        assert_eq!(base, 0);
+        mem
+    }
+
+    #[test]
+    fn cold_load_miss_then_hit() {
+        let mut mem = new_mem();
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 0, 1),
+            0,
+        );
+        let (t_miss, done) = run_until(&mut mem, 0, 100_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        let cfg = MemConfig::default();
+        // Miss path: icnt + L2 (miss→DRAM) + icnt at least.
+        assert!(t_miss >= cfg.icnt_latency + cfg.dram_latency);
+
+        // Second load to the same line: L1 hit, much faster.
+        let start = t_miss + 1;
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 4, 2),
+            start,
+        );
+        let (t_hit, done) = run_until(&mut mem, start, start + 100_000);
+        assert_eq!(done[0].tag, 2);
+        assert_eq!(t_hit - start, cfg.l1_hit_latency);
+        assert!(t_hit - start < t_miss);
+        assert_eq!(mem.stats().l1_hits, 1);
+        assert_eq!(mem.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn mshr_merges_same_line() {
+        let mut mem = new_mem();
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 0, 1),
+            0,
+        );
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 8, 2),
+            0,
+        );
+        let mut now = 0;
+        let mut tags = Vec::new();
+        while tags.len() < 2 && now < 100_000 {
+            tags.extend(mem.cycle(now).into_iter().map(|c| c.tag));
+            now += 1;
+        }
+        assert_eq!(tags, vec![1, 2], "both complete on the single fill");
+        assert_eq!(mem.stats().dram_reads, 1, "only one DRAM read");
+    }
+
+    #[test]
+    fn volatile_load_bypasses_l1() {
+        let mut mem = new_mem();
+        // Warm the L1.
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 0, 1),
+            0,
+        );
+        let (t1, _) = run_until(&mut mem, 0, 100_000);
+        let l1_accesses = mem.stats().l1_accesses;
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: true }, 0, 2),
+            t1 + 1,
+        );
+        let (_, done) = run_until(&mut mem, t1 + 1, t1 + 100_000);
+        assert_eq!(done[0].tag, 2);
+        assert_eq!(mem.stats().l1_accesses, l1_accesses, "L1 untouched");
+        assert!(mem.stats().l2_accesses >= 2);
+    }
+
+    #[test]
+    fn atomic_applies_at_service_in_lane_order() {
+        let mut mem = new_mem();
+        mem.gmem_mut().write_u32(0, 0);
+        // Two lanes CAS the same mutex: exactly one wins.
+        let ops = vec![
+            LaneAtomic::new(0, 0, AtomOp::Cas, 0, 1),
+            LaneAtomic::new(1, 0, AtomOp::Cas, 0, 1),
+        ];
+        mem.enqueue(0, MemRequest::new(ReqKind::Atomic { ops }, 0, 9), 0);
+        let (_, done) = run_until(&mut mem, 0, 100_000);
+        assert_eq!(done[0].atomic_results, vec![(0, 0), (1, 1)]);
+        assert_eq!(mem.gmem().read_u32(0), 1);
+        assert_eq!(mem.stats().atomic_transactions, 1);
+        assert_eq!(mem.stats().atomic_lane_ops, 2);
+    }
+
+    #[test]
+    fn two_warps_cas_serialize_by_queue_order() {
+        let mut mem = new_mem();
+        // SM0 and SM1 both try to take the lock at cycle 0.
+        for (sm, tag) in [(0usize, 10u64), (1, 11)] {
+            let ops = vec![LaneAtomic::new(0, 0, AtomOp::Cas, 0, 1)];
+            mem.enqueue(sm, MemRequest::new(ReqKind::Atomic { ops }, 0, tag), 0);
+        }
+        let mut now = 0;
+        let mut got = Vec::new();
+        while got.len() < 2 && now < 100_000 {
+            got.extend(mem.cycle(now));
+            now += 1;
+        }
+        let winners: Vec<_> = got
+            .iter()
+            .filter(|c| c.atomic_results[0].1 == 0)
+            .collect();
+        assert_eq!(winners.len(), 1, "exactly one CAS wins the inter-SM race");
+        assert_eq!(mem.gmem().read_u32(0), 1);
+    }
+
+    #[test]
+    fn store_completes_and_consumes_dram_bandwidth() {
+        let mut mem = new_mem();
+        mem.enqueue(0, MemRequest::new(ReqKind::Store, 0, 5), 0);
+        let (_, done) = run_until(&mut mem, 0, 100_000);
+        assert_eq!(done[0].tag, 5);
+        // Drain the fire-and-forget DRAM write.
+        let mut now = 0;
+        while !mem.quiescent() && now < 100_000 {
+            mem.cycle(now);
+            now += 1;
+        }
+        assert_eq!(mem.stats().dram_writes, 1);
+    }
+
+    #[test]
+    fn dram_bandwidth_limits_throughput() {
+        let cfg = MemConfig {
+            l2_partitions: 1,
+            ..MemConfig::default()
+        };
+        let interval = cfg.dram_interval;
+        let mut mem = MemorySystem::new(cfg, 1);
+        mem.gmem_mut().alloc(100_000);
+        // 16 loads to distinct lines, all missing L2, same partition.
+        for i in 0..16u64 {
+            mem.enqueue(
+                0,
+                MemRequest::new(ReqKind::Load { bypass_l1: true }, i * LINE_BYTES, i),
+                0,
+            );
+        }
+        let mut now = 0;
+        let mut times = Vec::new();
+        while times.len() < 16 && now < 1_000_000 {
+            for c in mem.cycle(now) {
+                times.push((now, c.tag));
+            }
+            now += 1;
+        }
+        assert_eq!(times.len(), 16);
+        // Completions must be spaced by at least the DRAM interval.
+        for w in times.windows(2) {
+            assert!(w[1].0 - w[0].0 >= interval, "{:?}", times);
+        }
+    }
+
+    #[test]
+    fn sync_transactions_counted() {
+        let mut mem = new_mem();
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 0, 1).sync(),
+            0,
+        );
+        mem.enqueue(0, MemRequest::new(ReqKind::Store, 256, 2), 0);
+        assert_eq!(mem.stats().total_transactions, 2);
+        assert_eq!(mem.stats().sync_transactions, 1);
+    }
+
+    #[test]
+    fn lock_outcome_classification() {
+        let mut mem = new_mem();
+        let acquire = |holder: u64| {
+            let mut op = LaneAtomic::new(0, 0, AtomOp::Cas, 0, 1);
+            op.role = LockRole::Acquire;
+            op.holder = holder;
+            op
+        };
+        let release = |holder: u64| {
+            let mut op = LaneAtomic::new(0, 0, AtomOp::Exch, 0, 0);
+            op.role = LockRole::Release;
+            op.holder = holder;
+            op
+        };
+        let run = |mem: &mut MemorySystem, start: u64| -> u64 {
+            let mut now = start;
+            while now < start + 100_000 {
+                if !mem.cycle(now).is_empty() {
+                    return now + 1;
+                }
+                now += 1;
+            }
+            panic!("no completion");
+        };
+        // Warp A acquires (success).
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Atomic { ops: vec![acquire(1)] }, 0, 1),
+            0,
+        );
+        let t = run(&mut mem, 0);
+        // Warp A retries (intra-warp fail), warp B tries (inter-warp fail).
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Atomic { ops: vec![acquire(1)] }, 0, 2),
+            t,
+        );
+        let t = run(&mut mem, t);
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Atomic { ops: vec![acquire(2)] }, 0, 3),
+            t,
+        );
+        let t = run(&mut mem, t);
+        // A releases; B acquires (success).
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Atomic { ops: vec![release(1)] }, 0, 4),
+            t,
+        );
+        let t = run(&mut mem, t);
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Atomic { ops: vec![acquire(2)] }, 0, 5),
+            t,
+        );
+        run(&mut mem, t);
+        let s = mem.stats();
+        assert_eq!(s.lock_success, 2);
+        assert_eq!(s.lock_intra_fail, 1);
+        assert_eq!(s.lock_inter_fail, 1);
+    }
+
+    #[test]
+    fn blocking_locks_park_and_wake_in_order() {
+        let mut mem = new_mem();
+        mem.set_blocking_locks(true);
+        let acquire = |holder: u64, tag: u64| {
+            let mut op = LaneAtomic::new(0, 0, AtomOp::Cas, 0, 1);
+            op.role = LockRole::Acquire;
+            op.holder = holder;
+            MemRequest::new(ReqKind::Atomic { ops: vec![op] }, 0, tag)
+        };
+        let release = |holder: u64, tag: u64| {
+            let mut op = LaneAtomic::new(0, 0, AtomOp::Exch, 0, 0);
+            op.role = LockRole::Release;
+            op.holder = holder;
+            MemRequest::new(ReqKind::Atomic { ops: vec![op] }, 0, tag)
+        };
+        // Warp 1 takes the lock; warps 2 and 3 park (in that order).
+        mem.enqueue(0, acquire(1, 10), 0);
+        mem.enqueue(0, acquire(2, 20), 1);
+        mem.enqueue(0, acquire(3, 30), 2);
+        let mut done: Vec<u64> = Vec::new();
+        let mut now = 0;
+        while done.len() < 1 && now < 100_000 {
+            done.extend(mem.cycle(now).into_iter().map(|c| c.tag));
+            now += 1;
+        }
+        assert_eq!(done, vec![10], "only the winner completes");
+        assert_eq!(mem.parked_requests(), 2, "the losers are parked, not spinning");
+        // Release: warp 2 wakes and completes with the lock.
+        mem.enqueue(0, release(1, 11), now);
+        while done.len() < 3 && now < 100_000 {
+            done.extend(mem.cycle(now).into_iter().map(|c| c.tag));
+            now += 1;
+        }
+        assert_eq!(done, vec![10, 11, 20], "FIFO hand-off to warp 2");
+        assert_eq!(mem.parked_requests(), 1);
+        assert_eq!(mem.stats().lock_inter_fail, 0, "no spin failures at all");
+        // Warp 2 releases; warp 3 gets it.
+        mem.enqueue(0, release(2, 21), now);
+        while done.len() < 5 && now < 200_000 {
+            done.extend(mem.cycle(now).into_iter().map(|c| c.tag));
+            now += 1;
+        }
+        assert_eq!(done, vec![10, 11, 20, 21, 30]);
+        assert_eq!(mem.parked_requests(), 0);
+        assert_eq!(mem.stats().lock_success, 3);
+    }
+
+    #[test]
+    fn blocking_locks_nack_non_sole_requests() {
+        let mut mem = new_mem();
+        mem.set_blocking_locks(true);
+        // Take the lock.
+        let mut op = LaneAtomic::new(0, 0, AtomOp::Cas, 0, 1);
+        op.role = LockRole::Acquire;
+        op.holder = 1;
+        mem.enqueue(0, MemRequest::new(ReqKind::Atomic { ops: vec![op] }, 0, 1), 0);
+        let mut now = 0;
+        while mem.cycle(now).is_empty() && now < 100_000 {
+            now += 1;
+        }
+        // A second acquire marked non-sole must fail normally (spin), not park.
+        let mut op2 = op;
+        op2.holder = 2;
+        let mut req = MemRequest::new(ReqKind::Atomic { ops: vec![op2] }, 0, 2);
+        req.sole = false;
+        mem.enqueue(0, req, now);
+        let mut got = Vec::new();
+        while got.is_empty() && now < 200_000 {
+            got.extend(mem.cycle(now));
+            now += 1;
+        }
+        assert_eq!(got[0].tag, 2, "non-sole request completes with a failure");
+        assert_eq!(got[0].atomic_results[0].1, 1, "CAS observed the held lock");
+        assert_eq!(mem.parked_requests(), 0);
+        assert_eq!(mem.stats().lock_inter_fail, 1);
+    }
+
+    #[test]
+    fn quiescent_reflects_inflight_work() {
+        let mut mem = new_mem();
+        assert!(mem.quiescent());
+        mem.enqueue(
+            0,
+            MemRequest::new(ReqKind::Load { bypass_l1: false }, 0, 1),
+            0,
+        );
+        assert!(!mem.quiescent());
+        let mut now = 0;
+        while !mem.quiescent() && now < 100_000 {
+            mem.cycle(now);
+            now += 1;
+        }
+        assert!(mem.quiescent());
+    }
+}

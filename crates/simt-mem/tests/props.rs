@@ -1,0 +1,145 @@
+//! Property-based tests for the memory hierarchy: cache bounds and LRU
+//! equivalence against a reference model, coalescer invariants, MSHR
+//! bookkeeping, and end-to-end request conservation.
+
+use proptest::prelude::*;
+use simt_mem::{
+    line_of, AccessOutcome, Cache, Coalescer, LaneAccess, MemConfig, MemRequest, MemorySystem,
+    Mshr, ReqKind, LINE_BYTES,
+};
+
+proptest! {
+    /// The cache never exceeds its capacity and agrees with a simple
+    /// reference LRU model on hits and misses.
+    #[test]
+    fn cache_matches_reference_lru(
+        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        // 8 lines, 2-way => 4 sets.
+        let mut c = Cache::new(8 * LINE_BYTES, 2);
+        let sets = 4usize;
+        // Reference: per set, a Vec kept in LRU order (front = MRU).
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for (line_no, is_fill) in ops {
+            let addr = line_no * LINE_BYTES;
+            let set = (line_no as usize) % sets;
+            if is_fill {
+                c.fill(addr);
+                let s = &mut model[set];
+                if let Some(pos) = s.iter().position(|&l| l == line_no) {
+                    s.remove(pos);
+                } else if s.len() == 2 {
+                    s.pop();
+                }
+                s.insert(0, line_no);
+            } else {
+                let got = c.access(addr);
+                let s = &mut model[set];
+                let expect = if let Some(pos) = s.iter().position(|&l| l == line_no) {
+                    let v = s.remove(pos);
+                    s.insert(0, v);
+                    AccessOutcome::Hit
+                } else {
+                    AccessOutcome::Miss
+                };
+                prop_assert_eq!(got, expect, "line {}", line_no);
+            }
+            prop_assert!(c.occupancy() <= 8);
+        }
+    }
+
+    /// Coalescing covers every input lane exactly once and produces at most
+    /// one transaction per distinct line.
+    #[test]
+    fn coalescer_partitions_lanes(
+        addrs in proptest::collection::vec(0u64..(1 << 16), 1..32)
+    ) {
+        let accesses: Vec<LaneAccess> = addrs
+            .iter()
+            .enumerate()
+            .map(|(l, &a)| LaneAccess { lane: l as u8, addr: a })
+            .collect();
+        let txs = Coalescer::coalesce(&accesses);
+        // Each lane appears in exactly one transaction.
+        let union: u32 = txs.iter().fold(0, |m, t| m | t.lane_mask);
+        let total: u32 = txs.iter().map(|t| t.lane_mask.count_ones()).sum();
+        prop_assert_eq!(union.count_ones(), accesses.len() as u32);
+        prop_assert_eq!(total, accesses.len() as u32);
+        // Transactions have distinct, line-aligned addresses containing
+        // their lanes' addresses.
+        for (i, t) in txs.iter().enumerate() {
+            prop_assert_eq!(t.line % LINE_BYTES, 0);
+            for u in &txs[i + 1..] {
+                prop_assert_ne!(t.line, u.line);
+            }
+        }
+        for a in &accesses {
+            let line = line_of(a.addr);
+            let t = txs.iter().find(|t| t.line == line).expect("line present");
+            prop_assert!(t.lane_mask & (1 << a.lane) != 0);
+        }
+    }
+
+    /// MSHR: fills release exactly the recorded tags, in order, and
+    /// occupancy tracks distinct lines.
+    #[test]
+    fn mshr_releases_what_was_recorded(
+        ops in proptest::collection::vec((0u64..8, 0u64..1000), 1..100)
+    ) {
+        let mut m = Mshr::new(8);
+        let mut model: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for (line_no, tag) in ops {
+            let line = line_no * LINE_BYTES;
+            if m.pending(line) || m.has_space() {
+                m.record(line, tag);
+                model.entry(line).or_default().push(tag);
+            }
+            prop_assert_eq!(m.in_flight(), model.len());
+        }
+        let lines: Vec<u64> = model.keys().copied().collect();
+        for line in lines {
+            let got = m.fill(line);
+            prop_assert_eq!(got, model.remove(&line).unwrap());
+        }
+        prop_assert_eq!(m.in_flight(), 0);
+    }
+
+    /// Every enqueued load/store/atomic completes exactly once, regardless
+    /// of the mix, and the system goes quiescent.
+    #[test]
+    fn memory_system_conserves_requests(
+        reqs in proptest::collection::vec((0u64..64, 0u8..3, any::<bool>()), 1..60)
+    ) {
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        mem.gmem_mut().alloc(64 * 32);
+        let mut expected: Vec<u64> = Vec::new();
+        for (i, (line_no, kind, sm1)) in reqs.iter().enumerate() {
+            let addr = line_no * LINE_BYTES;
+            let tag = i as u64;
+            let kind = match kind {
+                0 => ReqKind::Load { bypass_l1: false },
+                1 => ReqKind::Store,
+                _ => ReqKind::Atomic {
+                    ops: vec![simt_mem::LaneAtomic::new(
+                        0,
+                        addr,
+                        simt_isa::AtomOp::Add,
+                        1,
+                        0,
+                    )],
+                },
+            };
+            mem.enqueue(usize::from(*sm1), MemRequest::new(kind, addr, tag), 0);
+            expected.push(tag);
+        }
+        let mut completed: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        while (!mem.quiescent() || completed.len() < expected.len()) && now < 200_000 {
+            completed.extend(mem.cycle(now).into_iter().map(|c| c.tag));
+            now += 1;
+        }
+        completed.sort_unstable();
+        prop_assert_eq!(completed, expected);
+        prop_assert!(mem.quiescent());
+    }
+}

@@ -1,0 +1,256 @@
+//! The benchmark suite of the HPCA 2018 BOWS paper, reimplemented for the
+//! `bows-sim` simulator.
+//!
+//! Two families:
+//!
+//! * [`sync_suite`] — the eight busy-wait-synchronization kernels of
+//!   Section V: **TB** and **ST** (BarnesHut tree-build and sort), **DS**
+//!   (cloth-physics distance solver, nested locks), **ATM** (bank transfers,
+//!   nested locks), **HT** (chained hashtable, Figure 1a), **TSP**
+//!   (lane-serialized global lock), **NW1/NW2** (wavefront wait-and-signal).
+//! * [`rodinia_suite`] — fourteen synchronization-free kernels with the
+//!   Rodinia loop shapes that matter to DDOS (unit-increment `for` loops,
+//!   power-of-two increments as in Merge Sort / Heart Wall, data-dependent
+//!   trip counts, float stencils).
+//!
+//! Every workload verifies its functional output after simulation, so
+//! scheduler/detector bugs that break mutual exclusion are caught, not
+//! averaged away.
+
+pub mod rodinia;
+pub mod sync;
+mod util;
+
+pub use util::Lcg;
+
+use simt_core::{
+    BasePolicy, DetectorFactory, Gpu, GpuConfig, KernelReport, LaunchSpec, PolicyFactory,
+    SimError, SimStats,
+};
+use simt_isa::Kernel;
+use simt_mem::MemStats;
+
+/// Relative problem sizing. GPGPU-Sim-scale inputs would take hours per run
+/// in any software simulator; these presets keep contention (threads : locks)
+/// paper-like while bounding runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long unit-test sizes.
+    Tiny,
+    /// Default experiment sizes (used by the `experiments` binaries).
+    Small,
+    /// Larger runs for final numbers.
+    Full,
+}
+
+/// One kernel launch within a workload.
+pub struct Stage {
+    /// The assembled kernel.
+    pub kernel: Kernel,
+    /// Launch geometry.
+    pub launch: LaunchSpec,
+}
+
+/// A prepared workload: device memory is initialized, kernels are ready.
+pub struct Prepared {
+    /// Kernels to run in order (NW runs two).
+    pub stages: Vec<Stage>,
+    /// Functional verification against host-side expectations.
+    #[allow(clippy::type_complexity)]
+    pub verify: Box<dyn Fn(&Gpu) -> Result<(), String>>,
+}
+
+/// A benchmark from the paper's suite.
+pub trait Workload {
+    /// Paper name ("HT", "ATM", ..., or a Rodinia analog name).
+    fn name(&self) -> &'static str;
+
+    /// True for the busy-wait synchronization kernels.
+    fn is_sync(&self) -> bool {
+        true
+    }
+
+    /// Allocate and initialize device memory; return the launch plan.
+    fn prepare(&self, gpu: &mut Gpu) -> Prepared;
+}
+
+/// Per-stage measurement within a [`WorkloadResult`].
+pub struct StageResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Ground-truth spin-inducing branches (instruction indices).
+    pub true_sibs: Vec<usize>,
+    /// All backward branches (the DDOS candidate set).
+    pub backward_branches: Vec<usize>,
+    /// The simulator's report.
+    pub report: KernelReport,
+}
+
+/// Everything measured over one workload run.
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// Per-kernel results.
+    pub stages: Vec<StageResult>,
+    /// Total cycles across stages.
+    pub cycles: u64,
+    /// Aggregated core stats.
+    pub sim: SimStats,
+    /// Aggregated memory stats.
+    pub mem: MemStats,
+    /// Total dynamic energy, joules.
+    pub dynamic_j: f64,
+    /// Functional verification outcome.
+    pub verified: Result<(), String>,
+}
+
+impl WorkloadResult {
+    /// Milliseconds at the configured clock.
+    pub fn time_ms(&self, cfg: &GpuConfig) -> f64 {
+        cfg.cycles_to_ms(self.cycles)
+    }
+}
+
+/// Run `workload` on a fresh GPU of configuration `cfg` under the given
+/// scheduler and detector factories.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any stage (deadlock, cycle limit, bad
+/// launch).
+pub fn run_workload(
+    cfg: &GpuConfig,
+    workload: &dyn Workload,
+    policy_factory: &PolicyFactory<'_>,
+    detector_factory: &DetectorFactory<'_>,
+) -> Result<WorkloadResult, SimError> {
+    let mut gpu = Gpu::new(cfg.clone());
+    let prepared = workload.prepare(&mut gpu);
+    let mut stages = Vec::new();
+    let mut sim = SimStats::default();
+    let mut mem = MemStats::default();
+    let mut cycles = 0;
+    let mut dynamic_j = 0.0;
+    for stage in &prepared.stages {
+        let report = gpu.run(&stage.kernel, &stage.launch, policy_factory, detector_factory)?;
+        cycles += report.cycles;
+        sim.add(&report.sim);
+        mem.add(&report.mem);
+        dynamic_j += report.energy.dynamic_j();
+        stages.push(StageResult {
+            kernel: stage.kernel.name.clone(),
+            true_sibs: stage.kernel.true_sibs.clone(),
+            backward_branches: stage.kernel.backward_branches(),
+            report,
+        });
+    }
+    let verified = (prepared.verify)(&gpu);
+    Ok(WorkloadResult {
+        name: workload.name().to_string(),
+        stages,
+        cycles,
+        sim,
+        mem,
+        dynamic_j,
+        verified,
+    })
+}
+
+/// Shorthand: run under a baseline policy with the static (oracle) SIB
+/// detector.
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_baseline(
+    cfg: &GpuConfig,
+    workload: &dyn Workload,
+    policy: BasePolicy,
+) -> Result<WorkloadResult, SimError> {
+    let rotate = cfg.gto_rotate_period;
+    run_workload(
+        cfg,
+        workload,
+        &move || policy.build(rotate),
+        &|k: &Kernel| {
+            if k.true_sibs.is_empty() {
+                Box::new(simt_core::NullDetector)
+            } else {
+                Box::new(simt_core::StaticSibDetector::new(k.true_sibs.clone()))
+            }
+        },
+    )
+}
+
+/// The paper's eight busy-wait synchronization kernels, in Figure-2 order:
+/// TB, ST, DS, ATM, HT, TSP, NW1, NW2.
+pub fn sync_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(sync::tb::TreeBuild::new(scale)),
+        Box::new(sync::st::SortSignal::new(scale)),
+        Box::new(sync::ds::DistanceSolver::new(scale)),
+        Box::new(sync::atm::BankTransfer::new(scale)),
+        Box::new(sync::ht::Hashtable::new(scale)),
+        Box::new(sync::tsp::Tsp::new(scale)),
+        Box::new(sync::nw::NeedlemanWunsch::new(scale, false)),
+        Box::new(sync::nw::NeedlemanWunsch::new(scale, true)),
+    ]
+}
+
+/// Fourteen synchronization-free Rodinia-analog kernels.
+pub fn rodinia_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    rodinia::suite(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_cardinality() {
+        assert_eq!(sync_suite(Scale::Tiny).len(), 8);
+        assert_eq!(rodinia_suite(Scale::Tiny).len(), 14);
+    }
+
+    #[test]
+    fn suite_names_match_figure2() {
+        let names: Vec<&str> = sync_suite(Scale::Tiny).iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["TB", "ST", "DS", "ATM", "HT", "TSP", "NW1", "NW2"]
+        );
+    }
+
+    #[test]
+    fn sync_workloads_have_ground_truth_sibs() {
+        let cfg = GpuConfig::test_tiny();
+        for w in sync_suite(Scale::Tiny) {
+            let mut gpu = Gpu::new(cfg.clone());
+            let p = w.prepare(&mut gpu);
+            let has_sib = p.stages.iter().any(|s| !s.kernel.true_sibs.is_empty());
+            assert!(has_sib, "{} must annotate its spin branches", w.name());
+        }
+    }
+
+    #[test]
+    fn rodinia_workloads_have_no_sibs_but_have_loops() {
+        let cfg = GpuConfig::test_tiny();
+        for w in rodinia_suite(Scale::Tiny) {
+            let mut gpu = Gpu::new(cfg.clone());
+            let p = w.prepare(&mut gpu);
+            for s in &p.stages {
+                assert!(
+                    s.kernel.true_sibs.is_empty(),
+                    "{} is sync-free",
+                    w.name()
+                );
+                assert!(
+                    !s.kernel.backward_branches().is_empty(),
+                    "{} should contain loops (the DDOS candidate set)",
+                    w.name()
+                );
+            }
+            assert!(!w.is_sync());
+        }
+    }
+}

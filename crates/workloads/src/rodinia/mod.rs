@@ -1,0 +1,690 @@
+//! Fourteen synchronization-free kernels with the Rodinia loop shapes that
+//! matter to DDOS (paper Sections IV-B, VI-B and Figure 14).
+//!
+//! Each kernel's result is verified bit-exactly against a host replay that
+//! performs the identical operations in the identical order, so these
+//! double as functional tests of the ALU/memory model. None of them has a
+//! spin loop — any SIB the detector reports on them is a *false detection*
+//! (Table I's FSDR / Figure 14's MODULO-hash slowdowns).
+//!
+//! The loop-shape inventory:
+//!
+//! | kernel | shape DDOS sees |
+//! |---|---|
+//! | KM (kmeans)        | unit-increment copy loop (the paper's Fig. 7c) |
+//! | MS (merge sort)    | **+256 stride** loop — aliases under MODULO k=8 |
+//! | HL (heart wall)    | **+512 stride** loop — aliases under MODULO k=8 |
+//! | BFS                | data-dependent frontier values |
+//! | HS (hotspot)       | stencil with changing accumulator |
+//! | LUD                | triangular (thread-varying) trip count |
+//! | NN                 | f32 distance reduction |
+//! | PF (pathfinder)    | DP sweep with memory-fed `setp` values |
+//! | SRAD               | f32 iterative update |
+//! | BP (backprop)      | nested unit loops |
+//! | BT (b+tree)        | pointer chase, values from memory |
+//! | GE (gaussian)      | nested elimination loops |
+//! | LC (leukocyte)     | convolution window |
+//! | SC (streamcluster) | running-min distance loop |
+
+use crate::util::Lcg;
+use crate::{Prepared, Scale, Stage, Workload};
+use simt_core::{Gpu, LaunchSpec};
+use simt_isa::asm::assemble;
+use simt_isa::Kernel;
+
+/// Identifies one of the fourteen sync-free kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RodiniaKind {
+    Kmeans,
+    MergeSort,
+    HeartWall,
+    Bfs,
+    Hotspot,
+    Lud,
+    Nn,
+    Pathfinder,
+    Srad,
+    Backprop,
+    BplusTree,
+    Gaussian,
+    Leukocyte,
+    StreamCluster,
+}
+
+impl RodiniaKind {
+    /// All fourteen, in a fixed order.
+    pub const ALL: [RodiniaKind; 14] = [
+        RodiniaKind::Kmeans,
+        RodiniaKind::MergeSort,
+        RodiniaKind::HeartWall,
+        RodiniaKind::Bfs,
+        RodiniaKind::Hotspot,
+        RodiniaKind::Lud,
+        RodiniaKind::Nn,
+        RodiniaKind::Pathfinder,
+        RodiniaKind::Srad,
+        RodiniaKind::Backprop,
+        RodiniaKind::BplusTree,
+        RodiniaKind::Gaussian,
+        RodiniaKind::Leukocyte,
+        RodiniaKind::StreamCluster,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RodiniaKind::Kmeans => "KM",
+            RodiniaKind::MergeSort => "MS",
+            RodiniaKind::HeartWall => "HL",
+            RodiniaKind::Bfs => "BFS",
+            RodiniaKind::Hotspot => "HS",
+            RodiniaKind::Lud => "LUD",
+            RodiniaKind::Nn => "NN",
+            RodiniaKind::Pathfinder => "PF",
+            RodiniaKind::Srad => "SRAD",
+            RodiniaKind::Backprop => "BP",
+            RodiniaKind::BplusTree => "BT",
+            RodiniaKind::Gaussian => "GE",
+            RodiniaKind::Leukocyte => "LC",
+            RodiniaKind::StreamCluster => "SC",
+        }
+    }
+}
+
+/// A sync-free workload instance.
+#[derive(Debug, Clone)]
+pub struct RodiniaWorkload {
+    /// Which kernel.
+    pub kind: RodiniaKind,
+    /// Threads across the grid.
+    pub threads: usize,
+    /// Inner-loop trip count.
+    pub len: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: usize,
+}
+
+/// The full fourteen-kernel suite at a given scale.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    RodiniaKind::ALL
+        .iter()
+        .map(|&kind| Box::new(RodiniaWorkload::new(kind, scale)) as Box<dyn Workload>)
+        .collect()
+}
+
+impl RodiniaWorkload {
+    /// A kernel at paper-shaped (scaled) sizes.
+    pub fn new(kind: RodiniaKind, scale: Scale) -> RodiniaWorkload {
+        let (threads, len, tpc) = match scale {
+            Scale::Tiny => (128, 12, 128),
+            Scale::Small => (12288, 48, 256),
+            Scale::Full => (24576, 96, 256),
+        };
+        RodiniaWorkload {
+            kind,
+            threads,
+            len,
+            threads_per_cta: tpc,
+        }
+    }
+
+    fn kernel(&self) -> Kernel {
+        let src = kernel_source(self.kind);
+        assemble(&src).unwrap_or_else(|e| panic!("{} kernel: {e}", self.kind.name()))
+    }
+
+    /// Host replay of `out[t]`, given the input array.
+    fn host(&self, input: &[u32], t: u32) -> u32 {
+        let len = self.len;
+        let n = input.len() as u32;
+        let at = |i: u32| input[(i % n) as usize];
+        let f = f32::from_bits;
+        match self.kind {
+            RodiniaKind::Kmeans => {
+                // Unit-increment accumulate of len elements from t*len.
+                let mut acc = 0u32;
+                for i in 0..len {
+                    acc = acc.wrapping_add(at(t.wrapping_mul(len).wrapping_add(i)));
+                }
+                acc
+            }
+            RodiniaKind::MergeSort => {
+                // Byte-offset loop: off += 256 (the MODULO-aliasing stride).
+                let mut acc = 0u32;
+                let mut off = 0u32;
+                while off < len * 256 {
+                    acc = acc.wrapping_add(at(t.wrapping_add(off >> 8)).wrapping_add(off));
+                    off += 256;
+                }
+                acc
+            }
+            RodiniaKind::HeartWall => {
+                let mut acc = 0u32;
+                let mut off = 0u32;
+                while off < len * 512 {
+                    acc ^= at(t.wrapping_add(off >> 9)).wrapping_add(off);
+                    off += 512;
+                }
+                acc
+            }
+            RodiniaKind::Bfs => {
+                // Pseudo frontier walk: next = graph[cur % n] until len hops.
+                let mut cur = t;
+                for _ in 0..len {
+                    cur = at(cur).wrapping_add(1);
+                }
+                cur
+            }
+            RodiniaKind::Hotspot => {
+                let mut temp = at(t);
+                for i in 0..len {
+                    let l = at(t.wrapping_add(i));
+                    let r = at(t.wrapping_add(i).wrapping_add(1));
+                    temp = temp
+                        .wrapping_add(l.wrapping_add(r) >> 2)
+                        .wrapping_sub(temp >> 3);
+                }
+                temp
+            }
+            RodiniaKind::Lud => {
+                // Triangular: trip count depends on tid.
+                let trips = t % len + 1;
+                let mut acc = 1u32;
+                for i in 0..trips {
+                    acc = acc.wrapping_mul(at(i).wrapping_or_one());
+                }
+                acc
+            }
+            RodiniaKind::Nn => {
+                let mut acc = 0f32;
+                for i in 0..len {
+                    let d = f(at(t.wrapping_add(i))) - f(at(i));
+                    // The device `mad.f32` is modeled unfused (two
+                    // roundings), so replay it the same way.
+                    let sq = d * d;
+                    acc += sq;
+                }
+                acc.sqrt().to_bits()
+            }
+            RodiniaKind::Pathfinder => {
+                let mut best = at(t);
+                for i in 0..len {
+                    let a = at(t.wrapping_add(i));
+                    let b = at(t.wrapping_add(i).wrapping_add(1));
+                    let m = a.min(b);
+                    best = best.wrapping_add(m);
+                }
+                best
+            }
+            RodiniaKind::Srad => {
+                let mut x = f(at(t)).abs() + 1.0;
+                for _ in 0..len {
+                    x = x + (10.0 - x) * 0.25;
+                }
+                x.to_bits()
+            }
+            RodiniaKind::Backprop => {
+                let mut acc = 0u32;
+                for i in 0..len / 4 + 1 {
+                    for j in 0..4u32 {
+                        acc = acc.wrapping_add(at(i * 4 + j).wrapping_mul(t.wrapping_add(j)));
+                    }
+                }
+                acc
+            }
+            RodiniaKind::BplusTree => {
+                let mut node = t % n;
+                for _ in 0..len {
+                    node = at(node) % n;
+                }
+                node
+            }
+            RodiniaKind::Gaussian => {
+                let mut acc = at(t);
+                for i in 1..len {
+                    let pivot = at(i) | 1;
+                    acc = acc.wrapping_sub(acc / pivot);
+                }
+                acc
+            }
+            RodiniaKind::Leukocyte => {
+                let mut acc = 0u32;
+                for k in 0..len {
+                    acc = acc.wrapping_add(at(t.wrapping_add(k)).wrapping_mul(k + 1));
+                }
+                acc
+            }
+            RodiniaKind::StreamCluster => {
+                let mut best = u32::MAX;
+                for i in 0..len {
+                    let d = at(t.wrapping_add(i)) ^ t;
+                    best = best.min(d);
+                }
+                best
+            }
+        }
+    }
+}
+
+trait OrOne {
+    fn wrapping_or_one(self) -> Self;
+}
+
+impl OrOne for u32 {
+    fn wrapping_or_one(self) -> u32 {
+        self | 1
+    }
+}
+
+/// Assembly for each kernel. Conventions: param[0] = out, param[4] = input,
+/// param[8] = len, param[12] = n (input length, power of two for masking).
+fn kernel_source(kind: RodiniaKind) -> String {
+    let prologue = r#"
+                ld.param r1, [0]     ; out
+                ld.param r2, [4]     ; input
+                ld.param r3, [8]     ; len
+                ld.param r4, [12]    ; n (power of two)
+                sub r5, r4, 1        ; index mask
+                mov r6, %gtid
+    "#;
+    let epilogue = r#"
+                shl r20, r6, 2
+                add r20, r1, r20
+                st.global [r20], r19
+                exit
+    "#;
+    let body = match kind {
+        RodiniaKind::Kmeans => {
+            // The paper's Figure 7c loop: unit-increment induction variable
+            // feeding the setp.
+            r#"
+                mul r7, r6, r3       ; base = t*len
+                mov r8, 0            ; i
+                mov r19, 0           ; acc
+            BB2:
+                add r9, r7, r8
+                and r9, r9, r5
+                shl r9, r9, 2
+                add r9, r2, r9
+                ld.global r10, [r9]
+                add r19, r19, r10
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra BB2
+            "#
+        }
+        RodiniaKind::MergeSort => {
+            // Power-of-two byte-stride loop: `off` steps by 256, so its low
+            // 8 bits are constant — MODULO hashing (k=8) cannot see it
+            // change and falsely detects spinning (Figure 14).
+            r#"
+                mov r8, 0            ; off
+                shl r9, r3, 8        ; bound = len*256
+                mov r19, 0
+            MLOOP:
+                shr r10, r8, 8
+                add r10, r6, r10
+                and r10, r10, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                add r11, r11, r8
+                add r19, r19, r11
+                add r8, r8, 256
+                setp.lt.s32 p4, r8, r9
+            @p4 bra MLOOP
+            "#
+        }
+        RodiniaKind::HeartWall => {
+            r#"
+                mov r8, 0            ; off, steps by 512
+                shl r9, r3, 9
+                mov r19, 0
+            HLOOP:
+                shr r10, r8, 9
+                add r10, r6, r10
+                and r10, r10, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                add r11, r11, r8
+                xor r19, r19, r11
+                add r8, r8, 512
+                setp.lt.s32 p4, r8, r9
+            @p4 bra HLOOP
+            "#
+        }
+        RodiniaKind::Bfs => {
+            r#"
+                mov r19, r6          ; cur
+                mov r8, 0
+            BLOOP:
+                and r10, r19, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r19, [r10]
+                add r19, r19, 1
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra BLOOP
+            "#
+        }
+        RodiniaKind::Hotspot => {
+            r#"
+                and r10, r6, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r19, [r10] ; temp = input[t]
+                mov r8, 0
+            SLOOP:
+                add r11, r6, r8
+                and r12, r11, r5
+                shl r12, r12, 2
+                add r12, r2, r12
+                ld.global r13, [r12] ; left
+                add r14, r11, 1
+                and r14, r14, r5
+                shl r14, r14, 2
+                add r14, r2, r14
+                ld.global r15, [r14] ; right
+                add r16, r13, r15
+                shr r16, r16, 2
+                shr r17, r19, 3
+                add r19, r19, r16
+                sub r19, r19, r17
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra SLOOP
+            "#
+        }
+        RodiniaKind::Lud => {
+            r#"
+                rem.u32 r7, r6, r3
+                add r7, r7, 1        ; trips = t % len + 1
+                mov r8, 0
+                mov r19, 1
+            LLOOP:
+                and r10, r8, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                or r11, r11, 1
+                mul r19, r19, r11
+                add r8, r8, 1
+                setp.lt.u32 p4, r8, r7
+            @p4 bra LLOOP
+            "#
+        }
+        RodiniaKind::Nn => {
+            r#"
+                mov r8, 0
+                mov r19, 0           ; acc (f32 0.0)
+            NLOOP:
+                add r10, r6, r8
+                and r10, r10, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                and r12, r8, r5
+                shl r12, r12, 2
+                add r12, r2, r12
+                ld.global r13, [r12]
+                sub.f32 r14, r11, r13
+                mad.f32 r19, r14, r14, r19
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra NLOOP
+                sqrt.f32 r19, r19
+            "#
+        }
+        RodiniaKind::Pathfinder => {
+            r#"
+                and r10, r6, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r19, [r10] ; best = input[t]
+                mov r8, 0
+            PLOOP:
+                add r11, r6, r8
+                and r12, r11, r5
+                shl r12, r12, 2
+                add r12, r2, r12
+                ld.global r13, [r12]
+                add r14, r11, 1
+                and r14, r14, r5
+                shl r14, r14, 2
+                add r14, r2, r14
+                ld.global r15, [r14]
+                min.u32 r16, r13, r15
+                add r19, r19, r16
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra PLOOP
+            "#
+        }
+        RodiniaKind::Srad => {
+            // x = |input[t]| + 1.0; len times: x += (10 - x) * 0.25.
+            r#"
+                and r10, r6, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                and r11, r11, 0x7fffffff   ; fabs
+                mov r12, 1.0
+                add.f32 r19, r11, r12
+                mov r13, 10.0
+                mov r14, 0.25
+                mov r8, 0
+            RLOOP:
+                sub.f32 r15, r13, r19
+                mad.f32 r19, r15, r14, r19
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra RLOOP
+            "#
+        }
+        RodiniaKind::Backprop => {
+            r#"
+                div r7, r3, 4
+                add r7, r7, 1        ; outer trips = len/4 + 1
+                mov r8, 0            ; i
+                mov r19, 0
+            OUTERL:
+                mov r9, 0            ; j
+            INNERL:
+                shl r10, r8, 2
+                add r10, r10, r9     ; i*4 + j
+                and r10, r10, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                add r12, r6, r9
+                mul r11, r11, r12
+                add r19, r19, r11
+                add r9, r9, 1
+                setp.lt.s32 p3, r9, 4
+            @p3 bra INNERL
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r7
+            @p4 bra OUTERL
+            "#
+        }
+        RodiniaKind::BplusTree => {
+            r#"
+                rem.u32 r19, r6, r4  ; node = t % n
+                mov r8, 0
+            TLOOP:
+                shl r10, r19, 2
+                add r10, r2, r10
+                ld.global r19, [r10]
+                rem.u32 r19, r19, r4
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra TLOOP
+            "#
+        }
+        RodiniaKind::Gaussian => {
+            r#"
+                and r10, r6, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r19, [r10] ; acc = input[t]
+                mov r8, 1
+            GLOOP:
+                and r10, r8, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                or r11, r11, 1       ; pivot
+                div.u32 r12, r19, r11
+                sub r19, r19, r12
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra GLOOP
+            "#
+        }
+        RodiniaKind::Leukocyte => {
+            r#"
+                mov r8, 0
+                mov r19, 0
+            CLOOP:
+                add r10, r6, r8
+                and r10, r10, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                add r12, r8, 1
+                mul r11, r11, r12
+                add r19, r19, r11
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra CLOOP
+            "#
+        }
+        RodiniaKind::StreamCluster => {
+            r#"
+                mov r8, 0
+                mov r19, -1          ; best = u32::MAX
+            DLOOP:
+                add r10, r6, r8
+                and r10, r10, r5
+                shl r10, r10, 2
+                add r10, r2, r10
+                ld.global r11, [r10]
+                xor r11, r11, r6
+                min.u32 r19, r19, r11
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r3
+            @p4 bra DLOOP
+            "#
+        }
+    };
+    format!(
+        ".kernel rodinia_{}\n.regs 24\n.params 4\n{prologue}\n{body}\n{epilogue}",
+        kind.name().to_lowercase()
+    )
+}
+
+impl Workload for RodiniaWorkload {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn is_sync(&self) -> bool {
+        false
+    }
+
+    fn prepare(&self, gpu: &mut Gpu) -> Prepared {
+        // Input array: power-of-two length, LCG-filled. NN/SRAD interpret
+        // entries as f32, so fill with small positive floats for them.
+        let n: u64 = 1024;
+        let float_input = matches!(self.kind, RodiniaKind::Nn | RodiniaKind::Srad);
+        let mut lcg = Lcg::new(0x5eed);
+        let input_host: Vec<u32> = (0..n)
+            .map(|_| {
+                let v = lcg.next_u32();
+                if float_input {
+                    ((v % 1000) as f32 / 100.0).to_bits()
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let g = gpu.mem_mut().gmem_mut();
+        let out = g.alloc(self.threads as u64);
+        let input = g.alloc(n);
+        g.write_slice(input, &input_host);
+        let launch = LaunchSpec {
+            grid_ctas: self.threads.div_ceil(self.threads_per_cta),
+            threads_per_cta: self.threads_per_cta,
+            params: vec![out as u32, input as u32, self.len, n as u32],
+        };
+        let spec = self.clone();
+        let verify = Box::new(move |gpu: &Gpu| -> Result<(), String> {
+            let g = gpu.mem().gmem();
+            for t in 0..spec.threads as u32 {
+                let got = g.read_u32(out + t as u64 * 4);
+                let expect = spec.host(&input_host, t);
+                if got != expect {
+                    return Err(format!(
+                        "{}: out[{t}] = {got:#x}, expected {expect:#x}",
+                        spec.kind.name()
+                    ));
+                }
+            }
+            Ok(())
+        });
+        Prepared {
+            stages: vec![Stage {
+                kernel: self.kernel(),
+                launch,
+            }],
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_baseline;
+    use simt_core::{BasePolicy, GpuConfig};
+
+    #[test]
+    fn all_fourteen_assemble() {
+        for kind in RodiniaKind::ALL {
+            let w = RodiniaWorkload::new(kind, Scale::Tiny);
+            let k = w.kernel();
+            assert!(k.true_sibs.is_empty(), "{}", kind.name());
+            assert!(!k.backward_branches().is_empty(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn all_fourteen_verify_bit_exact() {
+        let cfg = GpuConfig::test_tiny();
+        for kind in RodiniaKind::ALL {
+            let mut w = RodiniaWorkload::new(kind, Scale::Tiny);
+            w.threads = 64;
+            w.threads_per_cta = 64;
+            let res = run_baseline(&cfg, &w, BasePolicy::Gto).unwrap();
+            res.verified
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn merge_sort_stride_is_modulo_blind() {
+        // The defining property for Figure 14: MS's setp source steps by
+        // 256, invisible in its low 8 bits.
+        let w = RodiniaWorkload::new(RodiniaKind::MergeSort, Scale::Tiny);
+        let k = w.kernel();
+        // Find `add r8, r8, 256`.
+        let has_stride = k.insts.iter().any(|i| {
+            i.op == simt_isa::Op::Add(simt_isa::Ty::S32)
+                && i.srcs.get(1) == Some(&simt_isa::Operand::Imm(256))
+        });
+        assert!(has_stride);
+    }
+}

@@ -1,0 +1,254 @@
+//! ATM — bank transfers between two accounts under two nested locks
+//! (the paper's Figure 6a pattern, from the GPU-TM benchmark).
+
+use crate::util::Lcg;
+use crate::{Prepared, Scale, Stage, Workload};
+use simt_core::{Gpu, LaunchSpec};
+use simt_isa::asm::assemble;
+use simt_isa::Kernel;
+
+/// The ATM workload: `threads` threads each perform `per_thread`
+/// transactions between LCG-chosen accounts.
+#[derive(Debug, Clone)]
+pub struct BankTransfer {
+    /// Total threads.
+    pub threads: usize,
+    /// Transactions per thread.
+    pub per_thread: usize,
+    /// Account (and lock) count.
+    pub accounts: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: usize,
+}
+
+impl BankTransfer {
+    /// Paper-shaped defaults (paper: 122 K transactions, 24 K threads,
+    /// 1000 accounts — roughly 24 threads per account).
+    pub fn new(scale: Scale) -> BankTransfer {
+        let (threads, per_thread, accounts, tpc) = match scale {
+            Scale::Tiny => (128, 2, 8, 128),
+            // ~24 threads per account, as in the paper's 24 K threads on
+            // 1000 accounts.
+            Scale::Small => (12288, 2, 512, 256),
+            Scale::Full => (24576, 3, 1024, 256),
+        };
+        BankTransfer {
+            threads,
+            per_thread,
+            accounts,
+            threads_per_cta: tpc,
+        }
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(
+        threads: usize,
+        per_thread: usize,
+        accounts: u32,
+        threads_per_cta: usize,
+    ) -> BankTransfer {
+        BankTransfer {
+            threads,
+            per_thread,
+            accounts,
+            threads_per_cta,
+        }
+    }
+
+    /// Replays the device's account selection for transaction `i` of
+    /// thread `t`: returns (from, to, amount).
+    pub fn host_txn(&self, t: u32, i: u32) -> (u32, u32, u32) {
+        let mut s = t + 1;
+        for _ in 0..=i {
+            s = Lcg::step(s);
+        }
+        let from = s % self.accounts;
+        let s2 = Lcg::step(s);
+        let mut to = s2 % self.accounts;
+        if to == from {
+            to = (to + 1) % self.accounts;
+        }
+        let amount = (s2 >> 16) % 10;
+        (from, to, amount)
+    }
+
+    fn kernel(&self) -> Kernel {
+        // Figure 6a, literally: try lock1; on success try lock2; on inner
+        // failure release lock1 and retry the whole transaction. The locks
+        // are taken in account order, but the retry-with-release pattern is
+        // what prevents both deadlock and SIMT-induced deadlock.
+        assemble(
+            r#"
+            .kernel atm_transfer
+            .regs 26
+            .params 4
+                ld.param r1, [0]     ; locks
+                ld.param r2, [4]     ; balances
+                ld.param r3, [8]     ; accounts
+                ld.param r4, [12]    ; per-thread transactions
+                mov r5, %gtid
+                add r6, r5, 1        ; lcg state
+                mov r7, 0            ; i
+            OUTER:
+                mad r6, r6, 1664525, 1013904223
+                rem.u32 r8, r6, r3            ; from
+                mad r9, r6, 1664525, 1013904223   ; s2 (state NOT advanced)
+                rem.u32 r10, r9, r3           ; to
+                setp.ne.s32 p1, r10, r8
+            @p1 bra DISTINCT
+                add r10, r10, 1
+                rem.u32 r10, r10, r3
+            DISTINCT:
+                shr r11, r9, 16
+                rem.u32 r11, r11, 10          ; amount
+                ; Take the two locks in account order (min first) — the
+                ; usual deadlock-avoidance discipline; the retry-on-inner-
+                ; failure pattern of Figure 6a is unchanged.
+                min.u32 r24, r8, r10
+                max.u32 r25, r8, r10
+                shl r12, r24, 2
+                add r12, r1, r12              ; &locks[lo]
+                shl r13, r25, 2
+                add r13, r1, r13              ; &locks[hi]
+                shl r14, r8, 2
+                add r14, r2, r14              ; &balances[from]
+                shl r15, r10, 2
+                add r15, r2, r15              ; &balances[to]
+                mov r16, 0                    ; done = false
+            SPIN:
+                atom.global.cas r17, [r12], 0, 1 !acquire !sync
+                setp.eq.s32 p2, r17, 0 !sync
+            @!p2 bra SKIP
+                atom.global.cas r18, [r13], 0, 1 !acquire !sync
+                setp.eq.s32 p3, r18, 0 !sync
+            @!p3 bra INNERFAIL
+                ; critical section: move `amount` from -> to
+                ld.global.volatile r19, [r14]
+                sub r19, r19, r11
+                st.global [r14], r19
+                ld.global.volatile r20, [r15]
+                add r20, r20, r11
+                st.global [r15], r20
+                membar
+                atom.global.exch r21, [r13], 0 !release !sync
+                atom.global.exch r22, [r12], 0 !release !sync
+                mov r16, 1
+                bra SKIP
+            INNERFAIL:
+                atom.global.exch r23, [r12], 0 !release !sync
+            SKIP:
+                setp.eq.s32 p4, r16, 0 !sync
+            @p4 bra SPIN !sib !sync
+                add r7, r7, 1
+                setp.lt.s32 p5, r7, r4
+            @p5 bra OUTER
+                exit
+            "#,
+        )
+        .expect("ATM kernel assembles")
+    }
+}
+
+impl Workload for BankTransfer {
+    fn name(&self) -> &'static str {
+        "ATM"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu) -> Prepared {
+        const INITIAL_BALANCE: u32 = 1000;
+        let accounts = self.accounts as u64;
+        let g = gpu.mem_mut().gmem_mut();
+        let locks = g.alloc(accounts);
+        let balances = g.alloc(accounts);
+        for a in 0..accounts {
+            g.write_u32(balances + a * 4, INITIAL_BALANCE);
+        }
+        let launch = LaunchSpec {
+            grid_ctas: self.threads.div_ceil(self.threads_per_cta),
+            threads_per_cta: self.threads_per_cta,
+            params: vec![
+                locks as u32,
+                balances as u32,
+                self.accounts,
+                self.per_thread as u32,
+            ],
+        };
+        let spec = self.clone();
+        let verify = Box::new(move |gpu: &Gpu| -> Result<(), String> {
+            let g = gpu.mem().gmem();
+            // Exact check: replay every transaction on the host. Transfers
+            // commute (addition), so the final balances are order-invariant.
+            let mut expect = vec![INITIAL_BALANCE; spec.accounts as usize];
+            for t in 0..spec.threads as u32 {
+                for i in 0..spec.per_thread as u32 {
+                    let (from, to, amount) = spec.host_txn(t, i);
+                    expect[from as usize] = expect[from as usize].wrapping_sub(amount);
+                    expect[to as usize] = expect[to as usize].wrapping_add(amount);
+                }
+            }
+            let mut sum = 0u64;
+            for a in 0..accounts {
+                let v = g.read_u32(balances + a * 4);
+                sum += v as u64;
+                if v != expect[a as usize] {
+                    return Err(format!(
+                        "account {a}: balance {v} != expected {} (lost transfer)",
+                        expect[a as usize]
+                    ));
+                }
+            }
+            let expected_sum = accounts * INITIAL_BALANCE as u64;
+            if sum != expected_sum {
+                return Err(format!("money not conserved: {sum} != {expected_sum}"));
+            }
+            Ok(())
+        });
+        Prepared {
+            stages: vec![Stage {
+                kernel: self.kernel(),
+                launch,
+            }],
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_baseline;
+    use simt_core::{BasePolicy, GpuConfig};
+
+    #[test]
+    fn kernel_has_one_sib_and_nested_acquires() {
+        let k = BankTransfer::new(Scale::Tiny).kernel();
+        assert_eq!(k.true_sibs.len(), 1);
+        let acquires = k.insts.iter().filter(|i| i.ann.acquire).count();
+        assert_eq!(acquires, 2, "two nested lock acquires");
+        let releases = k.insts.iter().filter(|i| i.ann.release).count();
+        assert_eq!(releases, 3, "two on success + one on inner failure");
+    }
+
+    #[test]
+    fn transfers_conserve_and_match_replay() {
+        let atm = BankTransfer::with_params(128, 2, 4, 64); // high contention
+        let res = run_baseline(&GpuConfig::test_tiny(), &atm, BasePolicy::Gto).unwrap();
+        res.verified.as_ref().expect("balances exact");
+        assert!(
+            res.mem.lock_inter_fail + res.mem.lock_intra_fail > 0,
+            "contended nested locks must fail sometimes"
+        );
+    }
+
+    #[test]
+    fn host_txn_never_self_transfer() {
+        let atm = BankTransfer::new(Scale::Tiny);
+        for t in 0..64 {
+            for i in 0..2 {
+                let (from, to, _) = atm.host_txn(t, i);
+                assert_ne!(from, to);
+                assert!(from < atm.accounts && to < atm.accounts);
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! HT — chained hashtable insertion under per-bucket spin locks
+//! (the paper's Figure 1a kernel, from CUDA by Example).
+
+use crate::util::Lcg;
+use crate::{Prepared, Scale, Stage, Workload};
+use simt_core::{Gpu, LaunchSpec};
+use simt_isa::asm::assemble;
+use simt_isa::Kernel;
+
+/// Kernel variants used by different experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HtMode {
+    /// The Figure 1a spin-lock kernel.
+    Normal,
+    /// Figure 3a: software back-off delay (clock-polling loop) on the
+    /// failure path; `factor` is the DELAY_FACTOR multiplied by the CTA id.
+    SwBackoff { factor: u32 },
+    /// Figure 16's "ideal blocking" proxy: the lock always succeeds on the
+    /// first attempt (no spin loop). Functionally racy by construction —
+    /// only its dynamic instruction count is meaningful, so verification is
+    /// skipped in this mode.
+    IdealNoLock,
+}
+
+/// The HT workload.
+#[derive(Debug, Clone)]
+pub struct Hashtable {
+    /// Total threads across the grid.
+    pub threads: usize,
+    /// Insertions per thread.
+    pub per_thread: usize,
+    /// Hashtable bucket (and lock) count — the contention knob of
+    /// Figures 1, 3 and 16.
+    pub buckets: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: usize,
+    /// Kernel variant.
+    pub mode: HtMode,
+}
+
+impl Hashtable {
+    /// Paper-shaped defaults at the given scale (threads : buckets ≈ 40:1,
+    /// as in the paper's 40 K threads on 1024 buckets).
+    pub fn new(scale: Scale) -> Hashtable {
+        let (threads, per_thread, buckets, tpc) = match scale {
+            Scale::Tiny => (256, 2, 8, 128),
+            // 12288 threads / 256 buckets = 48 threads per lock, close to
+            // the paper's 40 K threads on 1024 buckets; 256-thread CTAs as
+            // in Figure 1's measurement setup. This fully subscribes the
+            // GTX480 (48 CTAs of 8 warps on 15 SMs, several waves).
+            Scale::Small => (12288, 2, 256, 256),
+            Scale::Full => (24576, 4, 1024, 256),
+        };
+        Hashtable {
+            threads,
+            per_thread,
+            buckets,
+            threads_per_cta: tpc,
+            mode: HtMode::Normal,
+        }
+    }
+
+    /// Fully parameterized constructor (contention sweeps).
+    pub fn with_params(
+        threads: usize,
+        per_thread: usize,
+        buckets: u32,
+        threads_per_cta: usize,
+    ) -> Hashtable {
+        Hashtable {
+            threads,
+            per_thread,
+            buckets,
+            threads_per_cta,
+            mode: HtMode::Normal,
+        }
+    }
+
+    /// Select a kernel variant.
+    pub fn with_mode(mut self, mode: HtMode) -> Hashtable {
+        self.mode = mode;
+        self
+    }
+
+    /// Total insertions.
+    pub fn insertions(&self) -> usize {
+        self.threads * self.per_thread
+    }
+
+    fn kernel(&self) -> Kernel {
+        let body = match self.mode {
+            HtMode::Normal => NORMAL_SPIN.to_string(),
+            HtMode::SwBackoff { .. } => SW_BACKOFF_SPIN.to_string(),
+            HtMode::IdealNoLock => IDEAL_BODY.to_string(),
+        };
+        let src = format!(
+            r#"
+            .kernel ht_insert
+            .regs 26
+            .params 6
+                ld.param r1, [0]       ; locks
+                ld.param r2, [4]       ; heads
+                ld.param r3, [8]       ; node pool
+                ld.param r4, [12]      ; buckets
+                ld.param r5, [16]      ; insertions per thread
+                ld.param r25, [20]     ; sw back-off delay factor
+                mov r6, %gtid
+                add r7, r6, 1          ; key state = gtid + 1
+                mov r8, 0              ; i = 0
+                mul r23, r25, %ctaid   ; per-CTA delay bound (Figure 3a)
+            OUTER:
+                mad r7, r7, 1664525, 1013904223   ; key = lcg(key)
+                rem.u32 r9, r7, r4                ; hash
+                shl r10, r9, 2
+                add r10, r1, r10                  ; &locks[hash]
+                mul r11, r6, r5
+                add r11, r11, r8                  ; node index
+                shl r12, r11, 3
+                add r12, r3, r12                  ; &pool[node]
+                st.global [r12], r7               ; node.key = key
+                shl r13, r9, 2
+                add r13, r2, r13                  ; &heads[hash]
+                mov r14, 0                        ; done = false
+            {body}
+                add r8, r8, 1
+                setp.lt.s32 p4, r8, r5
+            @p4 bra OUTER
+                exit
+            "#,
+        );
+        assemble(&src).expect("HT kernel assembles")
+    }
+}
+
+/// The Figure 1a busy-wait loop.
+const NORMAL_SPIN: &str = r#"
+            SPIN:
+                atom.global.cas r15, [r10], 0, 1 !acquire !sync
+                setp.eq.s32 p2, r15, 0 !sync
+            @!p2 bra SKIP
+                ld.global.volatile r16, [r13]     ; head
+                st.global [r12+4], r16            ; node.next = head
+                add r17, r11, 1
+                st.global [r13], r17              ; head = node + 1
+                membar
+                atom.global.exch r18, [r10], 0 !release !sync
+                mov r14, 1                        ; done = true
+            SKIP:
+                setp.eq.s32 p3, r14, 0 !sync
+            @p3 bra SPIN !sib !sync
+"#;
+
+/// Figure 3a: the failure path burns cycles in a clock-polling loop before
+/// retrying. Note the delay loop is *not* a spin-inducing branch — its
+/// `setp` sources (clock deltas) change every iteration, so DDOS correctly
+/// classifies it as a normal loop.
+const SW_BACKOFF_SPIN: &str = r#"
+            SPIN:
+                atom.global.cas r15, [r10], 0, 1 !acquire !sync
+                setp.eq.s32 p2, r15, 0 !sync
+            @p2 bra CRIT
+                clock r20 !sync                   ; start = clock()
+            DLOOP:
+                clock r21 !sync
+                sub r22, r21, r20 !sync           ; wrapping elapsed
+                setp.lt.u32 p5, r22, r23 !sync
+            @p5 bra DLOOP !sync
+                bra SKIP
+            CRIT:
+                ld.global.volatile r16, [r13]
+                st.global [r12+4], r16
+                add r17, r11, 1
+                st.global [r13], r17
+                membar
+                atom.global.exch r18, [r10], 0 !release !sync
+                mov r14, 1
+            SKIP:
+                setp.eq.s32 p3, r14, 0 !sync
+            @p3 bra SPIN !sib !sync
+"#;
+
+/// Figure 16's ideal-blocking proxy: no lock, no retry.
+const IDEAL_BODY: &str = r#"
+                ld.global.volatile r16, [r13]
+                st.global [r12+4], r16
+                add r17, r11, 1
+                st.global [r13], r17
+                membar
+                mov r14, 1
+"#;
+
+impl Workload for Hashtable {
+    fn name(&self) -> &'static str {
+        "HT"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu) -> Prepared {
+        let buckets = self.buckets as u64;
+        let total = self.insertions() as u64;
+        let g = gpu.mem_mut().gmem_mut();
+        let locks = g.alloc(buckets);
+        let heads = g.alloc(buckets);
+        let pool = g.alloc(total * 2);
+        let launch = LaunchSpec {
+            grid_ctas: self.threads.div_ceil(self.threads_per_cta),
+            threads_per_cta: self.threads_per_cta,
+            params: vec![
+                locks as u32,
+                heads as u32,
+                pool as u32,
+                self.buckets,
+                self.per_thread as u32,
+                match self.mode {
+                    HtMode::SwBackoff { factor } => factor,
+                    _ => 0,
+                },
+            ],
+        };
+        let spec = self.clone();
+        let verify = Box::new(move |gpu: &Gpu| -> Result<(), String> {
+            if spec.mode == HtMode::IdealNoLock {
+                return Ok(()); // racy by design; instruction counts only
+            }
+            let g = gpu.mem().gmem();
+            let total = spec.insertions() as u64;
+            let mut seen = vec![false; total as usize];
+            let mut count = 0u64;
+            for b in 0..buckets {
+                let mut cur = g.read_u32(heads + b * 4);
+                let mut hops = 0u64;
+                while cur != 0 {
+                    let idx = (cur - 1) as u64;
+                    if idx >= total {
+                        return Err(format!("bucket {b}: node index {idx} out of range"));
+                    }
+                    if seen[idx as usize] {
+                        return Err(format!("node {idx} linked twice (lost update)"));
+                    }
+                    seen[idx as usize] = true;
+                    let key = g.read_u32(pool + idx * 8);
+                    if key % spec.buckets != b as u32 {
+                        return Err(format!("node {idx} in wrong bucket {b}"));
+                    }
+                    // Replay the thread's LCG to check the key value.
+                    let t = idx / spec.per_thread as u64;
+                    let i = idx % spec.per_thread as u64;
+                    let mut k = t as u32 + 1;
+                    for _ in 0..=i {
+                        k = Lcg::step(k);
+                    }
+                    if k != key {
+                        return Err(format!("node {idx}: key {key} != expected {k}"));
+                    }
+                    count += 1;
+                    hops += 1;
+                    if hops > total {
+                        return Err(format!("bucket {b}: cycle in chain"));
+                    }
+                    cur = g.read_u32(pool + idx * 8 + 4);
+                }
+            }
+            if count != total {
+                return Err(format!(
+                    "{count} nodes reachable, expected {total} (insertions lost)"
+                ));
+            }
+            Ok(())
+        });
+        Prepared {
+            stages: vec![Stage {
+                kernel: self.kernel(),
+                launch,
+            }],
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_baseline;
+    use simt_core::{BasePolicy, GpuConfig};
+
+    #[test]
+    fn kernel_assembles_with_one_sib() {
+        let ht = Hashtable::new(Scale::Tiny);
+        let k = ht.kernel();
+        assert_eq!(k.true_sibs.len(), 1);
+        let sw = ht.clone().with_mode(HtMode::SwBackoff { factor: 50 });
+        let k = sw.kernel();
+        assert_eq!(k.true_sibs.len(), 1, "delay loop is not a SIB");
+        assert!(k.backward_branches().len() >= 3, "delay + spin + outer");
+        let ideal = ht.with_mode(HtMode::IdealNoLock);
+        assert!(ideal.kernel().true_sibs.is_empty());
+    }
+
+    #[test]
+    fn inserts_all_keys_under_contention() {
+        let ht = Hashtable::with_params(128, 2, 4, 64); // heavy contention
+        let res = run_baseline(&GpuConfig::test_tiny(), &ht, BasePolicy::Gto).unwrap();
+        res.verified.as_ref().expect("hashtable consistent");
+        assert!(res.mem.lock_success as usize >= ht.insertions());
+        assert!(
+            res.mem.lock_inter_fail + res.mem.lock_intra_fail > 0,
+            "4 buckets / 128 threads must contend"
+        );
+    }
+
+    #[test]
+    fn lrr_and_cawa_also_verify() {
+        for p in [BasePolicy::Lrr, BasePolicy::Cawa] {
+            let ht = Hashtable::with_params(64, 2, 4, 64);
+            let res = run_baseline(&GpuConfig::test_tiny(), &ht, p).unwrap();
+            res.verified.as_ref().unwrap();
+        }
+    }
+
+    #[test]
+    fn sw_backoff_executes_delay_loop() {
+        let ht = Hashtable::with_params(64, 2, 2, 64).with_mode(HtMode::SwBackoff { factor: 50 });
+        let res = run_baseline(&GpuConfig::test_tiny(), &ht, BasePolicy::Gto).unwrap();
+        res.verified.as_ref().unwrap();
+    }
+
+    #[test]
+    fn ideal_mode_runs_fewer_instructions() {
+        let mk = |mode| {
+            Hashtable::with_params(128, 2, 4, 64)
+                .with_mode(mode)
+        };
+        let cfg = GpuConfig::test_tiny();
+        let normal = run_baseline(&cfg, &mk(HtMode::Normal), BasePolicy::Gto).unwrap();
+        let ideal = run_baseline(&cfg, &mk(HtMode::IdealNoLock), BasePolicy::Gto).unwrap();
+        assert!(ideal.sim.thread_inst < normal.sim.thread_inst);
+    }
+}

@@ -1,0 +1,17 @@
+//! The paper's eight busy-wait-synchronization kernels (Section V).
+
+pub mod atm;
+pub mod ds;
+pub mod ht;
+pub mod nw;
+pub mod st;
+pub mod tb;
+pub mod tsp;
+
+pub use atm::BankTransfer;
+pub use ds::DistanceSolver;
+pub use ht::{Hashtable, HtMode};
+pub use nw::NeedlemanWunsch;
+pub use st::SortSignal;
+pub use tb::TreeBuild;
+pub use tsp::Tsp;

@@ -1,0 +1,188 @@
+//! ST — the BarnesHut *sort* kernel's wait-and-signal pattern
+//! (the paper's Figure 6c): consumers spin on a cell value written by a
+//! producer, with no lock at all.
+
+use crate::{Prepared, Scale, Stage, Workload};
+use simt_core::{Gpu, LaunchSpec};
+use simt_isa::asm::assemble;
+use simt_isa::Kernel;
+
+/// The ST workload. The first half of each CTA's threads are producers:
+/// each performs some computation and then *signals* `start[k]`; the second
+/// half are consumers: each *waits* for `start[k] >= 0`, then uses the
+/// value. Producers and consumers occupy distinct warps (the halves are
+/// warp-aligned) — waiting on a value produced by a lane of the *same*
+/// warp below the reconvergence point would be the SIMT-induced deadlock
+/// of the paper's Section IV, which real BH-ST also avoids. The producer's
+/// compute delay (an LCG-length loop) staggers signals so consumers
+/// genuinely spin.
+#[derive(Debug, Clone)]
+pub struct SortSignal {
+    /// Producer/consumer pairs.
+    pub pairs: usize,
+    /// Upper bound for the producers' compute-delay loop.
+    pub max_delay: u32,
+    /// Threads per CTA (must be even).
+    pub threads_per_cta: usize,
+}
+
+impl SortSignal {
+    /// Paper-shaped defaults.
+    pub fn new(scale: Scale) -> SortSignal {
+        let (pairs, max_delay, tpc) = match scale {
+            Scale::Tiny => (64, 512, 128),
+            Scale::Small => (6144, 256, 256),
+            Scale::Full => (12288, 512, 256),
+        };
+        SortSignal {
+            pairs,
+            max_delay,
+            threads_per_cta: tpc,
+        }
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(pairs: usize, max_delay: u32, threads_per_cta: usize) -> SortSignal {
+        SortSignal {
+            pairs,
+            max_delay,
+            threads_per_cta,
+        }
+    }
+
+    fn kernel(&self) -> Kernel {
+        // start[] is initialized to -1 ("not ready", as in Figure 6c).
+        // Threads with tid < ntid/2 are producers of pair
+        // (ctaid * ntid/2 + tid); the rest consume the matching pair.
+        assemble(
+            r#"
+            .kernel st_sort
+            .regs 20
+            .params 4
+                ld.param r1, [0]      ; start[]
+                ld.param r2, [4]      ; out[]
+                ld.param r3, [8]      ; max delay
+                mov r4, %tid
+                mov r15, %ntid
+                shr r16, r15, 1       ; half = ntid / 2
+                mov r17, %ctaid
+                mul r18, r17, r16     ; pair base for this CTA
+                setp.lt.s32 p1, r4, r16
+            @!p1 bra CONSUME
+                ; -------- producer warps: compute, then signal --------
+                add r6, r18, r4       ; pair k
+                shl r7, r6, 2
+                add r8, r1, r7        ; &start[k]
+                mad r10, r6, 1664525, 1013904223
+                rem.u32 r10, r10, r3  ; delay iterations (data-dependent)
+                mov r11, 0
+            PLOOP:
+                add r11, r11, 1
+                setp.lt.u32 p2, r11, r10
+            @p2 bra PLOOP
+                mad r12, r6, 3, 5     ; the payload: 3k + 5 (>= 0)
+                st.global [r8], r12   ; signal
+                bra DONE
+            CONSUME:
+                ; -------- consumer warps: Figure 6c wait loop --------
+                sub r6, r4, r16
+                add r6, r18, r6       ; pair k
+                shl r7, r6, 2
+                add r8, r1, r7        ; &start[k]
+                add r9, r2, r7        ; &out[k]
+            WLOOP:
+                ld.global.volatile r13, [r8] !sync
+                setp.lt.s32 p3, r13, 0 !sync
+            @p3 bra WLOOP !sib !wait !sync
+                mad r14, r13, 2, 1    ; use the value: out = 2*start + 1
+                st.global [r9], r14
+            DONE:
+                exit
+            "#,
+        )
+        .expect("ST kernel assembles")
+    }
+}
+
+impl Workload for SortSignal {
+    fn name(&self) -> &'static str {
+        "ST"
+    }
+
+    fn prepare(&self, gpu: &mut Gpu) -> Prepared {
+        let pairs = self.pairs as u64;
+        let g = gpu.mem_mut().gmem_mut();
+        let start = g.alloc(pairs);
+        let out = g.alloc(pairs);
+        for k in 0..pairs {
+            g.write_u32(start + k * 4, (-1i32) as u32); // not ready
+        }
+        let launch = LaunchSpec {
+            grid_ctas: (self.pairs * 2).div_ceil(self.threads_per_cta),
+            threads_per_cta: self.threads_per_cta,
+            params: vec![start as u32, out as u32, self.max_delay],
+        };
+        let spec = self.clone();
+        let verify = Box::new(move |gpu: &Gpu| -> Result<(), String> {
+            let g = gpu.mem().gmem();
+            for k in 0..pairs {
+                let payload = 3 * k as u32 + 5;
+                let got_start = g.read_u32(start + k * 4);
+                if got_start != payload {
+                    return Err(format!("pair {k}: signal {got_start} != {payload}"));
+                }
+                let got = g.read_u32(out + k * 4);
+                let expect = 2 * payload + 1;
+                if got != expect {
+                    return Err(format!("pair {k}: out {got} != {expect}"));
+                }
+            }
+            let _ = spec;
+            Ok(())
+        });
+        Prepared {
+            stages: vec![Stage {
+                kernel: self.kernel(),
+                launch,
+            }],
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_baseline;
+    use simt_core::{BasePolicy, GpuConfig};
+
+    #[test]
+    fn kernel_marks_wait_branch() {
+        let k = SortSignal::new(Scale::Tiny).kernel();
+        assert_eq!(k.true_sibs.len(), 1);
+        let wait = k.insts.iter().find(|i| i.ann.wait).unwrap();
+        assert!(wait.ann.sib, "the wait branch is the SIB");
+        // No lock acquires in wait-and-signal.
+        assert!(k.insts.iter().all(|i| !i.ann.acquire));
+    }
+
+    #[test]
+    fn consumers_observe_producers() {
+        let st = SortSignal::with_params(64, 16, 64);
+        let res = run_baseline(&GpuConfig::test_tiny(), &st, BasePolicy::Gto).unwrap();
+        res.verified.as_ref().expect("all signals consumed");
+        assert!(
+            res.sim.wait_exit_success > 0,
+            "consumers exited the wait loop"
+        );
+    }
+
+    #[test]
+    fn wait_fails_recorded_under_contention() {
+        // Long producer delays force consumers to spin.
+        let st = SortSignal::with_params(32, 512, 64);
+        let res = run_baseline(&GpuConfig::test_tiny(), &st, BasePolicy::Lrr).unwrap();
+        res.verified.as_ref().unwrap();
+        assert!(res.sim.wait_exit_fail > 0, "some spinning happened");
+    }
+}

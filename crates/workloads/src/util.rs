@@ -1,0 +1,60 @@
+//! Host/device-shared utilities.
+
+/// The linear congruential generator used by both device kernels (as
+/// `mad r, seed, 1664525, 1013904223`-style sequences) and host-side
+/// verifiers, so inputs are reproducible on both sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u32,
+}
+
+impl Lcg {
+    /// Multiplier (Numerical Recipes).
+    pub const A: u32 = 1664525;
+    /// Increment.
+    pub const C: u32 = 1013904223;
+
+    /// Seeded generator.
+    pub fn new(seed: u32) -> Lcg {
+        Lcg { state: seed }
+    }
+
+    /// Advance and return the next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(Self::A).wrapping_add(Self::C);
+        self.state
+    }
+
+    /// Next value reduced modulo `m` (as kernels do with `rem`).
+    pub fn next_mod(&mut self, m: u32) -> u32 {
+        self.next_u32() % m
+    }
+
+    /// The single-step function, usable without a generator instance.
+    pub fn step(x: u32) -> u32 {
+        x.wrapping_mul(Self::A).wrapping_add(Self::C)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_step_consistent() {
+        let mut g = Lcg::new(7);
+        let a = g.next_u32();
+        let b = g.next_u32();
+        assert_eq!(a, Lcg::step(7));
+        assert_eq!(b, Lcg::step(a));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn modulo_in_range() {
+        let mut g = Lcg::new(42);
+        for _ in 0..100 {
+            assert!(g.next_mod(17) < 17);
+        }
+    }
+}

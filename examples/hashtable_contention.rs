@@ -1,0 +1,60 @@
+//! Domain example: concurrent hashtable insertion under varying contention
+//! (the paper's motivating workload, Figures 1 and 16).
+//!
+//! Sweeps the bucket count and reports, per contention level, how the GTO
+//! baseline and BOWS compare on execution time, dynamic instructions and
+//! lock-acquire outcomes — then verifies the hashtable's contents exactly.
+//!
+//! ```sh
+//! cargo run --release --example hashtable_contention
+//! ```
+
+use bows_sim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = GpuConfig::gtx480();
+    let threads = 12288;
+    println!(
+        "hashtable: {threads} threads x 1 insertion, bucket sweep on {}\n",
+        cfg.name
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "buckets", "gto_cycles", "bows_cycles", "speedup", "gto_failrate", "bows_failrate"
+    );
+    for buckets in [128u32, 512, 2048] {
+        let ht = Hashtable::with_params(threads, 1, buckets, 256);
+        let base = run_baseline(&cfg, &ht, BasePolicy::Gto)?;
+        base.verified.as_ref().map_err(|e| e.clone())?;
+        let bows = run_workload(
+            &cfg,
+            &ht,
+            &bows_sim::bows::policy_factory(
+                BasePolicy::Gto,
+                Some(DelayMode::Adaptive(AdaptiveConfig::default())),
+                cfg.gto_rotate_period,
+            ),
+            &bows_sim::bows::ddos_factory(DdosConfig::default(), cfg.warps_per_sm()),
+        )?;
+        bows.verified.as_ref().map_err(|e| e.clone())?;
+        let fail_rate = |r: &WorkloadResult| {
+            let fails = r.mem.lock_inter_fail + r.mem.lock_intra_fail;
+            fails as f64 / (fails + r.mem.lock_success).max(1) as f64
+        };
+        println!(
+            "{:>8} {:>12} {:>12} {:>8.2}x {:>13.1}% {:>13.1}%",
+            buckets,
+            base.cycles,
+            bows.cycles,
+            base.cycles as f64 / bows.cycles as f64,
+            100.0 * fail_rate(&base),
+            100.0 * fail_rate(&bows),
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 16): the BOWS speedup is largest at\n\
+         high contention (few buckets) and decays toward 1x as contention\n\
+         drops; every configuration passes exact chain verification."
+    );
+    Ok(())
+}

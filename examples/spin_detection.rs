@@ -1,0 +1,112 @@
+//! Domain example: watching DDOS work. Runs one spin-lock kernel and one
+//! ordinary `for`-loop kernel (the paper's Figure 7a vs 7c), under both XOR
+//! and MODULO hashing, and prints what the detector concluded.
+//!
+//! ```sh
+//! cargo run --release --example spin_detection
+//! ```
+
+use bows_sim::prelude::*;
+use simt_core::SpinDetector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 7a: the busy-wait loop (two setps per iteration, constant
+    // source values while the lock is contended).
+    let spin = assemble(
+        r#"
+        .kernel figure7a_spin
+        .regs 10
+        .params 2
+            ld.param r1, [0]
+            ld.param r2, [4]
+            mov r9, 0
+        BB2:
+            atom.global.cas r3, [r1], 0, 1 !acquire
+            setp.eq.s32 p1, r3, 0
+        @!p1 bra BB4
+            ld.global.volatile r4, [r2]
+            add r4, r4, 1
+            st.global [r2], r4
+            membar
+            atom.global.exch r5, [r1], 0 !release
+            mov r9, 1
+        BB4:
+            setp.eq.s32 p2, r9, 0
+        @p2 bra BB2 !sib
+            exit
+        "#,
+    )?;
+    // Figure 7c: a normal loop — the induction variable feeds the setp, so
+    // its value history never repeats. The 256-stride variant aliases away
+    // under MODULO hashing with k=8 (the Figure 14 failure mode).
+    let normal = assemble(
+        r#"
+        .kernel figure7c_loop
+        .regs 10
+        .params 2
+            ld.param r1, [0]
+            mov r2, 0              ; i, stepping by 256 (bytes)
+            shl r3, r2, 0
+            mov r4, 0              ; acc
+        BB2:
+            add r4, r4, r2
+            add r2, r2, 256
+            setp.lt.s32 p1, r2, 25600
+        @p1 bra BB2
+            mov r5, %gtid
+            shl r5, r5, 2
+            add r5, r1, r5
+            st.global [r5], r4
+            exit
+        "#,
+    )?;
+
+    for hash in [HashKind::Xor, HashKind::Modulo] {
+        println!("--- hashing = {} (m = k = 8) ---", hash.name());
+        for (kernel, nthreads, nparams) in [(&spin, 512usize, 2usize), (&normal, 512, 2)] {
+            let cfg = GpuConfig::gtx480();
+            let mut gpu = Gpu::new(cfg.clone());
+            let a = gpu.mem_mut().gmem_mut().alloc(1);
+            let b = gpu.mem_mut().gmem_mut().alloc(nthreads as u64);
+            let launch = LaunchSpec {
+                grid_ctas: nthreads / 128,
+                threads_per_cta: 128,
+                params: vec![a as u32, b as u32][..nparams].to_vec(),
+            };
+            let ddos_cfg = DdosConfig {
+                hash,
+                ..DdosConfig::default()
+            };
+            let warps = cfg.warps_per_sm();
+            let report = gpu.run(
+                kernel,
+                &launch,
+                &bows_sim::bows::policy_factory(
+                    BasePolicy::Gto,
+                    Some(DelayMode::Fixed(1000)),
+                    cfg.gto_rotate_period,
+                ),
+                &move |_k| {
+                    Box::new(Ddos::new(ddos_cfg, warps)) as Box<dyn SpinDetector>
+                },
+            )?;
+            let verdict: Vec<String> = report
+                .confirmed_sibs
+                .iter()
+                .map(|&(pc, at)| format!("pc {pc} confirmed at cycle {at}"))
+                .collect();
+            println!(
+                "  {:<16} true SIBs {:?} -> DDOS found: [{}]",
+                kernel.name,
+                kernel.true_sibs,
+                verdict.join(", ")
+            );
+        }
+    }
+    println!(
+        "\nExpected: XOR finds exactly the spin branch and nothing in the\n\
+         normal loop; MODULO *also* flags the 256-stride loop — the paper's\n\
+         Merge Sort / Heart Wall false-detection mechanism."
+    );
+    Ok(())
+}

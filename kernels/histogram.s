@@ -1,0 +1,14 @@
+; Atomic histogram: each thread adds 1 to bin (gtid % nbins).
+; params: [0] = bins buffer, [4] = nbins
+; try: bows-run kernels/histogram.s --ctas 8 --tpc 128 --param buf:64 --param 64 --dump 0:8
+.kernel histogram
+.regs 8
+.params 2
+    ld.param r1, [0]
+    ld.param r2, [4]
+    mov r3, %gtid
+    rem.u32 r4, r3, r2
+    shl r4, r4, 2
+    add r4, r1, r4
+    atom.global.add r5, [r4], 1
+    exit

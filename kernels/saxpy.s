@@ -1,0 +1,22 @@
+; SAXPY: y[i] = a*x[i] + y[i] over f32 data.
+; params: [0] = x buffer, [4] = y buffer, [8] = a (f32 bits), [12] = n
+; try: bows-run kernels/saxpy.s --ctas 4 --tpc 128 \
+;          --param buf:512=1065353216 --param buf:512 --param 1073741824 --param 512
+.kernel saxpy
+.regs 10
+.params 4
+    ld.param r1, [0]
+    ld.param r2, [4]
+    ld.param r3, [8]
+    ld.param r4, [12]
+    mov r5, %gtid
+    setp.ge.s32 p0, r5, r4
+@p0 exit
+    shl r6, r5, 2
+    add r1, r1, r6
+    add r2, r2, r6
+    ld.global r7, [r1]
+    ld.global r8, [r2]
+    mad.f32 r8, r3, r7, r8
+    st.global [r2], r8
+    exit

@@ -1,0 +1,24 @@
+; Spin-lock counter increment (the paper's canonical pattern).
+; params: [0] = mutex buffer, [4] = counter buffer
+; try: bows-run kernels/spinlock.s --ctas 16 --tpc 256 \
+;          --param buf:1 --param buf:1 --bows adaptive --dump 1:1
+.kernel spinlock_counter
+.regs 10
+.params 2
+    ld.param r1, [0]
+    ld.param r2, [4]
+    mov r9, 0
+SPIN:
+    atom.global.cas r3, [r1], 0, 1 !acquire !sync
+    setp.eq.s32 p1, r3, 0
+@!p1 bra TEST
+    ld.global.volatile r4, [r2]
+    add r4, r4, 1
+    st.global [r2], r4
+    membar
+    atom.global.exch r5, [r1], 0 !release !sync
+    mov r9, 1
+TEST:
+    setp.eq.s32 p2, r9, 0 !sync
+@p2 bra SPIN !sib !sync
+    exit

@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerate every table and figure at the default (small) scale.
+# Results land in results/<name>.txt. Usage: ./run_experiments.sh [--scale small]
+set -u
+cd "$(dirname "$0")"
+SCALE="${2:-small}"
+cargo build --release -p experiments 2>/dev/null
+for bin in table3 fig2 fig16 blocking fig14 fig3 fig1 table1 fig9 sweep fig15 stalls ablation; do
+    echo "=== $bin ($(date +%H:%M:%S)) ==="
+    start=$SECONDS
+    if target/release/$bin --scale "$SCALE" > results/$bin.txt 2> results/$bin.err; then
+        echo "    ok in $((SECONDS-start))s"
+    else
+        echo "    $bin FAILED (see results/$bin.err)"
+    fi
+done
+echo "ALL DONE"

@@ -1,0 +1,224 @@
+//! `bows-run` — assemble and execute a kernel file on the simulated GPU.
+//!
+//! ```sh
+//! bows-run kernels/spinlock.s --ctas 16 --tpc 256 \
+//!     --param buf:1 --param buf:1 --sched gto --bows adaptive --dump 1:1
+//! ```
+//!
+//! Parameters are declared left to right with `--param`:
+//! * `--param <u32>` — a scalar parameter slot,
+//! * `--param buf:<words>[=<fill>]` — allocate a zero- (or fill-)
+//!   initialized device buffer and pass its base address.
+//!
+//! `--dump <i>:<len>` prints the first `len` words of the buffer passed in
+//! parameter slot `i` after the run.
+
+use bows_sim::prelude::*;
+use std::process::ExitCode;
+
+struct Cli {
+    kernel_path: String,
+    ctas: usize,
+    tpc: usize,
+    params: Vec<ParamSpec>,
+    sched: BasePolicy,
+    bows: Option<DelayMode>,
+    ddos: bool,
+    gpu: GpuConfig,
+    dumps: Vec<(usize, u64)>,
+}
+
+enum ParamSpec {
+    Scalar(u32),
+    Buffer { words: u64, fill: u32 },
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bows-run <kernel.s> [--ctas N] [--tpc N] [--param V|buf:W[=F]]...\n\
+         \x20            [--sched lrr|gto|cawa] [--bows <cycles>|adaptive] [--no-ddos]\n\
+         \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        kernel_path: String::new(),
+        ctas: 1,
+        tpc: 128,
+        params: Vec::new(),
+        sched: BasePolicy::Gto,
+        bows: None,
+        ddos: true,
+        gpu: GpuConfig::gtx480(),
+        dumps: Vec::new(),
+    };
+    let mut next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {what}");
+            usage()
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ctas" => cli.ctas = next(&mut args, "--ctas").parse().unwrap_or_else(|_| usage()),
+            "--tpc" => cli.tpc = next(&mut args, "--tpc").parse().unwrap_or_else(|_| usage()),
+            "--param" => {
+                let v = next(&mut args, "--param");
+                if let Some(spec) = v.strip_prefix("buf:") {
+                    let (words, fill) = match spec.split_once('=') {
+                        Some((w, f)) => (
+                            w.parse().unwrap_or_else(|_| usage()),
+                            f.parse().unwrap_or_else(|_| usage()),
+                        ),
+                        None => (spec.parse().unwrap_or_else(|_| usage()), 0),
+                    };
+                    cli.params.push(ParamSpec::Buffer { words, fill });
+                } else {
+                    cli.params
+                        .push(ParamSpec::Scalar(v.parse().unwrap_or_else(|_| usage())));
+                }
+            }
+            "--sched" => {
+                cli.sched = match next(&mut args, "--sched").as_str() {
+                    "lrr" => BasePolicy::Lrr,
+                    "gto" => BasePolicy::Gto,
+                    "cawa" => BasePolicy::Cawa,
+                    _ => usage(),
+                }
+            }
+            "--bows" => {
+                let v = next(&mut args, "--bows");
+                cli.bows = Some(if v == "adaptive" {
+                    DelayMode::Adaptive(AdaptiveConfig::default())
+                } else {
+                    DelayMode::Fixed(v.parse().unwrap_or_else(|_| usage()))
+                });
+            }
+            "--no-ddos" => cli.ddos = false,
+            "--gpu" => {
+                cli.gpu = match next(&mut args, "--gpu").as_str() {
+                    "gtx480" => GpuConfig::gtx480(),
+                    "gtx1080ti" => GpuConfig::gtx1080ti(),
+                    "tiny" => GpuConfig::test_tiny(),
+                    _ => usage(),
+                }
+            }
+            "--dump" => {
+                let v = next(&mut args, "--dump");
+                let (i, len) = v.split_once(':').unwrap_or_else(|| usage());
+                cli.dumps.push((
+                    i.parse().unwrap_or_else(|_| usage()),
+                    len.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--help" | "-h" => usage(),
+            other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
+                cli.kernel_path = other.to_string();
+            }
+            _ => usage(),
+        }
+    }
+    if cli.kernel_path.is_empty() {
+        usage();
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let src = match std::fs::read_to_string(&cli.kernel_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", cli.kernel_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernel = match assemble(&src) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{}: {e}", cli.kernel_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut gpu = Gpu::new(cli.gpu.clone());
+    let mut params = Vec::new();
+    let mut bases: Vec<Option<u64>> = Vec::new();
+    for p in &cli.params {
+        match *p {
+            ParamSpec::Scalar(v) => {
+                params.push(v);
+                bases.push(None);
+            }
+            ParamSpec::Buffer { words, fill } => {
+                let base = gpu.mem_mut().gmem_mut().alloc(words);
+                if fill != 0 {
+                    for i in 0..words {
+                        gpu.mem_mut().gmem_mut().write_u32(base + i * 4, fill);
+                    }
+                }
+                params.push(base as u32);
+                bases.push(Some(base));
+            }
+        }
+    }
+    let launch = LaunchSpec {
+        grid_ctas: cli.ctas,
+        threads_per_cta: cli.tpc,
+        params,
+    };
+    let report = {
+        let cfg = &gpu.cfg;
+        let rotate = cfg.gto_rotate_period;
+        let warps = cfg.warps_per_sm();
+        let policy = bows_sim::bows::policy_factory(cli.sched, cli.bows, rotate);
+        let result = if cli.ddos {
+            let det = bows_sim::bows::ddos_factory(DdosConfig::default(), warps);
+            gpu.run(&kernel, &launch, &policy, &det)
+        } else {
+            gpu.run(&kernel, &launch, &policy, &|k: &simt_isa::Kernel| {
+                Box::new(simt_core::StaticSibDetector::new(k.true_sibs.clone()))
+            })
+        };
+        match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    println!("kernel      : {} ({} instructions)", kernel.name, kernel.static_len());
+    println!("gpu         : {}", gpu.cfg.name);
+    println!("scheduler   : {}", report.scheduler);
+    println!("detector    : {}", report.detector);
+    println!("cycles      : {} ({:.3} ms)", report.cycles, report.time_ms);
+    println!("warp inst   : {}", report.sim.issued_inst);
+    println!("thread inst : {}", report.sim.thread_inst);
+    println!("SIMD eff    : {:.1}%", 100.0 * report.sim.simd_efficiency());
+    println!(
+        "memory      : {} transactions ({} atomics, {} DRAM reads)",
+        report.mem.total_transactions, report.mem.atomic_transactions, report.mem.dram_reads
+    );
+    println!(
+        "locks       : {} acquired, {} inter-warp fails, {} intra-warp fails",
+        report.mem.lock_success, report.mem.lock_inter_fail, report.mem.lock_intra_fail
+    );
+    println!("energy      : {:.3} mJ dynamic", report.energy.dynamic_j() * 1e3);
+    if !report.confirmed_sibs.is_empty() {
+        println!("DDOS        : spin-inducing branches {:?}", report.confirmed_sibs);
+    }
+    for &(slot, len) in &cli.dumps {
+        match bases.get(slot).copied().flatten() {
+            Some(base) => {
+                let vals = gpu.mem().gmem().read_vec(base, len);
+                println!("param[{slot}][0..{len}] = {vals:?}");
+            }
+            None => eprintln!("--dump {slot}: parameter {slot} is not a buffer"),
+        }
+    }
+    ExitCode::SUCCESS
+}

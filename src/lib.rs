@@ -1,0 +1,65 @@
+//! # bows-sim — Warp Scheduling for Fine-Grained Synchronization
+//!
+//! A full reproduction of ElTantawy & Aamodt, *"Warp Scheduling for
+//! Fine-Grained Synchronization"* (HPCA 2018): a cycle-level SIMT GPU
+//! simulator plus the paper's two mechanisms —
+//!
+//! * **DDOS** (Dynamic Detection Of Spinning): hardware detection of
+//!   busy-wait loops from `setp` path/value histories,
+//! * **BOWS** (Back-Off Warp Spinning): a scheduler wrapper that
+//!   deprioritizes and throttles spinning warps.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`isa`] — PTX-like ISA, assembler, CFG analysis (`simt-isa`),
+//! * [`mem`] — caches/MSHRs/DRAM/atomic units (`simt-mem`),
+//! * [`core`] — warps, SIMT stack, schedulers, SMs, energy (`simt-core`),
+//! * [`bows`] — the paper's contribution,
+//! * [`workloads`] — the paper's benchmark suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bows_sim::prelude::*;
+//!
+//! // Run the paper's hashtable benchmark under GTO and GTO+BOWS.
+//! let cfg = GpuConfig::test_tiny();
+//! let ht = Hashtable::with_params(256, 2, 4, 128);
+//! let base = run_baseline(&cfg, &ht, BasePolicy::Gto)?;
+//! base.verified.as_ref().unwrap();
+//!
+//! let bows = run_workload(
+//!     &cfg,
+//!     &ht,
+//!     &bows_sim::bows::policy_factory(
+//!         BasePolicy::Gto,
+//!         Some(DelayMode::Fixed(1000)),
+//!         cfg.gto_rotate_period,
+//!     ),
+//!     &bows_sim::bows::ddos_factory(DdosConfig::default(), cfg.warps_per_sm()),
+//! )?;
+//! bows.verified.as_ref().unwrap();
+//! # Ok::<(), simt_core::SimError>(())
+//! ```
+
+pub use bows;
+pub use simt_core as core;
+pub use simt_isa as isa;
+pub use simt_mem as mem;
+pub use workloads;
+
+/// One-stop imports for examples and experiments.
+pub mod prelude {
+    pub use crate::bows::{AdaptiveConfig, Bows, Ddos, DdosConfig, DelayMode, HashKind};
+    pub use crate::core::{
+        BasePolicy, EnergyModel, Gpu, GpuConfig, KernelReport, LaunchSpec, SimError,
+    };
+    pub use crate::isa::asm::assemble;
+    pub use crate::workloads::sync::{
+        BankTransfer, DistanceSolver, Hashtable, HtMode, NeedlemanWunsch, SortSignal, TreeBuild,
+        Tsp,
+    };
+    pub use crate::workloads::{
+        rodinia_suite, run_baseline, run_workload, sync_suite, Scale, Workload, WorkloadResult,
+    };
+}

@@ -1,0 +1,253 @@
+//! End-to-end ISA semantics: every instruction family executed through the
+//! full simulator and checked against host arithmetic.
+
+use bows_sim::prelude::*;
+
+/// Run a single-warp kernel and return the first `n` words of its output
+/// buffer (always parameter slot 0).
+fn run_and_dump(src: &str, out_words: u64, extra_params: &[u32]) -> Vec<u32> {
+    let kernel = assemble(src).expect("assembles");
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let out = gpu.mem_mut().gmem_mut().alloc(out_words.max(32));
+    let mut params = vec![out as u32];
+    params.extend_from_slice(extra_params);
+    let launch = LaunchSpec {
+        grid_ctas: 1,
+        threads_per_cta: 32,
+        params,
+    };
+    gpu.run_baseline(&kernel, &launch, BasePolicy::Gto)
+        .expect("runs");
+    gpu.mem().gmem().read_vec(out, out_words)
+}
+
+#[test]
+fn selp_selects_per_lane() {
+    let out = run_and_dump(
+        r#"
+        .kernel selp_test
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, %laneid
+            and r3, r2, 1
+            setp.eq.s32 p1, r3, 0
+            selp r4, 100, 200, p1
+            shl r5, r2, 2
+            add r5, r1, r5
+            st.global [r5], r4
+            exit
+        "#,
+        32,
+        &[],
+    );
+    for (lane, &v) in out.iter().enumerate() {
+        let expect = if lane % 2 == 0 { 100 } else { 200 };
+        assert_eq!(v, expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn predicate_logic_ops() {
+    // p1 = lane < 16, p2 = lane is even; out = (p1&&p2)*4 + (p1||p2)*2 + !p1.
+    let out = run_and_dump(
+        r#"
+        .kernel preds
+        .regs 12
+        .params 1
+            ld.param r1, [0]
+            mov r2, %laneid
+            setp.lt.s32 p1, r2, 16
+            and r3, r2, 1
+            setp.eq.s32 p2, r3, 0
+            pand p3, p1, p2
+            por  p4, p1, p2
+            pnot p5, p1
+            selp r4, 4, 0, p3
+            selp r5, 2, 0, p4
+            selp r6, 1, 0, p5
+            add r4, r4, r5
+            add r4, r4, r6
+            shl r7, r2, 2
+            add r7, r1, r7
+            st.global [r7], r4
+            exit
+        "#,
+        32,
+        &[],
+    );
+    for lane in 0..32usize {
+        let p1 = lane < 16;
+        let p2 = lane % 2 == 0;
+        let expect = u32::from(p1 && p2) * 4 + u32::from(p1 || p2) * 2 + u32::from(!p1);
+        assert_eq!(out[lane], expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn shifts_and_bitops_match_host() {
+    let out = run_and_dump(
+        r#"
+        .kernel bits
+        .regs 12
+        .params 2
+            ld.param r1, [0]
+            ld.param r2, [4]      ; x
+            mov r3, %laneid
+            shl r4, r2, r3        ; x << lane
+            shr r5, r2, r3        ; logical
+            sra r6, r2, r3        ; arithmetic
+            xor r7, r4, r5
+            and r7, r7, r6
+            or  r7, r7, r3
+            not r8, r7
+            shl r9, r3, 2
+            add r9, r1, r9
+            st.global [r9], r8
+            exit
+        "#,
+        32,
+        &[0x8000_00f0u32],
+    );
+    let x = 0x8000_00f0u32;
+    for lane in 0..32u32 {
+        let shl = x.wrapping_shl(lane);
+        let shr = x.wrapping_shr(lane);
+        let sra = ((x as i32).wrapping_shr(lane)) as u32;
+        let expect = !((shl ^ shr) & sra | lane);
+        assert_eq!(out[lane as usize], expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn float_pipeline_matches_host() {
+    // out = sqrt(lane * 1.5 + 2.25) computed in f32, then converted to int.
+    let out = run_and_dump(
+        r#"
+        .kernel floats
+        .regs 12
+        .params 1
+            ld.param r1, [0]
+            mov r2, %laneid
+            cvt.f32.s32 r3, r2
+            mov r4, 1.5
+            mov r5, 2.25
+            mad.f32 r6, r3, r4, r5
+            sqrt.f32 r7, r6
+            mul.f32 r8, r7, r7
+            sub.f32 r8, r8, r6       ; ~0
+            add.f32 r9, r7, r8
+            cvt.s32.f32 r10, r9
+            shl r11, r2, 2
+            add r11, r1, r11
+            st.global [r11], r10
+            exit
+        "#,
+        32,
+        &[],
+    );
+    for lane in 0..32 {
+        let v = lane as f32 * 1.5 + 2.25;
+        let s = v.sqrt();
+        let expect = (s + (s * s - v)) as i32 as u32;
+        assert_eq!(out[lane], expect, "lane {lane}");
+    }
+}
+
+#[test]
+fn division_and_remainder_semantics() {
+    let out = run_and_dump(
+        r#"
+        .kernel divrem
+        .regs 12
+        .params 1
+            ld.param r1, [0]
+            mov r2, %laneid
+            sub r3, r2, 16         ; lane - 16 (negative for low lanes)
+            div r4, r3, 3          ; signed division
+            rem r5, r3, 3          ; signed remainder
+            div.u32 r6, r2, 0      ; division by zero -> all ones
+            mul r7, r4, 3
+            add r7, r7, r5         ; reconstruct lane - 16
+            sub r7, r7, r3         ; 0 when consistent
+            add r7, r7, r6         ; + u32::MAX
+            shl r8, r2, 2
+            add r8, r1, r8
+            st.global [r8], r7
+            exit
+        "#,
+        32,
+        &[],
+    );
+    for lane in 0..32 {
+        assert_eq!(out[lane], u32::MAX, "lane {lane}: (q*3+r)-x + MAX");
+    }
+}
+
+#[test]
+fn shared_memory_is_cta_private() {
+    // Two CTAs write their CTA id into shared[0]; every thread reads it
+    // back. No cross-CTA interference is possible.
+    let kernel = assemble(
+        r#"
+        .kernel shared_priv
+        .regs 8
+        .params 1
+        .shared 4
+            ld.param r1, [0]
+            mov r2, %tid
+            setp.eq.s32 p1, r2, 0
+            mov r3, %ctaid
+        @p1 st.shared [0], r3
+            bar.sync
+            ld.shared r4, [0]
+            mov r5, %gtid
+            shl r5, r5, 2
+            add r5, r1, r5
+            st.global [r5], r4
+            exit
+        "#,
+    )
+    .unwrap();
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let out = gpu.mem_mut().gmem_mut().alloc(128);
+    let launch = LaunchSpec {
+        grid_ctas: 2,
+        threads_per_cta: 64,
+        params: vec![out as u32],
+    };
+    gpu.run_baseline(&kernel, &launch, BasePolicy::Lrr).unwrap();
+    for t in 0..128u64 {
+        let expect = (t / 64) as u32;
+        assert_eq!(gpu.mem().gmem().read_u32(out + t * 4), expect, "thread {t}");
+    }
+}
+
+#[test]
+fn min_max_signedness() {
+    let out = run_and_dump(
+        r#"
+        .kernel minmax
+        .regs 10
+        .params 1
+            ld.param r1, [0]
+            mov r2, -1             ; 0xffffffff
+            mov r3, 1
+            min r4, r2, r3         ; signed: -1
+            max r5, r2, r3         ; signed: 1
+            min.u32 r6, r2, r3     ; unsigned: 1
+            max.u32 r7, r2, r3     ; unsigned: 0xffffffff
+            mov r8, %laneid
+            setp.ne.s32 p1, r8, 0
+        @p1 exit
+            st.global [r1], r4
+            st.global [r1+4], r5
+            st.global [r1+8], r6
+            st.global [r1+12], r7
+            exit
+        "#,
+        4,
+        &[],
+    );
+    assert_eq!(out, vec![u32::MAX, 1, 1, u32::MAX]);
+}

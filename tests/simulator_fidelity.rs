@@ -1,0 +1,338 @@
+//! Timing-model fidelity tests: the architectural behaviors the paper's
+//! mechanisms rely on, observed end-to-end through real kernels.
+
+use bows_sim::prelude::*;
+
+fn run_kernel(
+    cfg: &GpuConfig,
+    src: &str,
+    params: Vec<u32>,
+    threads: usize,
+    gpu: &mut Gpu,
+) -> simt_core::KernelReport {
+    let kernel = assemble(src).expect("assembles");
+    let launch = LaunchSpec {
+        grid_ctas: threads.div_ceil(128).max(1),
+        threads_per_cta: threads.min(128),
+        params,
+    };
+    let _ = cfg;
+    gpu.run_baseline(&kernel, &launch, BasePolicy::Gto)
+        .expect("runs")
+}
+
+/// L1 temporal locality: re-reading the same line is much faster than
+/// streaming new lines (hit latency vs DRAM round trip).
+#[test]
+fn l1_hits_are_faster_than_misses() {
+    let cfg = GpuConfig::test_tiny();
+    let hot = r#"
+        .kernel hot
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, 0
+        top:
+            ld.global r3, [r1]       ; same line every iteration
+            add r2, r2, 1
+            setp.lt.s32 p1, r2, 64
+        @p1 bra top
+            exit
+    "#;
+    let cold = r#"
+        .kernel cold
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, 0
+        top:
+            ld.global r3, [r1]
+            add r1, r1, 128          ; new line every iteration
+            add r2, r2, 1
+            setp.lt.s32 p1, r2, 64
+        @p1 bra top
+            exit
+    "#;
+    let mut gpu = Gpu::new(cfg.clone());
+    gpu.mem_mut().gmem_mut().alloc(64 * 32 + 32);
+    let hot_r = run_kernel(&cfg, hot, vec![0], 32, &mut gpu);
+    let mut gpu = Gpu::new(cfg.clone());
+    gpu.mem_mut().gmem_mut().alloc(64 * 32 + 32);
+    let cold_r = run_kernel(&cfg, cold, vec![0], 32, &mut gpu);
+    assert!(
+        hot_r.cycles * 2 < cold_r.cycles,
+        "hot {} vs cold {}",
+        hot_r.cycles,
+        cold_r.cycles
+    );
+    assert!(hot_r.mem.l1_hits >= 60);
+    assert!(cold_r.mem.dram_reads >= 60);
+}
+
+/// Volatile loads bypass the L1 entirely (the property spin-wait loops
+/// rely on for cross-SM visibility).
+#[test]
+fn volatile_loads_bypass_l1() {
+    let cfg = GpuConfig::test_tiny();
+    let src = r#"
+        .kernel vol
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, 0
+        top:
+            ld.global.volatile r3, [r1]
+            add r2, r2, 1
+            setp.lt.s32 p1, r2, 16
+        @p1 bra top
+            exit
+    "#;
+    let mut gpu = Gpu::new(cfg.clone());
+    gpu.mem_mut().gmem_mut().alloc(32);
+    let r = run_kernel(&cfg, src, vec![0], 32, &mut gpu);
+    assert_eq!(r.mem.l1_accesses, 0, "no L1 involvement");
+    assert!(r.mem.l2_accesses >= 16, "every access reaches L2");
+}
+
+/// Atomic throughput: atomics to one line serialize at the partition, so
+/// N warps hammering one lock line take ~N times the partition occupancy
+/// of one warp.
+#[test]
+fn atomics_to_one_line_serialize() {
+    let cfg = GpuConfig::test_tiny();
+    let src = r#"
+        .kernel atom
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, 0
+        top:
+            atom.global.add r3, [r1], 1
+            add r2, r2, 1
+            setp.lt.s32 p1, r2, 8
+        @p1 bra top
+            exit
+    "#;
+    let mut gpu1 = Gpu::new(cfg.clone());
+    gpu1.mem_mut().gmem_mut().alloc(32);
+    let one = run_kernel(&cfg, src, vec![0], 32, &mut gpu1);
+    let mut gpu8 = Gpu::new(cfg.clone());
+    gpu8.mem_mut().gmem_mut().alloc(32);
+    let eight = run_kernel(&cfg, src, vec![0], 256, &mut gpu8);
+    // 8 warps do 8x the atomic work; runtime must grow substantially
+    // (not 8x: pipelining), proving serialization pressure exists.
+    assert!(
+        eight.cycles as f64 > one.cycles as f64 * 1.5,
+        "one warp {} vs eight warps {}",
+        one.cycles,
+        eight.cycles
+    );
+    assert_eq!(
+        gpu8.mem().gmem().read_u32(0),
+        256 * 8,
+        "every atomic applied exactly once"
+    );
+}
+
+/// `membar` orders: a flag published after membar is never observed before
+/// the data it guards. (The NW/ST protocols depend on this.)
+#[test]
+fn membar_orders_data_before_flag() {
+    // Producer thread 0 writes data then flag; consumer thread 32 (other
+    // warp) spins on the flag then reads data.
+    let cfg = GpuConfig::test_tiny();
+    let src = r#"
+        .kernel fence
+        .regs 10
+        .params 3
+            ld.param r1, [0]      ; data
+            ld.param r2, [4]      ; flag
+            ld.param r3, [8]      ; out
+            mov r4, %tid
+            setp.eq.s32 p1, r4, 0
+        @!p1 bra CONSUMER
+            mov r5, 42
+            st.global [r1], r5
+            membar
+            mov r6, 1
+            st.global [r2], r6
+            bra DONE
+        CONSUMER:
+            setp.eq.s32 p2, r4, 32
+        @!p2 bra DONE
+        WAIT:
+            ld.global.volatile r7, [r2]
+            setp.eq.s32 p3, r7, 0
+        @p3 bra WAIT !wait
+            ld.global.volatile r8, [r1]
+            st.global [r3], r8
+        DONE:
+            exit
+    "#;
+    let mut gpu = Gpu::new(cfg.clone());
+    let data = gpu.mem_mut().gmem_mut().alloc(1);
+    let flag = gpu.mem_mut().gmem_mut().alloc(1);
+    let out = gpu.mem_mut().gmem_mut().alloc(1);
+    run_kernel(
+        &cfg,
+        src,
+        vec![data as u32, flag as u32, out as u32],
+        64,
+        &mut gpu,
+    );
+    assert_eq!(gpu.mem().gmem().read_u32(out), 42);
+}
+
+/// SIMD efficiency reflects divergence exactly: a kernel where half the
+/// lanes take a long path measures ~the weighted lane occupancy.
+#[test]
+fn simd_efficiency_tracks_divergence() {
+    let cfg = GpuConfig::test_tiny();
+    let src = r#"
+        .kernel diverge
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, %laneid
+            and r3, r2, 1
+            setp.eq.s32 p1, r3, 0
+        @!p1 bra ODD
+            mov r4, 0
+        EVENLOOP:
+            add r4, r4, 1
+            setp.lt.s32 p2, r4, 50
+        @p2 bra EVENLOOP
+            bra JOIN
+        ODD:
+            mov r4, 0
+        JOIN:
+            exit
+    "#;
+    let mut gpu = Gpu::new(cfg.clone());
+    gpu.mem_mut().gmem_mut().alloc(1);
+    let r = run_kernel(&cfg, src, vec![0], 32, &mut gpu);
+    let eff = r.sim.simd_efficiency();
+    assert!(
+        eff > 0.4 && eff < 0.75,
+        "a long 16-lane loop should pull efficiency toward ~0.5, got {eff}"
+    );
+}
+
+/// Two kernels can run back-to-back on one GPU sharing memory (the NW1/NW2
+/// pattern), with stats reported per kernel.
+#[test]
+fn sequential_kernels_share_memory() {
+    let cfg = GpuConfig::test_tiny();
+    let writer = r#"
+        .kernel writer
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, %gtid
+            shl r3, r2, 2
+            add r1, r1, r3
+            st.global [r1], r2
+            exit
+    "#;
+    let doubler = r#"
+        .kernel doubler
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, %gtid
+            shl r3, r2, 2
+            add r1, r1, r3
+            ld.global r4, [r1]
+            shl r4, r4, 1
+            st.global [r1], r4
+            exit
+    "#;
+    let mut gpu = Gpu::new(cfg.clone());
+    let buf = gpu.mem_mut().gmem_mut().alloc(64);
+    let r1 = run_kernel(&cfg, writer, vec![buf as u32], 64, &mut gpu);
+    let r2 = run_kernel(&cfg, doubler, vec![buf as u32], 64, &mut gpu);
+    for i in 0..64u64 {
+        assert_eq!(gpu.mem().gmem().read_u32(buf + i * 4), 2 * i as u32);
+    }
+    // Per-kernel memory stats are deltas, not cumulative.
+    assert!(r2.mem.total_transactions > 0);
+    assert!(r1.mem.total_transactions > 0);
+    assert!(
+        r2.mem.total_transactions >= r1.mem.total_transactions,
+        "doubler loads AND stores"
+    );
+}
+
+/// Occupancy limits: a register-hungry kernel gets fewer resident CTAs and
+/// therefore runs longer than the same work with a lean kernel.
+#[test]
+fn register_pressure_limits_residency() {
+    let cfg = GpuConfig::test_tiny(); // 16384 regs/SM
+    let mk = |regs: u32| {
+        format!(
+            r#"
+            .kernel regs{regs}
+            .regs {regs}
+            .params 1
+                ld.param r1, [0]
+                mov r2, 0
+            top:
+                ld.global r3, [r1]
+                add r2, r2, 1
+                setp.lt.s32 p1, r2, 32
+            @p1 bra top
+                exit
+            "#
+        )
+    };
+    let run_with = |src: &str| {
+        let kernel = assemble(src).unwrap();
+        let mut gpu = Gpu::new(cfg.clone());
+        let b = gpu.mem_mut().gmem_mut().alloc(8);
+        let launch = LaunchSpec {
+            grid_ctas: 4,
+            threads_per_cta: 64,
+            params: vec![b as u32],
+        };
+        gpu.run_baseline(&kernel, &launch, BasePolicy::Gto)
+            .unwrap()
+            .cycles
+    };
+    // 64 threads x 128 regs = 8192: only 2 CTAs fit at a time; the lean
+    // kernel fits all 4 at once.
+    let lean = run_with(&mk(8));
+    let fat = run_with(&mk(128));
+    assert!(
+        fat > lean,
+        "register pressure must serialize CTAs: lean {lean} vs fat {fat}"
+    );
+}
+
+/// The simulator is fully deterministic: identical configurations produce
+/// identical cycle counts, statistics and memory contents.
+#[test]
+fn simulation_is_deterministic() {
+    let run_once = || {
+        let cfg = GpuConfig::test_tiny();
+        let ht = workloads::sync::Hashtable::with_params(128, 2, 4, 64);
+        workloads::run_baseline(&cfg, &ht, BasePolicy::Gto).unwrap()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.sim, b.sim);
+    assert_eq!(a.mem, b.mem);
+}
+
+/// Config presets are value types: cloning and comparing works, and the
+/// Pascal/Fermi presets differ in every paper-relevant dimension.
+#[test]
+fn gpu_config_presets_are_distinct() {
+    let fermi = GpuConfig::gtx480();
+    let pascal = GpuConfig::gtx1080ti();
+    assert_eq!(fermi, fermi.clone());
+    assert_ne!(fermi, pascal);
+    assert!(pascal.num_sms > fermi.num_sms);
+    assert!(pascal.schedulers_per_sm > fermi.schedulers_per_sm);
+    assert!(pascal.core_clock_mhz > fermi.core_clock_mhz);
+}
