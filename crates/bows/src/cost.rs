@@ -1,10 +1,9 @@
 //! Hardware-cost accounting (paper Table III).
 
 use crate::ddos::DdosConfig;
-use serde::{Deserialize, Serialize};
 
 /// Per-SM storage costs of DDOS and BOWS, in bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImplementationCost {
     /// SIB-PT storage (entries × 35 bits).
     pub sibpt_bits: u64,
@@ -70,8 +69,10 @@ mod tests {
 
     #[test]
     fn time_sharing_cuts_history_cost() {
-        let mut cfg = DdosConfig::default();
-        cfg.time_share_epoch = Some(1000);
+        let cfg = DdosConfig {
+            time_share_epoch: Some(1000),
+            ..DdosConfig::default()
+        };
         let c = ImplementationCost::per_sm(&cfg, 48);
         assert_eq!(c.history_bits, 192, "a single shared register set");
     }

@@ -15,11 +15,10 @@ pub use hash::HashKind;
 pub use history::{Record, WarpHistory};
 pub use sibpt::{SibEntry, SibPt};
 
-use serde::{Deserialize, Serialize};
 use simt_core::SpinDetector;
 
 /// DDOS design parameters (the knobs of Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DdosConfig {
     /// Hashing scheme (`h`): XOR (default) or MODULO.
     pub hash: HashKind,
@@ -285,8 +284,10 @@ mod tests {
 
     #[test]
     fn non_spinning_branches_erode_confidence() {
-        let mut cfg = DdosConfig::default();
-        cfg.confidence = 2;
+        let cfg = DdosConfig {
+            confidence: 2,
+            ..DdosConfig::default()
+        };
         let mut d = Ddos::new(cfg, 4);
         spin_iterations(&mut d, 0, 6, 0);
         assert!(d.is_sib(10));
@@ -302,8 +303,10 @@ mod tests {
 
     #[test]
     fn time_sharing_only_tracks_owner() {
-        let mut cfg = DdosConfig::default();
-        cfg.time_share_epoch = Some(1000);
+        let cfg = DdosConfig {
+            time_share_epoch: Some(1000),
+            ..DdosConfig::default()
+        };
         let mut d = Ddos::new(cfg, 2);
         // Warp 1 spins during warp 0's ownership epoch: ignored.
         spin_iterations(&mut d, 1, 10, 0);

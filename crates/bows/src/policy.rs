@@ -14,7 +14,6 @@
 //!
 //! The delay limit is fixed or adapted per Figure 5 (see [`DelayMode`]).
 
-use serde::{Deserialize, Serialize};
 use simt_core::{IssueInfo, SchedCtx, SchedulerPolicy};
 use std::collections::VecDeque;
 
@@ -29,7 +28,7 @@ use std::collections::VecDeque;
 /// contradicting Figures 10–11 (adaptive ≠ 1000) and Table III (14-bit
 /// counters for delays up to 10 000). We treat both as typos: the default
 /// here is `frac1 = 0.1`, limits [0, 10 000]; every value is configurable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
     /// Execution-window length `T` in cycles.
     pub window: u64,
@@ -61,7 +60,7 @@ impl Default for AdaptiveConfig {
 
 /// Which of BOWS's two mechanisms are active — the ablation knob for the
 /// design-choice studies (full BOWS = both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BowsComponents {
     /// Push SIB-executing warps to the back of the scheduling priority.
     pub deprioritize: bool,
@@ -80,7 +79,7 @@ impl Default for BowsComponents {
 }
 
 /// How the back-off delay limit is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DelayMode {
     /// A fixed limit in cycles (the 0/500/1000/3000/5000 sweep of Fig. 10).
     Fixed(u64),
@@ -292,6 +291,10 @@ impl SchedulerPolicy for Bows {
     fn current_delay_limit(&self) -> u64 {
         self.delay_limit
     }
+
+    fn backoff_queue_position(&self, warp: usize) -> Option<usize> {
+        self.queue.iter().position(|&w| w == warp)
+    }
 }
 
 #[cfg(test)]
@@ -399,7 +402,6 @@ mod tests {
             frac2: 0.8,
             min: 0,
             max: 600,
-            ..AdaptiveConfig::default()
         };
         let m = meta(2);
         let mut b = bows(DelayMode::Adaptive(acfg));

@@ -1,11 +1,39 @@
-//! Property-based tests for DDOS and BOWS: detection soundness over
+//! Property-style tests for DDOS and BOWS: detection soundness over
 //! synthetic observation streams, hashing bounds, and scheduler-state
 //! invariants.
+//!
+//! Uses a local deterministic PRNG rather than an external property-test
+//! framework so the suite builds and runs fully offline.
 
 use bows::{AdaptiveConfig, Bows, Ddos, DdosConfig, DelayMode, HashKind, WarpHistory};
-use proptest::prelude::*;
 use simt_core::sched::{IssueInfo, SchedCtx, WarpMeta};
 use simt_core::{SchedulerPolicy, SpinDetector};
+
+/// Deterministic splitmix64 generator for test-case construction.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn word(&mut self) -> u32 {
+        self.next() as u32
+    }
+}
 
 fn meta(n: usize) -> Vec<WarpMeta> {
     (0..n)
@@ -18,24 +46,29 @@ fn meta(n: usize) -> Vec<WarpMeta> {
         .collect()
 }
 
-proptest! {
-    /// Hash outputs always fit the configured width, for both schemes.
-    #[test]
-    fn hash_respects_width(v in any::<u32>(), bits in 1u8..=16) {
+/// Hash outputs always fit the configured width, for both schemes.
+#[test]
+fn hash_respects_width() {
+    let mut rng = Rng::new(1);
+    for _ in 0..256 {
+        let v = rng.word();
+        let bits = rng.range(1, 17) as u8;
         for kind in [HashKind::Xor, HashKind::Modulo] {
-            prop_assert!(u32::from(kind.hash(v, bits)) < (1u32 << bits));
+            assert!(u32::from(kind.hash(v, bits)) < (1u32 << bits));
         }
     }
+}
 
-    /// Any strictly periodic setp stream (period <= (l-1)/2) with constant
-    /// values is eventually classified as spinning.
-    #[test]
-    fn periodic_streams_are_detected(
-        period in 1usize..=3,
-        reps in 4usize..20,
-        pcs in proptest::collection::vec(0usize..64, 3),
-        vals in proptest::collection::vec(any::<u32>(), 3)
-    ) {
+/// Any strictly periodic setp stream (period <= (l-1)/2) with constant
+/// values is eventually classified as spinning.
+#[test]
+fn periodic_streams_are_detected() {
+    for seed in 0..128 {
+        let mut rng = Rng::new(seed);
+        let period = rng.range(1, 4) as usize;
+        let reps = rng.range(4, 20);
+        let pcs: Vec<usize> = (0..3).map(|_| rng.range(0, 64) as usize).collect();
+        let vals: Vec<u32> = (0..3).map(|_| rng.word()).collect();
         let mut h = WarpHistory::new(HashKind::Xor, 8, 8, 8);
         for _ in 0..reps {
             for i in 0..period {
@@ -45,80 +78,92 @@ proptest! {
         // Distinct PCs guarantee a clean period; duplicated PCs in the
         // sample may detect a shorter period — also spinning. Either way,
         // after `reps >= 4` full periods the warp must be spinning.
-        prop_assert!(h.spinning());
+        assert!(h.spinning(), "seed {seed} period {period} reps {reps}");
     }
+}
 
-    /// A stream whose value changes every observation is never classified
-    /// as spinning under XOR hashing (the Figure 7c property).
-    #[test]
-    fn changing_values_never_spin(
-        pc in 0usize..64,
-        start in any::<u32>(),
-        n in 5usize..100
-    ) {
+/// A stream whose value changes every observation is never classified as
+/// spinning under XOR hashing (the Figure 7c property).
+#[test]
+fn changing_values_never_spin() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
+        let pc = rng.range(0, 64) as usize;
+        let start = rng.word();
+        let n = rng.range(5, 100) as u32;
         let mut h = WarpHistory::new(HashKind::Xor, 8, 8, 8);
-        for i in 0..n as u32 {
+        for i in 0..n {
             h.observe(pc, [start.wrapping_add(i), 1000]);
-            prop_assert!(!h.spinning(), "iteration {i}");
+            assert!(!h.spinning(), "seed {seed} iteration {i}");
         }
     }
+}
 
-    /// DDOS never confirms a forward branch, no matter the stream.
-    #[test]
-    fn forward_branches_never_confirmed(
-        events in proptest::collection::vec((0usize..8, 0usize..32, any::<u32>()), 1..200)
-    ) {
+/// DDOS never confirms a forward branch, no matter the stream.
+#[test]
+fn forward_branches_never_confirmed() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
         let mut d = Ddos::new(DdosConfig::default(), 8);
-        for (i, (warp, pc, val)) in events.iter().enumerate() {
-            d.on_setp(i as u64, *warp, *pc, [*val, 0]);
+        let nevents = rng.range(1, 200);
+        for i in 0..nevents {
+            let warp = rng.range(0, 8) as usize;
+            let pc = rng.range(0, 32) as usize;
+            let val = rng.word();
+            d.on_setp(i, warp, pc, [val, 0]);
             // Forward branch: target beyond pc.
-            d.on_branch(i as u64, *warp, *pc, pc + 1, true);
+            d.on_branch(i, warp, pc, pc + 1, true);
         }
-        prop_assert!(d.confirmed_sibs().is_empty());
+        assert!(d.confirmed_sibs().is_empty(), "seed {seed}");
     }
+}
 
-    /// BOWS invariants under arbitrary event interleavings: a warp is in
-    /// the backed-off queue iff its flag says so; issuing always clears the
-    /// state; picks stay within the eligible set.
-    #[test]
-    fn bows_state_machine_consistent(
-        events in proptest::collection::vec((0usize..8, 0u8..3), 1..300)
-    ) {
+/// BOWS invariants under arbitrary event interleavings: a warp is in the
+/// backed-off queue iff its flag says so; issuing always clears the state;
+/// picks stay within the eligible set.
+#[test]
+fn bows_state_machine_consistent() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
         let m = meta(8);
         let mut b = Bows::new(
             simt_core::BasePolicy::Gto.build(50_000),
             DelayMode::Fixed(100),
         );
-        let mut now = 0u64;
-        for (warp, ev) in events {
-            now += 1;
-            let ctx = SchedCtx { now, meta: &m, resident_version: 1 };
-            match ev {
+        let nevents = rng.range(1, 300);
+        for now in 1..=nevents {
+            let warp = rng.range(0, 8) as usize;
+            let ctx = SchedCtx {
+                now,
+                meta: &m,
+                resident_version: 1,
+            };
+            match rng.range(0, 3) {
                 0 => b.on_sib(&ctx, warp),
                 1 => {
                     b.on_issue(&ctx, warp, &IssueInfo::default());
-                    prop_assert!(!b.is_backed_off(warp), "issue clears state");
+                    assert!(!b.is_backed_off(warp), "issue clears state (seed {seed})");
                 }
                 _ => {
-                    let eligible: Vec<usize> =
-                        (0..8).filter(|&w| b.can_issue(now, w)).collect();
+                    let eligible: Vec<usize> = (0..8).filter(|&w| b.can_issue(now, w)).collect();
                     if !eligible.is_empty() {
                         let pick = b.pick(&ctx, &eligible);
                         if let Some(w) = pick {
-                            prop_assert!(eligible.contains(&w));
+                            assert!(eligible.contains(&w), "seed {seed}");
                         }
                     }
                 }
             }
         }
     }
+}
 
-    /// The adaptive controller's delay limit always stays in [min, max]
-    /// after any sequence of windows.
-    #[test]
-    fn adaptive_limit_always_clamped(
-        sibs in proptest::collection::vec((0u64..2000, 0u64..2000), 1..60)
-    ) {
+/// The adaptive controller's delay limit always stays in [min, max] after
+/// any sequence of windows.
+#[test]
+fn adaptive_limit_always_clamped() {
+    for seed in 0..16 {
+        let mut rng = Rng::new(seed);
         let acfg = AdaptiveConfig {
             window: 10,
             step: 250,
@@ -128,25 +173,35 @@ proptest! {
             max: 2000,
         };
         let m = meta(2);
-        let mut b = Bows::new(
-            simt_core::BasePolicy::Lrr.build(1),
-            DelayMode::Adaptive(acfg),
-        );
+        let mut b = Bows::new(simt_core::BasePolicy::Lrr.build(1), DelayMode::Adaptive(acfg));
         let mut now = 0u64;
-        for (total, sib) in sibs {
-            let total = total.max(sib);
+        let windows = rng.range(1, 20);
+        for _ in 0..windows {
+            let sib = rng.range(0, 500);
+            let total = rng.range(0, 500).max(sib);
             for i in 0..total {
-                let ctx = SchedCtx { now, meta: &m, resident_version: 1 };
+                let ctx = SchedCtx {
+                    now,
+                    meta: &m,
+                    resident_version: 1,
+                };
                 b.on_issue(
                     &ctx,
                     0,
-                    &IssueInfo { is_sib: i < sib, ..IssueInfo::default() },
+                    &IssueInfo {
+                        is_sib: i < sib,
+                        ..IssueInfo::default()
+                    },
                 );
                 now += 1;
-                let ctx = SchedCtx { now, meta: &m, resident_version: 1 };
+                let ctx = SchedCtx {
+                    now,
+                    meta: &m,
+                    resident_version: 1,
+                };
                 b.end_cycle(&ctx, &[0, 1], Some(0));
                 let limit = b.current_delay_limit();
-                prop_assert!((100..=2000).contains(&limit), "limit {limit}");
+                assert!((100..=2000).contains(&limit), "limit {limit} (seed {seed})");
             }
         }
     }

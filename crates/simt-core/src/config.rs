@@ -1,10 +1,9 @@
 //! GPU configuration presets (the paper's Table II).
 
-use serde::{Deserialize, Serialize};
 use simt_mem::MemConfig;
 
 /// Functional-unit latencies (cycles from issue to register writeback).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// Integer / logic / predicate ops.
     pub int_alu: u64,
@@ -31,7 +30,7 @@ impl Default for Latencies {
 ///
 /// Presets follow the paper's Table II: [`GpuConfig::gtx480`] (Fermi) and
 /// [`GpuConfig::gtx1080ti`] (Pascal).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Human-readable name.
     pub name: String,
@@ -61,8 +60,13 @@ pub struct GpuConfig {
     /// Abort the run after this many cycles (0 = unlimited).
     pub max_cycles: u64,
     /// Declare livelock if no SM issues and memory is quiescent for this
-    /// many consecutive cycles.
+    /// many consecutive cycles. Also the persistence window of the
+    /// spin-livelock scan and the per-warp starvation bound.
     pub watchdog_cycles: u64,
+    /// Fail with a classified hang report if a BOWS backed-off warp goes
+    /// this many cycles without issuing (0 disables the guard). Catches
+    /// mistuned back-off delays that starve a warp outright.
+    pub backoff_starvation_cycles: u64,
     /// Enable the idealized queue-based blocking-lock mechanism at the L2
     /// partitions (the HQL-style comparator of the paper's Section VII /
     /// Figure 16b). Off for all paper-reproduction runs.
@@ -87,6 +91,7 @@ impl GpuConfig {
             gto_rotate_period: 50_000,
             max_cycles: 0,
             watchdog_cycles: 1_000_000,
+            backoff_starvation_cycles: 0,
             blocking_locks: false,
         }
     }
@@ -109,6 +114,7 @@ impl GpuConfig {
             gto_rotate_period: 50_000,
             max_cycles: 0,
             watchdog_cycles: 1_000_000,
+            backoff_starvation_cycles: 0,
             blocking_locks: false,
         }
     }
@@ -130,6 +136,7 @@ impl GpuConfig {
             gto_rotate_period: 50_000,
             max_cycles: 20_000_000,
             watchdog_cycles: 200_000,
+            backoff_starvation_cycles: 0,
             blocking_locks: false,
         }
     }

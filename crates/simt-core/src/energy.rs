@@ -7,11 +7,10 @@
 //! positive per-event costs preserve the ratios).
 
 use crate::SimStats;
-use serde::{Deserialize, Serialize};
 use simt_mem::MemStats;
 
 /// Per-event energies in picojoules, plus static power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Fetch/decode/issue overhead per warp instruction.
     pub issue_pj: f64,
@@ -44,7 +43,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy totals for a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Core dynamic energy (issue + lanes), joules.
     pub core_j: f64,
@@ -102,9 +101,11 @@ mod tests {
     fn fewer_instructions_means_less_dynamic_energy() {
         let m = EnergyModel::default();
         let mem = MemStats::default();
-        let mut a = SimStats::default();
-        a.issued_inst = 1000;
-        a.thread_inst = 32_000;
+        let a = SimStats {
+            issued_inst: 1000,
+            thread_inst: 32_000,
+            ..SimStats::default()
+        };
         let mut b = a.clone();
         b.issued_inst = 500;
         b.thread_inst = 16_000;
@@ -118,8 +119,10 @@ mod tests {
     fn static_energy_scales_with_time() {
         let m = EnergyModel::default();
         let mem = MemStats::default();
-        let mut s = SimStats::default();
-        s.cycles = 700_000; // 1 ms at 700 MHz
+        let s = SimStats {
+            cycles: 700_000, // 1 ms at 700 MHz
+            ..SimStats::default()
+        };
         let e = m.evaluate(&s, &mem, 15, 700);
         // 0.9 W * 15 SMs * 1 ms = 13.5 mJ.
         assert!((e.static_j - 0.0135).abs() < 1e-6);

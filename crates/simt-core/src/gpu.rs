@@ -3,11 +3,17 @@
 use crate::detect::{BranchLog, NullDetector, SpinDetector, StaticSibDetector};
 use crate::sched::{BasePolicy, SchedulerPolicy};
 use crate::sm::{LaunchCtx, Sm};
+use crate::watchdog::{HangClass, HangReport, ProgressScan};
 use crate::{EnergyBreakdown, EnergyModel, GpuConfig, SimStats};
 use simt_isa::Kernel;
 use simt_mem::{MemStats, MemorySystem};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// Cycles between forward-progress scans. A power of two well below any
+/// sensible `watchdog_cycles`, so scan cost stays negligible while hang
+/// detection latency stays within ~2x the watchdog window.
+const SCAN_PERIOD: u64 = 2048;
 
 /// Factory producing one scheduler-policy instance per scheduler unit.
 pub type PolicyFactory<'a> = dyn Fn() -> Box<dyn SchedulerPolicy> + 'a;
@@ -28,24 +34,61 @@ pub struct LaunchSpec {
 
 /// Why a run stopped abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
-    /// No instruction issued and memory was idle for the watchdog window —
-    /// the hallmark of SIMT-induced deadlock or scheduler livelock.
-    Deadlock { cycle: u64 },
-    /// `max_cycles` exceeded.
-    CycleLimit { cycle: u64 },
+    /// The forward-progress watchdog declared a hang: a SIMT-induced
+    /// deadlock, spin livelock, or warp starvation. The report classifies
+    /// the hang and snapshots every live warp.
+    Deadlock {
+        /// Cycle at which the hang was declared.
+        cycle: u64,
+        /// Structured diagnosis.
+        report: Box<HangReport>,
+    },
+    /// `max_cycles` exceeded without the watchdog seeing a hang pattern.
+    CycleLimit {
+        /// The cycle limit that was hit.
+        cycle: u64,
+        /// Warp snapshots at the limit (class [`HangClass::CycleLimit`]).
+        report: Box<HangReport>,
+    },
     /// Launch geometry the configuration can never satisfy.
-    LaunchTooLarge { reason: String },
+    LaunchTooLarge {
+        /// What did not fit.
+        reason: String,
+    },
+    /// The simulator caught itself in a state that should be unreachable.
+    /// Surfaced as an error (not a panic) so sweeps over many workloads can
+    /// report and continue.
+    InternalInvariant {
+        /// The broken invariant.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// The hang diagnosis, when this error carries one.
+    pub fn hang_report(&self) -> Option<&HangReport> {
+        match self {
+            SimError::Deadlock { report, .. } | SimError::CycleLimit { report, .. } => {
+                Some(report)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle } => {
-                write!(f, "deadlock/livelock detected at cycle {cycle}")
+            SimError::Deadlock { cycle, report } => {
+                write!(f, "{} detected at cycle {cycle}", report.class)
             }
-            SimError::CycleLimit { cycle } => write!(f, "cycle limit reached at {cycle}"),
+            SimError::CycleLimit { cycle, .. } => write!(f, "cycle limit reached at {cycle}"),
             SimError::LaunchTooLarge { reason } => write!(f, "launch too large: {reason}"),
+            SimError::InternalInvariant { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }
@@ -145,9 +188,12 @@ impl Gpu {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Deadlock`] when nothing can make progress for the
-    /// watchdog window, [`SimError::CycleLimit`] past `cfg.max_cycles`, and
-    /// [`SimError::LaunchTooLarge`] when a single CTA cannot fit on an SM.
+    /// Returns [`SimError::Deadlock`] (with a classified [`HangReport`])
+    /// when the watchdog declares a global deadlock, spin livelock, or warp
+    /// starvation; [`SimError::CycleLimit`] past `cfg.max_cycles`;
+    /// [`SimError::LaunchTooLarge`] when a single CTA cannot fit on an SM;
+    /// and [`SimError::InternalInvariant`] if the simulator catches itself
+    /// in an impossible state.
     pub fn run(
         &mut self,
         kernel: &Kernel,
@@ -155,7 +201,9 @@ impl Gpu {
         policy_factory: &PolicyFactory<'_>,
         detector_factory: &DetectorFactory<'_>,
     ) -> Result<KernelReport, SimError> {
-        kernel.validate().expect("kernel validated at assembly");
+        kernel.validate().map_err(|e| SimError::InternalInvariant {
+            what: format!("kernel failed validation at launch: {e}"),
+        })?;
         let lctx = LaunchCtx {
             kernel,
             params: &launch.params,
@@ -215,11 +263,16 @@ impl Gpu {
         let mut now = 0u64;
         let mut idle_since = 0u64;
         let mut remaining = launch.grid_ctas;
+        // Spin-livelock persistence: the first cycle at which every live warp
+        // was spinning-or-blocked with zero lock progress, or `None` while
+        // the machine is making progress.
+        let mut livelock_since: Option<u64> = None;
+        let mut locks_at_scan = mem_before.lock_success;
 
         while remaining > 0 {
             // Memory completions first so unblocked warps can issue today.
             for c in self.mem.cycle(now) {
-                sms[c.sm].on_mem_complete(c);
+                sms[c.sm].on_mem_complete(c)?;
             }
             let mut issued_any = false;
             let mut finished = 0u32;
@@ -227,7 +280,7 @@ impl Gpu {
                 if !sm.has_work() {
                     continue;
                 }
-                let r = sm.cycle(now, &lctx, &mut self.mem, &mut stats);
+                let r = sm.cycle(now, &lctx, &mut self.mem, &mut stats)?;
                 issued_any |= r.issued > 0;
                 finished += r.ctas_finished;
             }
@@ -250,11 +303,62 @@ impl Gpu {
                 stats.busy_cycles += 1;
                 idle_since = now + 1;
             } else if self.mem.quiescent() && now - idle_since >= self.cfg.watchdog_cycles {
-                return Err(SimError::Deadlock { cycle: now });
+                // Nothing can ever issue again: classic SIMT deadlock.
+                return Err(self.hang(HangClass::GlobalDeadlock, now, &sms, &scheduler_name));
             }
+
+            // Periodic forward-progress scan: catches hangs where warps keep
+            // issuing (spin livelock) or where one warp silently starves
+            // while the rest of the machine stays busy.
+            if now.is_multiple_of(SCAN_PERIOD) && now > 0 && remaining > 0 {
+                let mut agg = ProgressScan::default();
+                let mut starved = None;
+                let mut backoff_starved = None;
+                for (id, sm) in sms.iter().enumerate() {
+                    let s = sm.scan_progress(
+                        now,
+                        self.cfg.watchdog_cycles,
+                        self.cfg.backoff_starvation_cycles,
+                    );
+                    agg.live += s.live;
+                    agg.spinning += s.spinning;
+                    agg.spinning_or_blocked += s.spinning_or_blocked;
+                    if backoff_starved.is_none() {
+                        backoff_starved = s.backoff_starved.map(|w| (id, w));
+                    }
+                    if starved.is_none() {
+                        starved = s.starved.map(|w| (id, w));
+                    }
+                }
+                let locks_now = self.mem.stats().lock_success;
+                let lock_delta = locks_now - locks_at_scan;
+                locks_at_scan = locks_now;
+                if let Some((sm, warp)) = backoff_starved {
+                    let class = HangClass::BackoffStarvation { sm, warp };
+                    return Err(self.hang(class, now, &sms, &scheduler_name));
+                }
+                if let Some((sm, warp)) = starved {
+                    let class = HangClass::Starvation { sm, warp };
+                    return Err(self.hang(class, now, &sms, &scheduler_name));
+                }
+                let stalled = agg.live > 0
+                    && agg.spinning > 0
+                    && agg.spinning_or_blocked == agg.live
+                    && lock_delta == 0;
+                if stalled {
+                    let since = *livelock_since.get_or_insert(now);
+                    if now - since >= self.cfg.watchdog_cycles {
+                        let class = HangClass::SpinLivelock;
+                        return Err(self.hang(class, now, &sms, &scheduler_name));
+                    }
+                } else {
+                    livelock_since = None;
+                }
+            }
+
             now += 1;
             if self.cfg.max_cycles > 0 && now >= self.cfg.max_cycles {
-                return Err(SimError::CycleLimit { cycle: now });
+                return Err(self.hang(HangClass::CycleLimit, now, &sms, &scheduler_name));
             }
         }
 
@@ -287,6 +391,24 @@ impl Gpu {
             detector: detector_name,
             time_ms: self.cfg.cycles_to_ms(now),
         })
+    }
+
+    /// Build a classified hang error with a full warp-state snapshot.
+    fn hang(&self, class: HangClass, cycle: u64, sms: &[Sm], scheduler: &str) -> SimError {
+        let mstats = self.mem.stats();
+        let report = Box::new(HangReport {
+            class,
+            cycle,
+            scheduler: scheduler.to_string(),
+            warps: sms.iter().flat_map(|sm| sm.snapshots(cycle)).collect(),
+            mem_in_flight: self.mem.in_flight(),
+            lock_success: mstats.lock_success,
+            lock_fails: mstats.lock_intra_fail + mstats.lock_inter_fail,
+        });
+        match class {
+            HangClass::CycleLimit => SimError::CycleLimit { cycle, report },
+            _ => SimError::Deadlock { cycle, report },
+        }
     }
 }
 
@@ -550,9 +672,16 @@ mod tests {
             params: vec![flag as u32],
         };
         let err = gpu.run_baseline(&kernel, &launch, BasePolicy::Gto);
-        // The spin loop keeps issuing, so this manifests as a cycle limit,
-        // not a watchdog deadlock (the warp is running, not blocked).
-        assert!(err.is_err());
+        // The spin loop keeps issuing, so the idle watchdog never trips;
+        // the forward-progress scan classifies it as spin livelock instead.
+        match err {
+            Err(SimError::Deadlock { cycle, report }) => {
+                assert_eq!(report.class, crate::HangClass::SpinLivelock);
+                assert!(cycle < 100_000, "diagnosed before the cycle limit");
+                assert!(report.spinning_warps().next().is_some());
+            }
+            other => panic!("expected a classified deadlock, got {other:?}"),
+        }
     }
 
     #[test]

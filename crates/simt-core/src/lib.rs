@@ -52,6 +52,7 @@ mod sm;
 mod stack;
 mod stats;
 mod warp;
+mod watchdog;
 
 pub use config::{GpuConfig, Latencies};
 pub use detect::{BranchLog, BranchTimeline, NullDetector, SpinDetector, StaticSibDetector};
@@ -63,3 +64,4 @@ pub use sm::{LaunchCtx, Sm, SmCycle};
 pub use stack::{SimtStack, StackEntry};
 pub use stats::SimStats;
 pub use warp::{Cta, Warp};
+pub use watchdog::{HangClass, HangReport, ProgressScan, WarpProgress, WarpSnapshot};

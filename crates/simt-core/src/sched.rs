@@ -5,7 +5,6 @@
 //! issue. Policies implement [`SchedulerPolicy`]; the BOWS wrapper in the
 //! `bows` crate composes over any of them.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-warp metadata visible to schedulers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,6 +37,10 @@ pub struct IssueInfo {
     pub is_sib: bool,
     /// Number of lanes that executed.
     pub active_lanes: u32,
+    /// The instruction wrote memory (global or shared store) — externally
+    /// visible progress, used by the forward-progress watchdog to exempt
+    /// producer loops from spin classification.
+    pub writes_mem: bool,
 }
 
 /// Scheduling context for one cycle.
@@ -93,10 +96,17 @@ pub trait SchedulerPolicy {
     fn current_delay_limit(&self) -> u64 {
         0
     }
+
+    /// Position of `warp` in the policy's back-off FIFO (0 = next to
+    /// issue), for hang diagnostics. `None` for policies without one or
+    /// warps not queued.
+    fn backoff_queue_position(&self, _warp: usize) -> Option<usize> {
+        None
+    }
 }
 
 /// Which baseline policy to build (convenience for experiment configs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BasePolicy {
     /// Loose round-robin.
     Lrr,

@@ -87,6 +87,24 @@ impl Scoreboard {
     pub fn is_clear(&self) -> bool {
         self.regs == [0; 4] && self.preds == 0
     }
+
+    /// Register indices with outstanding writes (hang diagnostics).
+    pub fn pending_regs(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        for (word, &bits) in self.regs.iter().enumerate() {
+            let mut b = bits;
+            while b != 0 {
+                out.push((word as u16) * 64 + b.trailing_zeros() as u16);
+                b &= b - 1;
+            }
+        }
+        out
+    }
+
+    /// Predicate indices with outstanding writes (hang diagnostics).
+    pub fn pending_preds(&self) -> Vec<u8> {
+        (0..8).filter(|p| self.preds & (1 << p) != 0).collect()
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 use crate::detect::{BranchLog, SpinDetector};
 use crate::sched::{IssueInfo, SchedCtx, SchedulerPolicy, WarpMeta};
 use crate::warp::{Cta, Warp};
-use crate::{GpuConfig, SimStats};
+use crate::watchdog::{ProgressScan, WarpProgress, WarpSnapshot};
+use crate::{GpuConfig, SimError, SimStats};
 use simt_isa::{Inst, Kernel, Op, OpClass, Operand, Reg, Space, Special, Ty};
 use simt_mem::{
     LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind,
@@ -13,6 +14,11 @@ use std::collections::HashMap;
 
 /// Writeback-wheel capacity; must exceed every ALU latency.
 const WHEEL: usize = 64;
+
+/// Shorthand for reporting a broken internal invariant instead of panicking.
+fn invariant(what: String) -> SimError {
+    SimError::InternalInvariant { what }
+}
 
 /// Immutable launch context shared by all SMs during a kernel run.
 #[derive(Debug)]
@@ -95,6 +101,8 @@ pub struct Sm {
     pending: HashMap<u64, PendingMem>,
     next_tag: u64,
     wheel: Vec<Vec<WbEntry>>,
+    /// Forward-progress watchdog state, one entry per warp slot.
+    progress: Vec<WarpProgress>,
     resident_version: u64,
     regs_in_use: usize,
     shared_in_use: usize,
@@ -147,6 +155,7 @@ impl Sm {
             pending: HashMap::new(),
             next_tag: 1,
             wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            progress: vec![WarpProgress::default(); cfg.warps_per_sm()],
             resident_version: 0,
             regs_in_use: 0,
             shared_in_use: 0,
@@ -213,6 +222,7 @@ impl Sm {
             };
             *age_counter += 1;
             self.warps[ws].launch(slot, wic, mask, *age_counter);
+            self.progress[ws] = WarpProgress::default();
             self.units[ws % self.num_units].on_warp_launch(ws, lctx.kernel.static_len());
             self.detector.warp_reset(ws);
         }
@@ -234,9 +244,17 @@ impl Sm {
     }
 
     /// Handle a memory completion routed to this SM.
-    pub fn on_mem_complete(&mut self, c: MemCompletion) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InternalInvariant`] on a completion for an unknown tag
+    /// or a retired CTA (simulator bugs surfaced as errors, not panics).
+    pub fn on_mem_complete(&mut self, c: MemCompletion) -> Result<(), SimError> {
         let Some(entry) = self.pending.get_mut(&c.tag) else {
-            panic!("completion for unknown tag {}", c.tag);
+            return Err(invariant(format!(
+                "sm {}: memory completion for unknown tag {}",
+                self.id, c.tag
+            )));
         };
         let warp = entry.warp;
         let kind = entry.kind;
@@ -248,7 +266,12 @@ impl Sm {
         if let PendKind::Atomic { dst } = kind {
             let cta_slot = self.warps[warp].cta_slot;
             let warp_in_cta = self.warps[warp].warp_in_cta;
-            let cta = self.ctas[cta_slot].as_mut().expect("atomic CTA live");
+            let Some(cta) = self.ctas[cta_slot].as_mut() else {
+                return Err(invariant(format!(
+                    "sm {}: atomic completion for retired CTA slot {cta_slot}",
+                    self.id
+                )));
+            };
             for (lane, old) in &c.atomic_results {
                 cta.set_reg(warp_in_cta * 32 + *lane as usize, dst, *old);
             }
@@ -261,16 +284,23 @@ impl Sm {
                 PendKind::Store => {}
             }
         }
+        Ok(())
     }
 
     /// Advance one cycle: writebacks, then one issue attempt per unit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InternalInvariant`] when execution hits a state the
+    /// kernel should have made impossible (out-of-range parameter or
+    /// shared-memory access, a store to param space, a retired CTA).
     pub fn cycle(
         &mut self,
         now: u64,
         lctx: &LaunchCtx<'_>,
         mem: &mut MemorySystem,
         stats: &mut SimStats,
-    ) -> SmCycle {
+    ) -> Result<SmCycle, SimError> {
         let mut result = SmCycle::default();
         // 1. Writebacks.
         let slot = (now as usize) % WHEEL;
@@ -313,6 +343,7 @@ impl Sm {
                 eligible: false,
             };
             if w.resident && !w.done {
+                self.progress[i].note_alive(now);
                 if w.at_barrier {
                     stats.stall_barrier += 1;
                 } else if w.waiting_membar {
@@ -331,7 +362,7 @@ impl Sm {
         }
         // 3. Issue per scheduler unit.
         let mut issued_by_unit: Vec<Option<usize>> = vec![None; self.num_units];
-        for u in 0..self.num_units {
+        for (u, issued_slot) in issued_by_unit.iter_mut().enumerate() {
             let mut eligible: Vec<usize> = Vec::new();
             for w in (u..self.warps.len()).step_by(self.num_units) {
                 if self.meta[w].eligible {
@@ -356,9 +387,10 @@ impl Sm {
             debug_assert!(eligible.contains(&w), "policy picked ineligible warp");
             stats.issued_cycles += 1;
             stats.stall_arbitration += (eligible.len() - 1) as u64;
-            let outcome = self.execute(w, now, lctx, mem, stats);
+            let outcome = self.execute(w, now, lctx, mem, stats)?;
             result.issued += 1;
-            issued_by_unit[u] = Some(w);
+            *issued_slot = Some(w);
+            self.progress[w].on_issue(now, &outcome.info);
             let ctx = SchedCtx {
                 now,
                 meta: &self.meta,
@@ -373,7 +405,12 @@ impl Sm {
             }
             match outcome.cta_event {
                 Some(CtaEvent::BarrierFull(slot)) => {
-                    let cta = self.ctas[slot].as_mut().expect("barrier CTA live");
+                    let Some(cta) = self.ctas[slot].as_mut() else {
+                        return Err(invariant(format!(
+                            "sm {}: barrier release on retired CTA slot {slot}",
+                            self.id
+                        )));
+                    };
                     cta.barrier_arrived = 0;
                     stats.barriers += 1;
                     for wp in &mut self.warps {
@@ -383,7 +420,12 @@ impl Sm {
                     }
                 }
                 Some(CtaEvent::WarpDone(slot)) => {
-                    let cta = self.ctas[slot].as_mut().expect("CTA live");
+                    let Some(cta) = self.ctas[slot].as_mut() else {
+                        return Err(invariant(format!(
+                            "sm {}: warp completion on retired CTA slot {slot}",
+                            self.id
+                        )));
+                    };
                     // A warp exiting may also release the barrier.
                     if cta.live_warps() > 0 && cta.barrier_arrived >= cta.live_warps() {
                         cta.barrier_arrived = 0;
@@ -399,7 +441,7 @@ impl Sm {
             }
         }
         // 4. End-of-cycle policy bookkeeping + Figure 11 sampling.
-        for u in 0..self.num_units {
+        for (u, &issued) in issued_by_unit.iter().enumerate() {
             let unit_warps: Vec<usize> =
                 (u..self.warps.len()).step_by(self.num_units).collect();
             let ctx = SchedCtx {
@@ -407,7 +449,7 @@ impl Sm {
                 meta: &self.meta,
                 resident_version: self.resident_version,
             };
-            self.units[u].end_cycle(&ctx, &unit_warps, issued_by_unit[u]);
+            self.units[u].end_cycle(&ctx, &unit_warps, issued);
             for &w in &unit_warps {
                 if self.meta[w].resident && !self.meta[w].done {
                     stats.resident_warp_samples += 1;
@@ -417,7 +459,7 @@ impl Sm {
                 }
             }
         }
-        result
+        Ok(result)
     }
 
     /// Functionally execute the instruction at the warp's PC.
@@ -428,7 +470,7 @@ impl Sm {
         lctx: &LaunchCtx<'_>,
         mem: &mut MemorySystem,
         stats: &mut SimStats,
-    ) -> ExecOutcome {
+    ) -> Result<ExecOutcome, SimError> {
         let (lat_int, lat_fp, lat_sfu, lat_shared) =
             (self.lat_int, self.lat_fp, self.lat_sfu, self.lat_shared);
         let latency = move |class: OpClass| match class {
@@ -443,7 +485,12 @@ impl Sm {
         let inst = &lctx.kernel.insts[pc];
         let active = warp.stack.active_mask();
         let cta_slot = warp.cta_slot;
-        let cta = self.ctas[cta_slot].as_mut().expect("executing CTA live");
+        let sm_id = self.id;
+        let Some(cta) = self.ctas[cta_slot].as_mut() else {
+            return Err(invariant(format!(
+                "sm {sm_id}: issuing warp {w_idx} belongs to retired CTA slot {cta_slot}"
+            )));
+        };
 
         // Guard evaluation.
         let mut exec = active;
@@ -668,9 +715,13 @@ impl Sm {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
                             let slot = (addr / 4) as usize;
-                            let v = lctx.params.get(slot).copied().unwrap_or_else(|| {
-                                panic!("param slot {slot} out of range")
-                            });
+                            let Some(&v) = lctx.params.get(slot) else {
+                                return Err(invariant(format!(
+                                    "sm {sm_id} pc {pc}: ld.param slot {slot} out of \
+                                     range ({} params passed)",
+                                    lctx.params.len()
+                                )));
+                            };
                             cta.set_reg(t, dst, v);
                         }
                         warp.sb.reserve(inst);
@@ -685,7 +736,13 @@ impl Sm {
                         for lane in BitIter(exec) {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
-                            let v = cta.shared[(addr / 4) as usize];
+                            let Some(&v) = cta.shared.get((addr / 4) as usize) else {
+                                return Err(invariant(format!(
+                                    "sm {sm_id} pc {pc}: ld.shared at byte {addr} past \
+                                     the CTA's {} shared words",
+                                    cta.shared.len()
+                                )));
+                            };
                             cta.set_reg(t, dst, v);
                         }
                         warp.sb.reserve(inst);
@@ -711,7 +768,7 @@ impl Sm {
                         }
                         if accesses.is_empty() {
                             warp.stack.advance(pc + 1);
-                            return outcome;
+                            return Ok(outcome);
                         }
                         warp.sb.reserve(inst);
                         let txs = simt_mem::Coalescer::coalesce(&accesses);
@@ -744,14 +801,26 @@ impl Sm {
                 warp.stack.advance(pc + 1);
             }
             Op::St(space, _volatile) => {
+                outcome.info.writes_mem = true;
                 match space {
-                    Space::Param => panic!("stores to param space are invalid"),
+                    Space::Param => {
+                        return Err(invariant(format!(
+                            "sm {sm_id} pc {pc}: store to param space"
+                        )));
+                    }
                     Space::Shared => {
                         for lane in BitIter(exec) {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
                             let v = val!(&inst.srcs[0], lane, t);
-                            cta.shared[(addr / 4) as usize] = v;
+                            let words = cta.shared.len();
+                            let Some(s) = cta.shared.get_mut((addr / 4) as usize) else {
+                                return Err(invariant(format!(
+                                    "sm {sm_id} pc {pc}: st.shared at byte {addr} past \
+                                     the CTA's {words} shared words"
+                                )));
+                            };
+                            *s = v;
                         }
                         // Shared stores complete in-pipeline; no scoreboard.
                     }
@@ -853,13 +922,87 @@ impl Sm {
             }
         }
 
-        outcome
+        Ok(outcome)
     }
 
     /// True once every pending memory op and writeback has drained
     /// (watchdog support).
     pub fn quiescent(&self) -> bool {
         self.pending.is_empty() && self.wheel.iter().all(Vec::is_empty)
+    }
+
+    /// Aggregate forward-progress view for the periodic hang scan.
+    /// `starvation_bound` is the no-issue age at which an unblocked warp
+    /// counts as starved; `backoff_bound` (0 = disabled) is the same for
+    /// warps in the scheduler's backed-off state.
+    pub fn scan_progress(
+        &self,
+        now: u64,
+        starvation_bound: u64,
+        backoff_bound: u64,
+    ) -> ProgressScan {
+        let mut scan = ProgressScan::default();
+        for (i, w) in self.warps.iter().enumerate() {
+            if !w.resident || w.done {
+                continue;
+            }
+            scan.live += 1;
+            let p = &self.progress[i];
+            let blocked = w.at_barrier || w.waiting_membar || w.outstanding_mem > 0;
+            let spinning = p.spinning();
+            if spinning {
+                scan.spinning += 1;
+            }
+            if spinning || blocked {
+                scan.spinning_or_blocked += 1;
+            }
+            let idle = p.idle_for(now);
+            if backoff_bound > 0
+                && idle >= backoff_bound
+                && self.units[i % self.num_units].is_backed_off(i)
+                && scan.backoff_starved.is_none()
+            {
+                scan.backoff_starved = Some(i);
+            }
+            if !blocked && idle >= starvation_bound && scan.starved.is_none() {
+                scan.starved = Some(i);
+            }
+        }
+        scan
+    }
+
+    /// Snapshot every live warp for a [`crate::HangReport`].
+    pub fn snapshots(&self, now: u64) -> Vec<WarpSnapshot> {
+        let mut out = Vec::new();
+        for (i, w) in self.warps.iter().enumerate() {
+            if !w.resident || w.done {
+                continue;
+            }
+            let p = &self.progress[i];
+            let unit = &self.units[i % self.num_units];
+            let pc_stuck = if p.last_pc_change == u64::MAX {
+                0
+            } else {
+                now.saturating_sub(p.last_pc_change)
+            };
+            out.push(WarpSnapshot {
+                sm: self.id,
+                warp: i,
+                pc: if w.stack.is_empty() { 0 } else { w.stack.pc() },
+                stack_depth: w.stack.depth(),
+                active_lanes: w.stack.active_mask().count_ones(),
+                outstanding_mem: w.outstanding_mem,
+                at_barrier: w.at_barrier,
+                waiting_membar: w.waiting_membar,
+                backed_off: unit.is_backed_off(i),
+                backoff_queue_position: unit.backoff_queue_position(i),
+                spin_iters: p.spin_iters,
+                idle_cycles: p.idle_for(now),
+                pc_stuck_cycles: pc_stuck,
+                pending_regs: w.sb.pending_regs(),
+            });
+        }
+        out
     }
 
     /// Resident-version counter (bumped on CTA launch/retire).

@@ -1,9 +1,8 @@
 //! Core-side simulation statistics (the raw material of every figure).
 
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated during a kernel run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles simulated for this kernel.
     pub cycles: u64,

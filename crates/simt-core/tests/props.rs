@@ -1,33 +1,65 @@
-//! Property-based tests for the core: SIMT-stack invariants under random
+//! Property-style tests for the core: SIMT-stack invariants under random
 //! divergence, scoreboard consistency, and scheduler-policy sanity.
+//!
+//! Uses a local deterministic PRNG rather than an external property-test
+//! framework so the suite builds and runs fully offline.
 
-use proptest::prelude::*;
 use simt_core::sched::{BasePolicy, SchedCtx, WarpMeta};
 use simt_core::{Scoreboard, SimtStack};
 use simt_isa::{Inst, Op, Reg, Ty};
 
+/// Deterministic splitmix64 generator for test-case construction.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn mask(&mut self) -> u32 {
+        self.next() as u32
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
 /// Random walk over the SIMT stack: branch with arbitrary masks/targets,
 /// advance toward reconvergence. Invariants: the active mask is always a
 /// subset of the initial mask; entries partition cleanly; depth recovers.
-proptest! {
-    #[test]
-    fn simt_stack_mask_conservation(
-        init in 1u32..=u32::MAX,
-        steps in proptest::collection::vec((any::<u32>(), 0usize..64), 1..40)
-    ) {
+#[test]
+fn simt_stack_mask_conservation() {
+    for seed in 0..128 {
+        let mut rng = Rng::new(seed);
+        let init = rng.mask() | 1; // non-empty
         let mut s = SimtStack::new(init, 0);
-        for (taken_bits, pc_seed) in steps {
+        let steps = rng.range(1, 40);
+        for _ in 0..steps {
             if s.is_empty() {
                 break;
             }
             let active = s.active_mask();
-            prop_assert!(active != 0);
-            prop_assert_eq!(active & !init, 0, "never gains threads");
-            // Sum of entry masks of one reconvergence level never exceeds
-            // the base mask.
+            assert!(active != 0);
+            assert_eq!(active & !init, 0, "never gains threads (seed {seed})");
+            // The union of entry masks never exceeds the base mask.
             let total: u32 = s.entries().iter().fold(0, |m, e| m | e.mask);
-            prop_assert_eq!(total & !init, 0);
-            let taken = taken_bits & active;
+            assert_eq!(total & !init, 0, "seed {seed}");
+            let taken = rng.mask() & active;
+            let pc_seed = rng.range(0, 64) as usize;
             let target = pc_seed % 64;
             let fallthrough = (pc_seed + 1) % 64;
             let rpc = 100 + (pc_seed % 8); // distinct from targets
@@ -53,43 +85,48 @@ proptest! {
             let top_rpc = s.entries().last().unwrap().rpc;
             s.advance(top_rpc);
         }
-        prop_assert_eq!(s.depth(), 1);
-        prop_assert_eq!(s.active_mask() & !init, 0);
+        assert_eq!(s.depth(), 1, "seed {seed}");
+        assert_eq!(s.active_mask() & !init, 0, "seed {seed}");
     }
+}
 
-    /// Exiting threads in arbitrary chunks always empties the stack without
-    /// ever resurrecting a thread.
-    #[test]
-    fn simt_stack_exit_monotone(
-        init in 1u32..=u32::MAX,
-        chunks in proptest::collection::vec(any::<u32>(), 1..40)
-    ) {
+/// Exiting threads in arbitrary chunks always empties the stack without
+/// ever resurrecting a thread.
+#[test]
+fn simt_stack_exit_monotone() {
+    for seed in 0..128 {
+        let mut rng = Rng::new(seed);
+        let init = rng.mask() | 1;
         let mut s = SimtStack::new(init, 0);
         s.branch(init & 0xffff, 5, 1, 9);
         let mut alive = init;
-        for c in chunks {
-            let dying = c & alive;
+        let chunks = rng.range(1, 40);
+        for _ in 0..chunks {
+            let dying = rng.mask() & alive;
             s.exit_threads(dying);
             alive &= !dying;
-            prop_assert_eq!(s.active_mask() & !alive, 0, "no resurrection");
+            assert_eq!(s.active_mask() & !alive, 0, "no resurrection (seed {seed})");
             if alive == 0 {
-                prop_assert!(s.is_empty());
+                assert!(s.is_empty(), "seed {seed}");
             }
         }
         s.exit_threads(alive);
-        prop_assert!(s.is_empty());
+        assert!(s.is_empty(), "seed {seed}");
     }
+}
 
-    /// Scoreboard: after any reserve/release interleaving, pending state
-    /// matches a reference set.
-    #[test]
-    fn scoreboard_matches_reference(
-        ops in proptest::collection::vec((0u8..32, any::<bool>()), 1..200)
-    ) {
+/// Scoreboard: after any reserve/release interleaving, pending state
+/// matches a reference set.
+#[test]
+fn scoreboard_matches_reference() {
+    for seed in 0..32 {
+        let mut rng = Rng::new(seed);
         let mut sb = Scoreboard::new();
         let mut model = std::collections::HashSet::new();
-        for (reg, reserve) in ops {
-            if reserve {
+        let nops = rng.range(1, 200);
+        for _ in 0..nops {
+            let reg = rng.range(0, 32) as u8;
+            if rng.flag() {
                 sb.reserve(&Inst::mov(Reg(reg), 0));
                 model.insert(reg);
             } else {
@@ -97,24 +134,29 @@ proptest! {
                 model.remove(&reg);
             }
             for r in 0u8..32 {
-                prop_assert_eq!(sb.reg_pending(Reg(r)), model.contains(&r));
+                assert_eq!(sb.reg_pending(Reg(r)), model.contains(&r), "seed {seed}");
             }
             let probe = Inst::binary(Op::Add(Ty::S32), Reg(31), Reg(reg), 1);
-            prop_assert_eq!(
+            assert_eq!(
                 sb.has_hazard(&probe),
-                model.contains(&reg) || model.contains(&31)
+                model.contains(&reg) || model.contains(&31),
+                "seed {seed}"
             );
         }
-        prop_assert_eq!(sb.is_clear(), model.is_empty());
+        assert_eq!(sb.is_clear(), model.is_empty(), "seed {seed}");
     }
+}
 
-    /// Every baseline policy picks only from the eligible set.
-    #[test]
-    fn policies_pick_within_eligible(
-        eligible in proptest::collection::btree_set(0usize..48, 1..20),
-        now in 0u64..1_000_000
-    ) {
-        let eligible: Vec<usize> = eligible.into_iter().collect();
+/// Every baseline policy picks only from the eligible set.
+#[test]
+fn policies_pick_within_eligible() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
+        let mut eligible: Vec<usize> = (0..48).filter(|_| rng.flag()).collect();
+        if eligible.is_empty() {
+            eligible.push(rng.range(0, 48) as usize);
+        }
+        let now = rng.range(0, 1_000_000);
         let meta: Vec<WarpMeta> = (0..48)
             .map(|i| WarpMeta {
                 resident: true,
@@ -134,8 +176,12 @@ proptest! {
                 p.on_warp_launch(w, 100);
             }
             let pick = p.pick(&ctx, &eligible);
-            prop_assert!(pick.is_some(), "{} must pick", policy.name());
-            prop_assert!(eligible.contains(&pick.unwrap()), "{}", policy.name());
+            assert!(pick.is_some(), "{} must pick (seed {seed})", policy.name());
+            assert!(
+                eligible.contains(&pick.unwrap()),
+                "{} (seed {seed})",
+                policy.name()
+            );
         }
     }
 }

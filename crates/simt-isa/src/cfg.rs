@@ -52,19 +52,18 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Op::Exit => {
-                    if pc + 1 < n {
+                Op::Exit
+                    if pc + 1 < n => {
                         leader[pc + 1] = true;
                     }
-                }
                 _ => {}
             }
         }
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
-        for pc in 0..n {
-            if pc > start && leader[pc] {
+        for (pc, &lead) in leader.iter().enumerate() {
+            if pc > start && lead {
                 blocks.push(Block {
                     start,
                     end: pc,
@@ -81,16 +80,13 @@ impl Cfg {
             });
         }
         for (bid, b) in blocks.iter().enumerate() {
-            for pc in b.start..b.end {
-                block_of[pc] = bid;
-            }
+            block_of[b.start..b.end].fill(bid);
         }
         // Successors.
         let by_start: BTreeMap<usize, usize> =
             blocks.iter().enumerate().map(|(i, b)| (b.start, i)).collect();
-        let nb = blocks.len();
-        for bid in 0..nb {
-            let last = blocks[bid].end - 1;
+        for b in blocks.iter_mut() {
+            let last = b.end - 1;
             let inst = &insts[last];
             let mut succs = Vec::new();
             match inst.op {
@@ -115,7 +111,7 @@ impl Cfg {
                     }
                 }
             }
-            blocks[bid].succs = succs;
+            b.succs = succs;
         }
         Cfg { blocks, block_of }
     }

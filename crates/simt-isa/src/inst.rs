@@ -1,11 +1,10 @@
 //! Instruction encoding: operands, memory addresses, annotations.
 
 use crate::{AtomOp, CmpOp, Op, Pred, Reg, Space, Special, Ty};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A source operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// A general-purpose register.
     Reg(Reg),
@@ -79,7 +78,7 @@ impl fmt::Display for Operand {
 
 /// A `[base + offset]` memory address operand. Param loads may use a bare
 /// immediate (`[0]`), in which case `base` is `None`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAddr {
     /// Base address register (byte address), if any.
     pub base: Option<Reg>,
@@ -119,7 +118,7 @@ impl fmt::Display for MemAddr {
 /// These do not alter execution semantics; they feed the statistics that the
 /// paper's figures are built from (lock-acquire outcome classification,
 /// synchronization-overhead instruction counts, DDOS ground truth).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Annot {
     /// `!acquire` — this atomic CAS is a lock-acquire attempt.
     pub acquire: bool,
@@ -181,7 +180,7 @@ impl fmt::Display for Annot {
 /// * `bra`: `target` holds the resolved instruction index.
 /// * loads: `dst` and `addr`; stores: `addr` and `srcs[0]` (the value).
 /// * atomics: `dst` (old value), `addr`, then 1–2 `srcs`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Inst {
     /// Opcode.
     pub op: Op,

@@ -2,7 +2,6 @@
 
 use crate::cfg::Cfg;
 use crate::{Inst, Op, Pred, INST_BYTES};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -45,7 +44,7 @@ impl fmt::Display for KernelError {
 impl std::error::Error for KernelError {}
 
 /// An assembled, validated kernel ready to launch on the simulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Kernel {
     /// Kernel name from the `.kernel` directive.
     pub name: String,

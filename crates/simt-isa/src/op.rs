@@ -1,10 +1,9 @@
 //! Opcodes, comparison operators, types, atomic operations and address spaces.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Operand/result interpretation for ALU and `setp` instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Ty {
     /// Signed 32-bit integer (the default).
     #[default]
@@ -33,7 +32,7 @@ impl fmt::Display for Ty {
 }
 
 /// Comparison operator of a `setp` instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -111,7 +110,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// Read-modify-write operation of an `atom` instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomOp {
     /// Compare-and-swap: `atom.cas d, [a], cmp, new`.
     Cas,
@@ -191,7 +190,7 @@ impl fmt::Display for AtomOp {
 }
 
 /// Memory address space of a load/store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
     /// Device global memory, cached in L1/L2.
     Global,
@@ -221,7 +220,7 @@ impl fmt::Display for Space {
 ///
 /// Type-parameterized arithmetic carries a [`Ty`]; everything defaults to
 /// `s32`. The operand layout per opcode is documented on [`crate::Inst`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `mov d, a`.
     Mov,
@@ -296,7 +295,7 @@ pub enum Op {
 }
 
 /// Coarse functional-unit class, used for issue latency and energy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Simple integer / logic / predicate ALU.
     IntAlu,

@@ -1,13 +1,12 @@
 //! Register, predicate and special-register names.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A general-purpose per-thread 32-bit register, `r0`..`r254`.
 ///
 /// Registers hold untyped 32-bit words; floating-point operations reinterpret
 /// the bits as IEEE-754 `f32`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -25,7 +24,7 @@ impl fmt::Display for Reg {
 }
 
 /// A per-thread 1-bit predicate register, `p0`..`p7`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pred(pub u8);
 
 impl Pred {
@@ -46,7 +45,7 @@ impl fmt::Display for Pred {
 }
 
 /// Read-only special registers, the `%`-prefixed names of PTX.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Special {
     /// Thread index within the CTA (x dimension).
     TidX,

@@ -1,97 +1,122 @@
-//! Property-based tests for the ISA crate: assembler/disassembler round
-//! trips and CFG invariants over arbitrary (structured) programs.
+//! Property-style tests for the ISA crate: assembler/disassembler round
+//! trips and CFG invariants over randomly generated (structured) programs.
+//!
+//! Uses a local deterministic PRNG rather than an external property-test
+//! framework so the suite builds and runs fully offline.
 
-use proptest::prelude::*;
 use simt_isa::asm::assemble;
 use simt_isa::builder::KernelBuilder;
 use simt_isa::{CmpOp, Inst, Op, Pred, Reg, Ty, RECONV_EXIT};
 
+/// Deterministic splitmix64 generator for test-case construction.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
 /// Generate a structured random kernel: a sequence of blocks, each with a
 /// few ALU ops and ending in a (possibly guarded) branch to a random label
 /// or a fall-through; always ends with exit.
-fn arb_kernel() -> impl Strategy<Value = simt_isa::Kernel> {
-    // (block count, per-block (op choices, branch target choice, guarded))
-    (2usize..8)
-        .prop_flat_map(|nblocks| {
-            let block = (
-                proptest::collection::vec(0u8..5, 1..4),
-                0usize..nblocks,
-                any::<bool>(),
-            );
-            proptest::collection::vec(block, nblocks)
-        })
-        .prop_map(|blocks| {
-            let mut b = KernelBuilder::new("prop");
-            b.regs(8);
-            let n = blocks.len();
-            for (i, (ops, target, guarded)) in blocks.iter().enumerate() {
-                b.label(format!("L{i}"));
-                for (j, &op) in ops.iter().enumerate() {
-                    let dst = Reg((j % 4) as u8);
-                    let inst = match op {
-                        0 => Inst::mov(dst, 1),
-                        1 => Inst::binary(Op::Add(Ty::S32), dst, Reg(1), 2),
-                        2 => Inst::binary(Op::Xor, dst, Reg(2), Reg(3)),
-                        3 => Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 5),
-                        _ => Inst::binary(Op::Shl, dst, Reg(0), 1),
-                    };
-                    b.push(inst);
-                }
-                // Branch to a random block; guarded branches fall through.
-                let r = b.bra_to(format!("L{}", target % n));
-                if *guarded {
-                    r.guard(Pred(0), true);
-                }
-            }
-            b.label(format!("L{n}"));
-            b.push(Inst::new(Op::Exit));
-            // Note: blocks may branch anywhere, including skipping the
-            // exit; the final exit keeps validation happy.
-            b.build().expect("structured kernel builds")
-        })
-}
-
-proptest! {
-    /// Disassembling and reassembling preserves the instruction stream.
-    #[test]
-    fn disasm_reassembles_identically(k in arb_kernel()) {
-        let text = k.disasm();
-        let k2 = assemble(&text).expect("disassembly reassembles");
-        prop_assert_eq!(k.insts.len(), k2.insts.len());
-        for (a, b) in k.insts.iter().zip(&k2.insts) {
-            prop_assert_eq!(a.op, b.op);
-            prop_assert_eq!(&a.srcs, &b.srcs);
-            prop_assert_eq!(a.dst, b.dst);
-            prop_assert_eq!(a.pdst, b.pdst);
-            prop_assert_eq!(a.target, b.target);
-            prop_assert_eq!(a.guard, b.guard);
-            prop_assert_eq!(a.ann, b.ann);
+fn arb_kernel(rng: &mut Rng) -> simt_isa::Kernel {
+    let nblocks = rng.range(2, 8);
+    let mut b = KernelBuilder::new("prop");
+    b.regs(8);
+    for i in 0..nblocks {
+        b.label(format!("L{i}"));
+        let nops = rng.range(1, 4);
+        for j in 0..nops {
+            let dst = Reg((j % 4) as u8);
+            let inst = match rng.range(0, 5) {
+                0 => Inst::mov(dst, 1),
+                1 => Inst::binary(Op::Add(Ty::S32), dst, Reg(1), 2),
+                2 => Inst::binary(Op::Xor, dst, Reg(2), Reg(3)),
+                3 => Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 5),
+                _ => Inst::binary(Op::Shl, dst, Reg(0), 1),
+            };
+            b.push(inst);
+        }
+        // Branch to a random block; guarded branches fall through.
+        let target = rng.range(0, nblocks);
+        let r = b.bra_to(format!("L{target}"));
+        if rng.flag() {
+            r.guard(Pred(0), true);
         }
     }
+    b.label(format!("L{nblocks}"));
+    b.push(Inst::new(Op::Exit));
+    // Note: blocks may branch anywhere, including skipping the exit; the
+    // final exit keeps validation happy.
+    b.build().expect("structured kernel builds")
+}
 
-    /// Reconvergence points are strictly after their branch for forward
-    /// control flow, or the exit sentinel; and they are block leaders.
-    #[test]
-    fn reconvergence_points_are_valid_pcs(k in arb_kernel()) {
+/// Disassembling and reassembling preserves the instruction stream.
+#[test]
+fn disasm_reassembles_identically() {
+    for seed in 0..64 {
+        let k = arb_kernel(&mut Rng::new(seed));
+        let text = k.disasm();
+        let k2 = assemble(&text).expect("disassembly reassembles");
+        assert_eq!(k.insts.len(), k2.insts.len(), "seed {seed}");
+        for (a, b) in k.insts.iter().zip(&k2.insts) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.srcs, b.srcs);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.pdst, b.pdst);
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.guard, b.guard);
+            assert_eq!(a.ann, b.ann);
+        }
+    }
+}
+
+/// Reconvergence points are strictly after their branch for forward
+/// control flow, or the exit sentinel; and they are block leaders.
+#[test]
+fn reconvergence_points_are_valid_pcs() {
+    for seed in 0..64 {
+        let k = arb_kernel(&mut Rng::new(seed));
         for (pc, inst) in k.insts.iter().enumerate() {
             let r = k.reconv[pc];
             if inst.op.is_branch() {
-                prop_assert!(r == RECONV_EXIT || r < k.insts.len());
+                assert!(r == RECONV_EXIT || r < k.insts.len(), "seed {seed} pc {pc}");
                 if r != RECONV_EXIT {
                     // A reconvergence point post-dominates: executing from
                     // the branch the warp must be able to reach it, so it
                     // can never be the branch itself.
-                    prop_assert_ne!(r, pc);
+                    assert_ne!(r, pc, "seed {seed}");
                 }
             } else {
-                prop_assert_eq!(r, RECONV_EXIT);
+                assert_eq!(r, RECONV_EXIT, "seed {seed} pc {pc}");
             }
         }
     }
+}
 
-    /// `backward_branches` finds exactly the branches with target <= pc.
-    #[test]
-    fn backward_branch_listing_is_exact(k in arb_kernel()) {
+/// `backward_branches` finds exactly the branches with target <= pc.
+#[test]
+fn backward_branch_listing_is_exact() {
+    for seed in 0..64 {
+        let k = arb_kernel(&mut Rng::new(seed));
         let expect: Vec<usize> = k
             .insts
             .iter()
@@ -99,23 +124,42 @@ proptest! {
             .filter(|(pc, i)| i.op.is_branch() && i.target.unwrap() <= *pc)
             .map(|(pc, _)| pc)
             .collect();
-        prop_assert_eq!(k.backward_branches(), expect);
+        assert_eq!(k.backward_branches(), expect, "seed {seed}");
     }
+}
 
-    /// The assembler rejects garbage without panicking.
-    #[test]
-    fn assembler_never_panics(text in "\\PC{0,200}") {
+/// The assembler rejects garbage without panicking.
+#[test]
+fn assembler_never_panics() {
+    // A character pool biased toward assembler syntax so fuzz inputs reach
+    // deep into the parser, plus some non-ASCII noise.
+    const POOL: &[char] = &[
+        'a', 'b', 'k', 'r', 'x', '0', '1', '9', ' ', '\n', '\t', ',', '[', ']', '.', '%', '@',
+        '!', '-', '_', ':', ';', '#', 'µ', 'λ', '□',
+    ];
+    for seed in 0..256 {
+        let mut rng = Rng::new(seed);
+        let len = rng.range(0, 201);
+        let text: String = (0..len).map(|_| POOL[rng.range(0, POOL.len())]).collect();
         let _ = assemble(&text);
     }
+}
 
-    /// Immediate parsing round-trips through Display for plain integers.
-    #[test]
-    fn imm_display_roundtrip(v in -4096i32..=4096) {
+/// Immediate parsing round-trips through Display for plain integers.
+#[test]
+fn imm_display_roundtrip() {
+    for v in (-4096i32..=4096).step_by(17) {
         let src = format!(".kernel t\n.regs 4\n mov r1, {v}\n exit\n");
         let k = assemble(&src).expect("assembles");
-        prop_assert_eq!(k.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
+        assert_eq!(k.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
         let text = k.disasm();
         let k2 = assemble(&text).expect("reassembles");
-        prop_assert_eq!(k2.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
+        assert_eq!(k2.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
+    }
+    // Boundary values regardless of step alignment.
+    for v in [-4096, -1, 0, 1, 4096] {
+        let src = format!(".kernel t\n.regs 4\n mov r1, {v}\n exit\n");
+        let k = assemble(&src).expect("assembles");
+        assert_eq!(k.insts[0].srcs[0], simt_isa::Operand::imm_i32(v));
     }
 }

@@ -44,7 +44,7 @@ impl Cache {
         assert!(ways > 0, "cache needs at least one way");
         let lines_total = size_bytes / LINE_BYTES;
         assert!(
-            lines_total as usize % ways == 0,
+            (lines_total as usize).is_multiple_of(ways),
             "capacity {size_bytes} not a multiple of ways*line"
         );
         let sets = lines_total as usize / ways;

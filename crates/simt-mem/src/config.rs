@@ -1,12 +1,12 @@
 //! Memory-hierarchy configuration.
 
-use serde::{Deserialize, Serialize};
+use crate::ChaosConfig;
 
 /// Geometry and latency parameters of the memory hierarchy.
 ///
 /// Defaults approximate the paper's GTX480 (Fermi) configuration (Table II);
 /// `MemConfig::pascal()` approximates the GTX1080Ti one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemConfig {
     /// L1 data cache size per SM, bytes.
     pub l1_bytes: u64,
@@ -35,6 +35,9 @@ pub struct MemConfig {
     /// Minimum interval between DRAM services per channel, cycles
     /// (bandwidth limit: one 128 B line per interval).
     pub dram_interval: u64,
+    /// Fault injection; [`ChaosConfig::off`] (the default) disables it and
+    /// keeps timing bit-identical to a chaos-free build.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for MemConfig {
@@ -60,6 +63,7 @@ impl MemConfig {
             l2_ports: 1,
             dram_latency: 120,
             dram_interval: 4,
+            chaos: ChaosConfig::off(),
         }
     }
 
@@ -80,6 +84,7 @@ impl MemConfig {
             l2_ports: 1,
             dram_latency: 100,
             dram_interval: 2,
+            chaos: ChaosConfig::off(),
         }
     }
 }

@@ -41,6 +41,7 @@
 //! ```
 
 mod cache;
+mod chaos;
 mod coalescer;
 mod config;
 mod gmem;
@@ -49,6 +50,7 @@ mod stats;
 mod system;
 
 pub use cache::{AccessOutcome, Cache};
+pub use chaos::{ChaosConfig, ChaosEngine, ChaosStats};
 pub use coalescer::{Coalescer, LaneAccess, Transaction};
 pub use config::MemConfig;
 pub use gmem::GlobalMem;

@@ -1,13 +1,12 @@
 //! Memory-system statistics (feed Figures 1d, 13b and the energy model).
 
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by [`crate::MemorySystem`].
 ///
 /// "Transactions" are coalesced 128-byte requests, the unit the paper's
 /// Figure 1d / 13b report. Requests annotated as synchronization code are
 /// counted separately so overhead breakdowns can be reported.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Transactions presented to an L1 (loads + stores, not atomics).
     pub l1_accesses: u64,

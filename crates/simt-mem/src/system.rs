@@ -2,7 +2,8 @@
 //! atomic units, and DRAM channels.
 
 use crate::{
-    line_of, Addr, AccessOutcome, Cache, GlobalMem, MemConfig, MemStats, Mshr, LINE_BYTES,
+    line_of, Addr, AccessOutcome, Cache, ChaosEngine, ChaosStats, GlobalMem, MemConfig, MemStats,
+    Mshr, LINE_BYTES,
 };
 use simt_isa::AtomOp;
 use std::cmp::Reverse;
@@ -142,6 +143,8 @@ struct PartReq {
     req: MemRequest,
     /// True when this is an L1 miss fill (completion goes via L1Fill).
     l1_fill: bool,
+    /// Times the chaos engine has NACKed this request (bounds its backoff).
+    retries: u32,
 }
 
 #[derive(Debug)]
@@ -184,6 +187,7 @@ pub struct MemorySystem {
     /// multiple locks in a global order (all bundled workloads do).
     blocking_locks: bool,
     parked: HashMap<Addr, VecDeque<PartReq>>,
+    chaos: ChaosEngine,
 }
 
 impl MemorySystem {
@@ -205,8 +209,10 @@ impl MemorySystem {
                 port_free: 0,
             })
             .collect();
+        let chaos = ChaosEngine::new(cfg.chaos.clone());
         MemorySystem {
             cfg,
+            chaos,
             gmem: GlobalMem::new(),
             l1s,
             parts,
@@ -229,6 +235,27 @@ impl MemorySystem {
     /// Parked (blocked) acquire requests currently queued at locks.
     pub fn parked_requests(&self) -> usize {
         self.parked.values().map(VecDeque::len).sum()
+    }
+
+    /// Requests currently in flight anywhere in the hierarchy (queues,
+    /// MSHRs, DRAM, response events) — hang-diagnostics support.
+    pub fn in_flight(&self) -> usize {
+        self.events.len()
+            + self
+                .l1s
+                .iter()
+                .map(|l| l.inq.len() + l.mshr.in_flight())
+                .sum::<usize>()
+            + self
+                .parts
+                .iter()
+                .map(|p| p.inq.len() + p.dramq.len())
+                .sum::<usize>()
+    }
+
+    /// Fault-injection counters (all zero when chaos is off).
+    pub fn chaos_stats(&self) -> &ChaosStats {
+        self.chaos.stats()
     }
 
     /// Functional global memory.
@@ -285,6 +312,9 @@ impl MemorySystem {
         if req.sync {
             self.stats.sync_transactions += 1;
         }
+        // Chaos: charge extra interconnect/queueing latency up front (0
+        // when disabled — the draw itself is skipped).
+        let cycle = cycle + self.chaos.extra_request_latency();
         match &req.kind {
             ReqKind::Atomic { ops } => {
                 self.stats.atomic_transactions += 1;
@@ -297,6 +327,7 @@ impl MemorySystem {
                         sm,
                         req,
                         l1_fill: false,
+                        retries: 0,
                     },
                 ));
             }
@@ -309,6 +340,7 @@ impl MemorySystem {
                         sm,
                         req,
                         l1_fill: false,
+                        retries: 0,
                     },
                 ));
             }
@@ -327,22 +359,23 @@ impl MemorySystem {
 
     fn step_l1s(&mut self, now: u64) {
         for sm in 0..self.l1s.len() {
+            // Chaos: transient MSHR-full back-pressure — this L1 serves
+            // nothing this cycle (drawn only when work is pending).
+            if !self.l1s[sm].inq.is_empty() && self.chaos.mshr_squeeze() {
+                continue;
+            }
             let mut served = 0;
             while served < self.cfg.l1_ports {
-                let Some(&(ready, _)) = self.l1s[sm].inq.front() else {
+                let Some((ready, req)) = self.l1s[sm].inq.front() else {
                     break;
                 };
-                if ready > now {
+                if *ready > now {
                     break;
                 }
                 // MSHR-full loads stall the queue head (models backpressure).
-                let is_load = matches!(
-                    self.l1s[sm].inq.front().unwrap().1.kind,
-                    ReqKind::Load { .. }
-                );
-                if is_load {
-                    let line = self.l1s[sm].inq.front().unwrap().1.line;
-                    let l1 = &mut self.l1s[sm];
+                if matches!(req.kind, ReqKind::Load { .. }) {
+                    let line = req.line;
+                    let l1 = &self.l1s[sm];
                     if l1.cache.peek(line) == AccessOutcome::Miss
                         && !l1.mshr.pending(line)
                         && !l1.mshr.has_space()
@@ -350,7 +383,9 @@ impl MemorySystem {
                         break;
                     }
                 }
-                let (_, req) = self.l1s[sm].inq.pop_front().expect("checked front");
+                let Some((_, req)) = self.l1s[sm].inq.pop_front() else {
+                    break;
+                };
                 self.service_l1(sm, req, now);
                 served += 1;
             }
@@ -386,6 +421,7 @@ impl MemorySystem {
                                 sm,
                                 req,
                                 l1_fill: true,
+                                retries: 0,
                             },
                         ));
                     }
@@ -408,10 +444,26 @@ impl MemorySystem {
                         sm,
                         req,
                         l1_fill: false,
+                        retries: 0,
                     },
                 ));
             }
-            ReqKind::Atomic { .. } => unreachable!("atomics bypass L1"),
+            // Atomics bypass the L1 at enqueue; if one ever lands here,
+            // recover by routing it to its partition rather than aborting.
+            ReqKind::Atomic { .. } => {
+                debug_assert!(false, "atomics bypass L1");
+                let part = self.partition_of(line);
+                let at = now + self.cfg.icnt_latency;
+                self.parts[part].inq.push_back((
+                    at,
+                    PartReq {
+                        sm,
+                        req,
+                        l1_fill: false,
+                        retries: 0,
+                    },
+                ));
+            }
         }
     }
 
@@ -424,7 +476,9 @@ impl MemorySystem {
                     break;
                 }
                 part.dram_next_free = now + self.cfg.dram_interval;
-                let (_, body) = part.dramq.pop_front().expect("checked front");
+                let Some((_, body)) = part.dramq.pop_front() else {
+                    break;
+                };
                 if let Some(preq) = body {
                     let done = now + self.cfg.dram_latency;
                     self.finish_at_partition(p, preq, done);
@@ -445,7 +499,20 @@ impl MemorySystem {
                 if ready > now {
                     break;
                 }
-                let (_, preq) = self.parts[p].inq.pop_front().expect("checked front");
+                let Some((_, mut preq)) = self.parts[p].inq.pop_front() else {
+                    break;
+                };
+                // Chaos: NACK the request back into the queue with an
+                // exponential backoff (consumes the port slot, models a
+                // rejected interconnect packet). Decided *before* any cache
+                // or atomic side effect, so a retried request replays
+                // nothing.
+                if let Some(delay) = self.chaos.nack_delay(preq.retries) {
+                    preq.retries += 1;
+                    self.parts[p].inq.push_back((now + delay, preq));
+                    served += 1;
+                    continue;
+                }
                 if let ReqKind::Atomic { ops } = &preq.req.kind {
                     self.parts[p].port_free = now + ops.len() as u64;
                 }
@@ -586,6 +653,10 @@ impl MemorySystem {
                         self.parts[part].inq.push_back((done, waiter));
                     }
                 }
+                // Chaos: delay the *response* only — the lane ops above
+                // already applied at the serialization point, so timing
+                // chaos can never alter architectural results.
+                let back = back + self.chaos.atomic_delay();
                 self.schedule(
                     back,
                     Event::Complete(MemCompletion {
@@ -595,7 +666,19 @@ impl MemorySystem {
                     }),
                 );
             }
-            ReqKind::Store => unreachable!("stores complete at service"),
+            // Stores complete at service; a store reaching here is a
+            // bookkeeping bug but is harmless to complete normally.
+            ReqKind::Store => {
+                debug_assert!(false, "stores complete at service");
+                self.schedule(
+                    back,
+                    Event::Complete(MemCompletion {
+                        sm: preq.sm,
+                        tag: preq.req.tag,
+                        atomic_results: Vec::new(),
+                    }),
+                );
+            }
         }
     }
 
@@ -607,7 +690,12 @@ impl MemorySystem {
             }
             self.events.pop();
             let slot = (key & 0xffff_ffff) as usize;
-            let ev = self.event_bodies[slot].take().expect("event slot live");
+            // A dead slot would mean double-scheduling; skip rather than
+            // abort (debug builds still flag it).
+            let Some(ev) = self.event_bodies.get_mut(slot).and_then(Option::take) else {
+                debug_assert!(false, "event slot {slot} not live");
+                continue;
+            };
             self.free_slots.push(slot);
             match ev {
                 Event::Complete(c) => out.push(c),
@@ -912,7 +1000,7 @@ mod tests {
         mem.enqueue(0, acquire(3, 30), 2);
         let mut done: Vec<u64> = Vec::new();
         let mut now = 0;
-        while done.len() < 1 && now < 100_000 {
+        while done.is_empty() && now < 100_000 {
             done.extend(mem.cycle(now).into_iter().map(|c| c.tag));
             now += 1;
         }
@@ -966,6 +1054,91 @@ mod tests {
         assert_eq!(got[0].atomic_results[0].1, 1, "CAS observed the held lock");
         assert_eq!(mem.parked_requests(), 0);
         assert_eq!(mem.stats().lock_inter_fail, 1);
+    }
+
+    #[test]
+    fn chaos_conserves_requests_and_results() {
+        use crate::ChaosConfig;
+        // Same request mix, chaos off vs. aggressive chaos: every request
+        // still completes exactly once and the final memory state (the
+        // serialized atomic counter) is identical.
+        let run = |chaos: ChaosConfig| -> (Vec<u64>, u32, u64) {
+            let cfg = MemConfig {
+                chaos,
+                ..MemConfig::default()
+            };
+            let mut mem = MemorySystem::new(cfg, 2);
+            mem.gmem_mut().alloc(1024);
+            let mut tags = Vec::new();
+            for i in 0..40u64 {
+                let addr = (i % 8) * LINE_BYTES;
+                let kind = match i % 3 {
+                    0 => ReqKind::Load { bypass_l1: false },
+                    1 => ReqKind::Store,
+                    _ => ReqKind::Atomic {
+                        ops: vec![LaneAtomic::new(0, 0, AtomOp::Add, 1, 0)],
+                    },
+                };
+                mem.enqueue((i % 2) as usize, MemRequest::new(kind, addr, i), i);
+                tags.push(i);
+            }
+            let mut done = Vec::new();
+            let mut now = 0;
+            while (!mem.quiescent() || done.len() < tags.len()) && now < 500_000 {
+                done.extend(mem.cycle(now).into_iter().map(|c| c.tag));
+                now += 1;
+            }
+            done.sort_unstable();
+            (done, mem.gmem().read_u32(0), now)
+        };
+        let (base_done, base_ctr, base_cycles) = run(ChaosConfig::off());
+        let (chaos_done, chaos_ctr, chaos_cycles) = run(ChaosConfig::with_level(99, 3));
+        assert_eq!(base_done, (0..40).collect::<Vec<u64>>());
+        assert_eq!(chaos_done, base_done, "chaos loses/duplicates nothing");
+        assert_eq!(chaos_ctr, base_ctr, "architectural state unchanged");
+        assert!(chaos_cycles >= base_cycles, "chaos only slows things down");
+    }
+
+    #[test]
+    fn chaos_runs_are_seed_deterministic() {
+        use crate::ChaosConfig;
+        let run = |seed: u64| -> (u64, ChaosStats) {
+            let cfg = MemConfig {
+                chaos: ChaosConfig::with_level(seed, 3),
+                ..MemConfig::default()
+            };
+            let mut mem = MemorySystem::new(cfg, 1);
+            mem.gmem_mut().alloc(1024);
+            for i in 0..60u64 {
+                let kind = if i % 2 == 0 {
+                    ReqKind::Load { bypass_l1: i % 4 == 0 }
+                } else {
+                    ReqKind::Atomic {
+                        ops: vec![LaneAtomic::new(0, 4, AtomOp::Add, 1, 0)],
+                    }
+                };
+                mem.enqueue(0, MemRequest::new(kind, (i % 6) * LINE_BYTES, i), i * 3);
+            }
+            let mut last = 0;
+            let mut now = 0;
+            let mut ndone = 0;
+            while ndone < 60 && now < 500_000 {
+                for c in mem.cycle(now) {
+                    ndone += 1;
+                    let _ = c;
+                    last = now;
+                }
+                now += 1;
+            }
+            (last, *mem.chaos_stats())
+        };
+        let a = run(1234);
+        let b = run(1234);
+        let c = run(5678);
+        assert_eq!(a, b, "same seed => bit-identical timing and stats");
+        // Different seeds virtually always perturb differently; we only
+        // require that chaos actually fired.
+        assert!(c.1.latency_injections + c.1.nacks + c.1.atomic_delays > 0);
     }
 
     #[test]

@@ -1,26 +1,56 @@
-//! Property-based tests for the memory hierarchy: cache bounds and LRU
+//! Property-style tests for the memory hierarchy: cache bounds and LRU
 //! equivalence against a reference model, coalescer invariants, MSHR
 //! bookkeeping, and end-to-end request conservation.
+//!
+//! Uses a local deterministic PRNG rather than an external property-test
+//! framework so the suite builds and runs fully offline.
 
-use proptest::prelude::*;
 use simt_mem::{
     line_of, AccessOutcome, Cache, Coalescer, LaneAccess, MemConfig, MemRequest, MemorySystem,
     Mshr, ReqKind, LINE_BYTES,
 };
 
-proptest! {
-    /// The cache never exceeds its capacity and agrees with a simple
-    /// reference LRU model on hits and misses.
-    #[test]
-    fn cache_matches_reference_lru(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
-    ) {
+/// Deterministic splitmix64 generator for test-case construction.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// The cache never exceeds its capacity and agrees with a simple reference
+/// LRU model on hits and misses.
+#[test]
+fn cache_matches_reference_lru() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
         // 8 lines, 2-way => 4 sets.
         let mut c = Cache::new(8 * LINE_BYTES, 2);
         let sets = 4usize;
         // Reference: per set, a Vec kept in LRU order (front = MRU).
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
-        for (line_no, is_fill) in ops {
+        let nops = rng.range(1, 300);
+        for _ in 0..nops {
+            let line_no = rng.range(0, 64);
+            let is_fill = rng.flag();
             let addr = line_no * LINE_BYTES;
             let set = (line_no as usize) % sets;
             if is_fill {
@@ -42,94 +72,97 @@ proptest! {
                 } else {
                     AccessOutcome::Miss
                 };
-                prop_assert_eq!(got, expect, "line {}", line_no);
+                assert_eq!(got, expect, "seed {seed} line {line_no}");
             }
-            prop_assert!(c.occupancy() <= 8);
+            assert!(c.occupancy() <= 8);
         }
     }
+}
 
-    /// Coalescing covers every input lane exactly once and produces at most
-    /// one transaction per distinct line.
-    #[test]
-    fn coalescer_partitions_lanes(
-        addrs in proptest::collection::vec(0u64..(1 << 16), 1..32)
-    ) {
-        let accesses: Vec<LaneAccess> = addrs
-            .iter()
-            .enumerate()
-            .map(|(l, &a)| LaneAccess { lane: l as u8, addr: a })
+/// Coalescing covers every input lane exactly once and produces at most
+/// one transaction per distinct line.
+#[test]
+fn coalescer_partitions_lanes() {
+    for seed in 0..128 {
+        let mut rng = Rng::new(seed);
+        let nlanes = rng.range(1, 32) as usize;
+        let accesses: Vec<LaneAccess> = (0..nlanes)
+            .map(|l| LaneAccess {
+                lane: l as u8,
+                addr: rng.range(0, 1 << 16),
+            })
             .collect();
         let txs = Coalescer::coalesce(&accesses);
         // Each lane appears in exactly one transaction.
         let union: u32 = txs.iter().fold(0, |m, t| m | t.lane_mask);
         let total: u32 = txs.iter().map(|t| t.lane_mask.count_ones()).sum();
-        prop_assert_eq!(union.count_ones(), accesses.len() as u32);
-        prop_assert_eq!(total, accesses.len() as u32);
+        assert_eq!(union.count_ones(), accesses.len() as u32, "seed {seed}");
+        assert_eq!(total, accesses.len() as u32, "seed {seed}");
         // Transactions have distinct, line-aligned addresses containing
         // their lanes' addresses.
         for (i, t) in txs.iter().enumerate() {
-            prop_assert_eq!(t.line % LINE_BYTES, 0);
+            assert_eq!(t.line % LINE_BYTES, 0);
             for u in &txs[i + 1..] {
-                prop_assert_ne!(t.line, u.line);
+                assert_ne!(t.line, u.line);
             }
         }
         for a in &accesses {
             let line = line_of(a.addr);
             let t = txs.iter().find(|t| t.line == line).expect("line present");
-            prop_assert!(t.lane_mask & (1 << a.lane) != 0);
+            assert!(t.lane_mask & (1 << a.lane) != 0);
         }
     }
+}
 
-    /// MSHR: fills release exactly the recorded tags, in order, and
-    /// occupancy tracks distinct lines.
-    #[test]
-    fn mshr_releases_what_was_recorded(
-        ops in proptest::collection::vec((0u64..8, 0u64..1000), 1..100)
-    ) {
+/// MSHR: fills release exactly the recorded tags, in order, and occupancy
+/// tracks distinct lines.
+#[test]
+fn mshr_releases_what_was_recorded() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
         let mut m = Mshr::new(8);
         let mut model: std::collections::HashMap<u64, Vec<u64>> = Default::default();
-        for (line_no, tag) in ops {
-            let line = line_no * LINE_BYTES;
+        let nops = rng.range(1, 100);
+        for _ in 0..nops {
+            let line = rng.range(0, 8) * LINE_BYTES;
+            let tag = rng.range(0, 1000);
             if m.pending(line) || m.has_space() {
                 m.record(line, tag);
                 model.entry(line).or_default().push(tag);
             }
-            prop_assert_eq!(m.in_flight(), model.len());
+            assert_eq!(m.in_flight(), model.len(), "seed {seed}");
         }
         let lines: Vec<u64> = model.keys().copied().collect();
         for line in lines {
             let got = m.fill(line);
-            prop_assert_eq!(got, model.remove(&line).unwrap());
+            assert_eq!(got, model.remove(&line).unwrap(), "seed {seed}");
         }
-        prop_assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.in_flight(), 0);
     }
+}
 
-    /// Every enqueued load/store/atomic completes exactly once, regardless
-    /// of the mix, and the system goes quiescent.
-    #[test]
-    fn memory_system_conserves_requests(
-        reqs in proptest::collection::vec((0u64..64, 0u8..3, any::<bool>()), 1..60)
-    ) {
+/// Every enqueued load/store/atomic completes exactly once, regardless of
+/// the mix, and the system goes quiescent.
+#[test]
+fn memory_system_conserves_requests() {
+    for seed in 0..24 {
+        let mut rng = Rng::new(seed);
         let mut mem = MemorySystem::new(MemConfig::default(), 2);
         mem.gmem_mut().alloc(64 * 32);
+        let nreqs = rng.range(1, 60);
         let mut expected: Vec<u64> = Vec::new();
-        for (i, (line_no, kind, sm1)) in reqs.iter().enumerate() {
-            let addr = line_no * LINE_BYTES;
-            let tag = i as u64;
-            let kind = match kind {
+        for i in 0..nreqs {
+            let addr = rng.range(0, 64) * LINE_BYTES;
+            let tag = i;
+            let kind = match rng.range(0, 3) {
                 0 => ReqKind::Load { bypass_l1: false },
                 1 => ReqKind::Store,
                 _ => ReqKind::Atomic {
-                    ops: vec![simt_mem::LaneAtomic::new(
-                        0,
-                        addr,
-                        simt_isa::AtomOp::Add,
-                        1,
-                        0,
-                    )],
+                    ops: vec![simt_mem::LaneAtomic::new(0, addr, simt_isa::AtomOp::Add, 1, 0)],
                 },
             };
-            mem.enqueue(usize::from(*sm1), MemRequest::new(kind, addr, tag), 0);
+            let sm = rng.range(0, 2) as usize;
+            mem.enqueue(sm, MemRequest::new(kind, addr, tag), 0);
             expected.push(tag);
         }
         let mut completed: Vec<u64> = Vec::new();
@@ -139,7 +172,7 @@ proptest! {
             now += 1;
         }
         completed.sort_unstable();
-        prop_assert_eq!(completed, expected);
-        prop_assert!(mem.quiescent());
+        assert_eq!(completed, expected, "seed {seed}");
+        assert!(mem.quiescent());
     }
 }

@@ -1,10 +1,13 @@
 #!/bin/bash
 # Regenerate every table and figure at the default (small) scale.
 # Results land in results/<name>.txt. Usage: ./run_experiments.sh [--scale small]
-set -u
+# Exits non-zero if the build or any experiment fails (failures are listed
+# at the end; the remaining experiments still run).
+set -euo pipefail
 cd "$(dirname "$0")"
 SCALE="${2:-small}"
-cargo build --release -p experiments 2>/dev/null
+cargo build --release -p experiments
+failed=()
 for bin in table3 fig2 fig16 blocking fig14 fig3 fig1 table1 fig9 sweep fig15 stalls ablation; do
     echo "=== $bin ($(date +%H:%M:%S)) ==="
     start=$SECONDS
@@ -12,6 +15,11 @@ for bin in table3 fig2 fig16 blocking fig14 fig3 fig1 table1 fig9 sweep fig15 st
         echo "    ok in $((SECONDS-start))s"
     else
         echo "    $bin FAILED (see results/$bin.err)"
+        failed+=("$bin")
     fi
 done
+if ((${#failed[@]})); then
+    echo "FAILED: ${failed[*]}"
+    exit 1
+fi
 echo "ALL DONE"

@@ -26,6 +26,8 @@ struct Cli {
     ddos: bool,
     gpu: GpuConfig,
     dumps: Vec<(usize, u64)>,
+    chaos_seed: Option<u64>,
+    chaos_level: Option<u8>,
 }
 
 enum ParamSpec {
@@ -37,7 +39,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: bows-run <kernel.s> [--ctas N] [--tpc N] [--param V|buf:W[=F]]...\n\
          \x20            [--sched lrr|gto|cawa] [--bows <cycles>|adaptive] [--no-ddos]\n\
-         \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]..."
+         \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]...\n\
+         \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
+         \n\
+         --chaos-seed seeds the deterministic memory fault injector\n\
+         (same seed => bit-identical run); --chaos-level picks intensity\n\
+         (0 off, 1 latency jitter, 2 +NACKs, 3 +MSHR squeeze; default 1\n\
+         when only a seed is given)."
     );
     std::process::exit(2);
 }
@@ -54,8 +62,10 @@ fn parse_cli() -> Cli {
         ddos: true,
         gpu: GpuConfig::gtx480(),
         dumps: Vec::new(),
+        chaos_seed: None,
+        chaos_level: None,
     };
-    let mut next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
+    let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
         args.next().unwrap_or_else(|| {
             eprintln!("missing value for {what}");
             usage()
@@ -114,6 +124,17 @@ fn parse_cli() -> Cli {
                     len.parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--chaos-seed" => {
+                cli.chaos_seed =
+                    Some(next(&mut args, "--chaos-seed").parse().unwrap_or_else(|_| usage()));
+            }
+            "--chaos-level" => {
+                let lvl: u8 = next(&mut args, "--chaos-level").parse().unwrap_or_else(|_| usage());
+                if lvl > 3 {
+                    usage();
+                }
+                cli.chaos_level = Some(lvl);
+            }
             "--help" | "-h" => usage(),
             other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
                 cli.kernel_path = other.to_string();
@@ -123,6 +144,12 @@ fn parse_cli() -> Cli {
     }
     if cli.kernel_path.is_empty() {
         usage();
+    }
+    // Applied after the loop so the flags compose with --gpu in any order.
+    if cli.chaos_seed.is_some() || cli.chaos_level.is_some() {
+        let seed = cli.chaos_seed.unwrap_or(1);
+        let level = cli.chaos_level.unwrap_or(1);
+        cli.gpu.mem.chaos = ChaosConfig::with_level(seed, level);
     }
     cli
 }
@@ -186,6 +213,9 @@ fn main() -> ExitCode {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("simulation failed: {e}");
+                if let Some(report) = e.hang_report() {
+                    eprintln!("{report}");
+                }
                 return ExitCode::FAILURE;
             }
         }
@@ -208,6 +238,19 @@ fn main() -> ExitCode {
         report.mem.lock_success, report.mem.lock_inter_fail, report.mem.lock_intra_fail
     );
     println!("energy      : {:.3} mJ dynamic", report.energy.dynamic_j() * 1e3);
+    if gpu.cfg.mem.chaos.enabled() {
+        let c = gpu.mem().chaos_stats();
+        println!(
+            "chaos       : seed {}: {} delayed (+{} cy), {} NACKs, {} atomic delays, \
+             {} MSHR squeezes",
+            gpu.cfg.mem.chaos.seed,
+            c.latency_injections,
+            c.extra_latency_cycles,
+            c.nacks,
+            c.atomic_delays,
+            c.mshr_squeezes
+        );
+    }
     if !report.confirmed_sibs.is_empty() {
         println!("DDOS        : spin-inducing branches {:?}", report.confirmed_sibs);
     }

@@ -52,9 +52,11 @@ pub use workloads;
 pub mod prelude {
     pub use crate::bows::{AdaptiveConfig, Bows, Ddos, DdosConfig, DelayMode, HashKind};
     pub use crate::core::{
-        BasePolicy, EnergyModel, Gpu, GpuConfig, KernelReport, LaunchSpec, SimError,
+        BasePolicy, EnergyModel, Gpu, GpuConfig, HangClass, HangReport, KernelReport,
+        LaunchSpec, SimError,
     };
     pub use crate::isa::asm::assemble;
+    pub use crate::mem::{ChaosConfig, ChaosStats};
     pub use crate::workloads::sync::{
         BankTransfer, DistanceSolver, Hashtable, HtMode, NeedlemanWunsch, SortSignal, TreeBuild,
         Tsp,

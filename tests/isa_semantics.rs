@@ -76,11 +76,11 @@ fn predicate_logic_ops() {
         32,
         &[],
     );
-    for lane in 0..32usize {
+    for (lane, &got) in out.iter().enumerate().take(32) {
         let p1 = lane < 16;
         let p2 = lane % 2 == 0;
         let expect = u32::from(p1 && p2) * 4 + u32::from(p1 || p2) * 2 + u32::from(!p1);
-        assert_eq!(out[lane], expect, "lane {lane}");
+        assert_eq!(got, expect, "lane {lane}");
     }
 }
 
@@ -146,11 +146,11 @@ fn float_pipeline_matches_host() {
         32,
         &[],
     );
-    for lane in 0..32 {
+    for (lane, &got) in out.iter().enumerate().take(32) {
         let v = lane as f32 * 1.5 + 2.25;
         let s = v.sqrt();
         let expect = (s + (s * s - v)) as i32 as u32;
-        assert_eq!(out[lane], expect, "lane {lane}");
+        assert_eq!(got, expect, "lane {lane}");
     }
 }
 
@@ -179,8 +179,8 @@ fn division_and_remainder_semantics() {
         32,
         &[],
     );
-    for lane in 0..32 {
-        assert_eq!(out[lane], u32::MAX, "lane {lane}: (q*3+r)-x + MAX");
+    for (lane, &got) in out.iter().enumerate().take(32) {
+        assert_eq!(got, u32::MAX, "lane {lane}: (q*3+r)-x + MAX");
     }
 }
 
