@@ -1,1 +1,13 @@
-//! Benchmark support crate; the benchmarks live in benches/.
+//! Benchmark support crate.
+//!
+//! Two halves:
+//!
+//! * [`report`] — the `BENCH_<label>.json` tracked-performance format:
+//!   wall-time and cycles-per-second per figure group, written by the
+//!   `bench_report` experiment binary and compared in CI against the
+//!   committed baseline. No registry dependencies, so workspace members
+//!   can use it offline.
+//! * `benches/` — criterion benchmarks (one group per paper table/figure
+//!   at reduced sizes); these need the registry for criterion itself.
+
+pub mod report;

@@ -1,0 +1,442 @@
+//! The `BENCH_<label>.json` tracked-performance report.
+//!
+//! A report records, per figure group, the wall time of a tiny-scale run
+//! and the simulated-cycles-per-second throughput. Serialization is a
+//! hand-rolled JSON subset (objects, arrays, strings, numbers) so the
+//! format needs no registry crates and stays readable to external tools.
+//!
+//! Comparison semantics (see [`BenchReport::check_against`]): simulated
+//! cycle counts are deterministic, so any cycle drift against the baseline
+//! is a hard failure — it means simulator behavior changed, not the
+//! machine. Wall time varies with hardware and load, so timing drift only
+//! produces warnings.
+
+use std::fmt::Write as _;
+
+/// One figure group's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupResult {
+    /// Group name (mirrors the criterion group, e.g. `fig9_bows_vs_baseline`).
+    pub name: String,
+    /// Wall-clock milliseconds for the whole group.
+    pub wall_ms: f64,
+    /// Total simulated cycles across the group's runs (deterministic).
+    pub cycles: u64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// A full `BENCH_<label>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report label (`baseline` for the committed reference).
+    pub label: String,
+    /// Problem scale the groups ran at (`tiny` for tracked reports).
+    pub scale: String,
+    /// Harness worker threads used.
+    pub jobs: usize,
+    /// Per-group measurements, in a fixed group order.
+    pub groups: Vec<GroupResult>,
+}
+
+/// Wall-time slowdown (current / baseline) above which a warning fires.
+pub const WALL_WARN_RATIO: f64 = 5.0;
+/// Groups faster than this are pure noise; no wall-time warning below it.
+pub const WALL_WARN_FLOOR_MS: f64 = 50.0;
+
+impl BenchReport {
+    /// The canonical file name for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.label)
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"label\": {},", json_string(&self.label));
+        let _ = writeln!(s, "  \"scale\": {},", json_string(&self.scale));
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        s.push_str("  \"groups\": [\n");
+        for (i, g) in self.groups.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}}}",
+                json_string(&g.name),
+                g.wall_ms,
+                g.cycles,
+                g.cycles_per_sec
+            );
+            s.push_str(if i + 1 < self.groups.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a report previously written by [`BenchReport::to_json`] (or
+    /// any JSON document with the same shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_object("top level")?;
+        let mut groups = Vec::new();
+        for (i, g) in Json::get(obj, "groups")?.as_array("groups")?.iter().enumerate() {
+            let g = g.as_object(&format!("groups[{i}]"))?;
+            groups.push(GroupResult {
+                name: Json::get(g, "name")?.as_string("name")?,
+                wall_ms: Json::get(g, "wall_ms")?.as_number("wall_ms")?,
+                cycles: Json::get(g, "cycles")?.as_number("cycles")? as u64,
+                cycles_per_sec: Json::get(g, "cycles_per_sec")?.as_number("cycles_per_sec")?,
+            });
+        }
+        Ok(BenchReport {
+            label: Json::get(obj, "label")?.as_string("label")?,
+            scale: Json::get(obj, "scale")?.as_string("scale")?,
+            jobs: Json::get(obj, "jobs")?.as_number("jobs")? as usize,
+            groups,
+        })
+    }
+
+    /// Compare this (current) report against a committed baseline.
+    ///
+    /// Returns `(failures, warnings)`: failures are scale mismatches,
+    /// missing/extra groups, and *any* difference in simulated cycles;
+    /// warnings are wall-time regressions beyond [`WALL_WARN_RATIO`] on
+    /// groups slower than [`WALL_WARN_FLOOR_MS`].
+    pub fn check_against(&self, baseline: &BenchReport) -> (Vec<String>, Vec<String>) {
+        let mut failures = Vec::new();
+        let mut warnings = Vec::new();
+        if self.scale != baseline.scale {
+            failures.push(format!(
+                "scale mismatch: current `{}` vs baseline `{}`",
+                self.scale, baseline.scale
+            ));
+        }
+        for b in &baseline.groups {
+            match self.groups.iter().find(|g| g.name == b.name) {
+                None => failures.push(format!("group `{}` missing from current run", b.name)),
+                Some(g) => {
+                    if g.cycles != b.cycles {
+                        failures.push(format!(
+                            "group `{}`: simulated cycles changed {} -> {} \
+                             (simulation is deterministic; investigate before re-baselining)",
+                            b.name, b.cycles, g.cycles
+                        ));
+                    }
+                    let ratio = g.wall_ms / b.wall_ms.max(1e-9);
+                    if g.wall_ms > WALL_WARN_FLOOR_MS && ratio > WALL_WARN_RATIO {
+                        warnings.push(format!(
+                            "group `{}`: wall time {:.1}ms vs baseline {:.1}ms ({ratio:.1}x)",
+                            b.name, g.wall_ms, b.wall_ms
+                        ));
+                    }
+                }
+            }
+        }
+        for g in &self.groups {
+            if !baseline.groups.iter().any(|b| b.name == g.name) {
+                failures.push(format!(
+                    "group `{}` absent from baseline (re-baseline to track it)",
+                    g.name
+                ));
+            }
+        }
+        (failures, warnings)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value, just enough for the report schema.
+#[derive(Debug, Clone)]
+enum Json {
+    Null,
+    // The value is only ever matched structurally by the report schema.
+    Bool(#[allow(dead_code)] bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn as_string(&self, what: &str) -> Result<String, String> {
+        match self {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    fn as_number(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("{what}: expected number")),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        out.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")?;
+                        let s = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let n = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(n).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape `\\{}`", other as char)),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 sequences from the source.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    *pos = end;
+                }
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{s}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            label: "baseline".into(),
+            scale: "tiny".into(),
+            jobs: 2,
+            groups: vec![
+                GroupResult {
+                    name: "fig9".into(),
+                    wall_ms: 123.456,
+                    cycles: 1_000_000,
+                    cycles_per_sec: 8_100_000.0,
+                },
+                GroupResult {
+                    name: "table1".into(),
+                    wall_ms: 60.0,
+                    cycles: 42,
+                    cycles_per_sec: 700.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn check_flags_cycle_drift_and_missing_groups() {
+        let base = sample();
+        let mut cur = sample();
+        cur.groups[0].cycles += 1;
+        cur.groups.remove(1);
+        let (failures, warnings) = cur.check_against(&base);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("cycles changed"));
+        assert!(failures[1].contains("missing"));
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn check_warns_on_large_wall_regression_only() {
+        let base = sample();
+        let mut cur = sample();
+        cur.groups[0].wall_ms *= 10.0; // above floor: warns
+        cur.groups[1].wall_ms = 40.0; // below floor even after blowup: silent
+        let (failures, warnings) = cur.check_against(&base);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("[1,2]").is_err());
+    }
+}

@@ -8,7 +8,7 @@
 //!    loop as spinning; the value registers are what make detection sound.
 
 use bows::{Bows, BowsComponents, DdosConfig, DelayMode};
-use experiments::{pct, r3, Opts, SchedConfig, Table};
+use experiments::{grid, pct, r3, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::sync::Hashtable;
 use workloads::{rodinia_suite, run_workload, Scale};
@@ -24,17 +24,22 @@ fn main() {
     let ht = Hashtable::with_params(threads, per_thread, buckets, tpc);
 
     println!("Ablation 1: BOWS mechanisms in isolation (hashtable, GTO base)\n");
-    let base = experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
-        .expect("baseline");
     let mut t = Table::new(&["variant", "time_vs_gto", "inst_vs_gto", "lock_fail_vs_gto"]);
     let variants = [
         ("deprioritize only", BowsComponents { deprioritize: true, throttle: false }),
         ("throttle only", BowsComponents { deprioritize: false, throttle: true }),
         ("full BOWS", BowsComponents::default()),
     ];
-    for (name, comps) in variants {
+    // Cell 0 is the GTO baseline; cells 1..=3 are the component variants.
+    let cells: Vec<usize> = (0..=variants.len()).collect();
+    let results = grid::parallel_map(&cells, |_, &v| {
+        if v == 0 {
+            return experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
+                .expect("baseline");
+        }
+        let comps = variants[v - 1].1;
         let rotate = cfg.gto_rotate_period;
-        let res = run_workload(
+        run_workload(
             &cfg,
             &ht,
             &move || {
@@ -46,7 +51,10 @@ fn main() {
             },
             &bows::ddos_factory(DdosConfig::default(), cfg.warps_per_sm()),
         )
-        .expect("ablation run");
+        .expect("ablation run")
+    });
+    let base = &results[0];
+    for ((name, _), res) in variants.iter().zip(&results[1..]) {
         assert!(res.verified.is_ok(), "{name} broke correctness");
         let fails = |r: &workloads::WorkloadResult| {
             (r.mem.lock_inter_fail + r.mem.lock_intra_fail).max(1) as f64
@@ -55,25 +63,25 @@ fn main() {
             name.to_string(),
             r3(res.cycles as f64 / base.cycles as f64),
             r3(res.sim.thread_inst as f64 / base.sim.thread_inst as f64),
-            r3(fails(&res) / fails(&base)),
+            r3(fails(res) / fails(base)),
         ]);
     }
     t.emit(&opts);
 
     println!("Ablation 2: DDOS without value history (path-only detection)\n");
     let mut t = Table::new(&["kernel", "sync?", "full_ddos_FSDR", "path_only_FSDR"]);
-    for w in rodinia_suite(Scale::Tiny).into_iter().take(6) {
-        let mut full = SchedConfig::baseline(BasePolicy::Gto);
-        full.force_ddos = true;
-        let full_res = experiments::run(&cfg, w.as_ref(), full).expect("full ddos");
-        let mut path_only = full;
-        path_only.ddos = DdosConfig {
-            track_values: false,
-            ..DdosConfig::default()
-        };
-        let path_res = experiments::run(&cfg, w.as_ref(), path_only).expect("path only");
-        let m_full = experiments::detection_metrics(&full_res);
-        let m_path = experiments::detection_metrics(&path_res);
+    let mut full = SchedConfig::baseline(BasePolicy::Gto);
+    full.force_ddos = true;
+    let mut path_only = full;
+    path_only.ddos = DdosConfig {
+        track_values: false,
+        ..DdosConfig::default()
+    };
+    let suite: Vec<_> = rodinia_suite(Scale::Tiny).into_iter().take(6).collect();
+    for row_results in experiments::run_suite_grid(&cfg, &suite, &[full, path_only]) {
+        let (full_res, path_res) = (&row_results[0], &row_results[1]);
+        let m_full = experiments::detection_metrics(full_res);
+        let m_path = experiments::detection_metrics(path_res);
         t.row(vec![
             full_res.name.clone(),
             "no".to_string(),

@@ -1,0 +1,226 @@
+//! Tracked-performance report: runs one tiny-scale pass per figure group
+//! (the same code paths the criterion benches cover, without needing the
+//! registry) and writes `BENCH_<label>.json` — wall time per group plus
+//! simulated-cycles-per-second throughput. With `--check <baseline>`, the
+//! fresh run is compared against a committed baseline: any simulated-cycle
+//! drift fails (the simulator is deterministic), wall-time drift only
+//! warns. Not an experiment regenerator: `run_experiments.sh` skips it.
+
+use experiments::{grid, SchedConfig};
+use simt_core::{BasePolicy, GpuConfig};
+use std::time::Instant;
+use workloads::sync::{Hashtable, HtMode};
+use workloads::{rodinia_suite, sync_suite, Scale};
+
+/// Run every (workload × sched) cell of a suite, returning total cycles.
+fn suite_cycles(cfg: &GpuConfig, suite: &[Box<dyn workloads::Workload>], scheds: &[SchedConfig]) -> u64 {
+    experiments::run_suite_grid(cfg, suite, scheds)
+        .iter()
+        .flatten()
+        .map(|r| r.cycles)
+        .sum()
+}
+
+fn group_fig2() -> u64 {
+    let cfg = GpuConfig::gtx480();
+    let scheds: Vec<SchedConfig> = [BasePolicy::Lrr, BasePolicy::Gto, BasePolicy::Cawa]
+        .iter()
+        .map(|&p| SchedConfig::baseline(p))
+        .collect();
+    suite_cycles(&cfg, &sync_suite(Scale::Tiny), &scheds)
+}
+
+fn group_fig9() -> u64 {
+    let cfg = GpuConfig::gtx480();
+    let scheds = [
+        SchedConfig::baseline(BasePolicy::Gto),
+        SchedConfig::bows_adaptive(BasePolicy::Gto),
+    ];
+    suite_cycles(&cfg, &sync_suite(Scale::Tiny), &scheds)
+}
+
+fn group_fig14() -> u64 {
+    let cfg = GpuConfig::gtx480();
+    let mut modulo = SchedConfig::bows(BasePolicy::Gto, bows::DelayMode::Fixed(1000));
+    modulo.ddos = bows::DdosConfig {
+        hash: bows::HashKind::Modulo,
+        ..bows::DdosConfig::default()
+    };
+    let scheds = [SchedConfig::baseline(BasePolicy::Gto), modulo];
+    suite_cycles(&cfg, &rodinia_suite(Scale::Tiny), &scheds)
+}
+
+fn group_fig16() -> u64 {
+    let cfg = GpuConfig::gtx480();
+    let cells: Vec<(u32, u8)> = [32u32, 128, 512]
+        .iter()
+        .flat_map(|&b| (0u8..3).map(move |k| (b, k)))
+        .collect();
+    grid::parallel_map(&cells, |_, &(buckets, kind)| {
+        let ht = Hashtable::with_params(1024, 1, buckets, 128);
+        let res = match kind {
+            0 => experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto)),
+            1 => experiments::run(&cfg, &ht, SchedConfig::bows_adaptive(BasePolicy::Gto)),
+            _ => experiments::run(
+                &cfg,
+                &ht.with_mode(HtMode::IdealNoLock),
+                SchedConfig::baseline(BasePolicy::Gto),
+            ),
+        };
+        res.expect("fig16 group cell").cycles
+    })
+    .iter()
+    .sum()
+}
+
+fn group_pascal() -> u64 {
+    let cfg = GpuConfig::gtx1080ti();
+    let scheds = [SchedConfig::baseline(BasePolicy::Gto)];
+    suite_cycles(&cfg, &sync_suite(Scale::Tiny), &scheds)
+}
+
+/// A named figure group returning its total simulated cycles.
+type Group = (&'static str, fn() -> u64);
+
+const GROUPS: &[Group] = &[
+    ("fig2_baseline_policies", group_fig2),
+    ("fig9_bows_vs_baseline", group_fig9),
+    ("fig14_modulo_false_detect", group_fig14),
+    ("fig16_ideal_blocking", group_fig16),
+    ("pascal_sync_suite", group_pascal),
+];
+
+const USAGE: &str = "usage: bench_report [--label <name>] [--out <dir>] [--check <baseline.json>] [--jobs <n>]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct Cli {
+    label: String,
+    out_dir: String,
+    check: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        label: "local".to_string(),
+        out_dir: ".".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => match args.next() {
+                Some(v) if v.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') => {
+                    cli.label = v;
+                }
+                Some(v) => usage_error(&format!("label `{v}` must be [A-Za-z0-9_-]")),
+                None => usage_error("--label requires a value"),
+            },
+            "--out" => match args.next() {
+                Some(v) => cli.out_dir = v,
+                None => usage_error("--out requires a value"),
+            },
+            "--check" => match args.next() {
+                Some(v) => cli.check = Some(v),
+                None => usage_error("--check requires a value"),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => grid::set_jobs(n),
+                _ => usage_error("--jobs requires a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let jobs = grid::jobs();
+    let mut groups = Vec::new();
+    for (name, f) in GROUPS {
+        let t0 = Instant::now();
+        let cycles = f();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        eprintln!("{name}: {wall_ms:.1}ms, {cycles} cycles");
+        groups.push(bench::report::GroupResult {
+            name: name.to_string(),
+            wall_ms,
+            cycles,
+            cycles_per_sec: cycles as f64 / (wall_ms / 1e3).max(1e-9),
+        });
+    }
+    let report = bench::report::BenchReport {
+        label: cli.label,
+        scale: "tiny".to_string(),
+        jobs,
+        groups,
+    };
+
+    if let Some(baseline_path) = cli.check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read `{baseline_path}`: {e}")));
+        let baseline = bench::report::BenchReport::from_json(&text)
+            .unwrap_or_else(|e| usage_error(&format!("bad baseline `{baseline_path}`: {e}")));
+        let (failures, warnings) = report.check_against(&baseline);
+        for w in &warnings {
+            eprintln!("WARNING: {w}");
+        }
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        if failures.is_empty() {
+            println!(
+                "bench check OK: {} groups match baseline `{}` ({} warnings)",
+                baseline.groups.len(),
+                baseline.label,
+                warnings.len()
+            );
+        } else {
+            eprintln!("bench check FAILED ({} failures)", failures.len());
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let path = format!("{}/{}", cli.out_dir, report.file_name());
+    std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write `{path}`: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The report format round-trips through the bench crate's parser
+    /// (bench is workspace-excluded, so its own #[cfg(test)] suite is not
+    /// reachable offline; this exercises it from a workspace member).
+    #[test]
+    fn report_json_roundtrip_via_bench_crate() {
+        let r = bench::report::BenchReport {
+            label: "x".into(),
+            scale: "tiny".into(),
+            jobs: 1,
+            groups: vec![bench::report::GroupResult {
+                name: GROUPS[0].0.to_string(),
+                wall_ms: 1.5,
+                cycles: 7,
+                cycles_per_sec: 4666.7,
+            }],
+        };
+        let parsed = bench::report::BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        let (failures, warnings) = r.check_against(&parsed);
+        assert!(failures.is_empty() && warnings.is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 //! queue-based locking without its hardware; this experiment quantifies the
 //! remaining gap against a best-case (constraint-free) queue lock.
 
-use experiments::{r3, Opts, SchedConfig, Table};
+use experiments::{grid, r3, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::sync::Hashtable;
 use workloads::Scale;
@@ -36,19 +36,40 @@ fn main() {
         "blocking_inst",
         "blocking_fails",
     ]);
-    for &buckets in buckets_sweep {
+    // Three cells per bucket count: GTO baseline, BOWS, and the
+    // blocking-lock GPU variant.
+    let cells: Vec<(u32, u8)> = buckets_sweep
+        .iter()
+        .flat_map(|&b| (0u8..3).map(move |k| (b, k)))
+        .collect();
+    let results = grid::parallel_map(&cells, |_, &(buckets, kind)| {
         let ht = Hashtable::with_params(threads, per_thread, buckets, tpc);
-        let base_cfg = GpuConfig::gtx480();
-        let base = experiments::run(&base_cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
-            .expect("gto");
+        match kind {
+            0 => experiments::run(
+                &GpuConfig::gtx480(),
+                &ht,
+                SchedConfig::baseline(BasePolicy::Gto),
+            )
+            .expect("gto"),
+            1 => experiments::run(
+                &GpuConfig::gtx480(),
+                &ht,
+                SchedConfig::bows_adaptive(BasePolicy::Gto),
+            )
+            .expect("bows"),
+            _ => {
+                let mut blk_cfg = GpuConfig::gtx480();
+                blk_cfg.blocking_locks = true;
+                experiments::run(&blk_cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
+                    .expect("blocking")
+            }
+        }
+    });
+    for (i, &buckets) in buckets_sweep.iter().enumerate() {
+        let (base, bows, blocking) =
+            (&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]);
         assert!(base.verified.is_ok());
-        let bows = experiments::run(&base_cfg, &ht, SchedConfig::bows_adaptive(BasePolicy::Gto))
-            .expect("bows");
         assert!(bows.verified.is_ok());
-        let mut blk_cfg = GpuConfig::gtx480();
-        blk_cfg.blocking_locks = true;
-        let blocking = experiments::run(&blk_cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
-            .expect("blocking");
         assert!(blocking.verified.is_ok(), "{:?}", blocking.verified);
         t.row(vec![
             buckets.to_string(),

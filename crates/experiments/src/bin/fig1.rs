@@ -4,7 +4,7 @@
 //! (d) memory-traffic synchronization overhead,
 //! (e) SIMD efficiency with a single warp vs. the full machine.
 
-use experiments::{pct, r3, Opts, SchedConfig, Table};
+use experiments::{grid, pct, r3, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use std::time::Instant;
 use workloads::sync::Hashtable;
@@ -64,21 +64,40 @@ fn main() {
         "sync_mem",
         "simd_eff",
     ]);
-    for &buckets in buckets_sweep {
-        let ht = Hashtable::with_params(threads, per_thread, buckets, tpc);
+    // Three GPU cells per bucket count: Fermi multi-warp (reused for
+    // Fig 1e's "multi" column), Pascal multi-warp, and the single-warp run.
+    // The serial CPU reference stays on this thread: it is a wall-clock
+    // timing measurement and must not compete with simulator workers.
+    let cells: Vec<(u32, u8)> = buckets_sweep
+        .iter()
+        .flat_map(|&b| (0u8..3).map(move |k| (b, k)))
+        .collect();
+    let results = grid::parallel_map(&cells, |_, &(buckets, kind)| {
+        let sched = SchedConfig::baseline(BasePolicy::Gto);
+        match kind {
+            0 => experiments::run(
+                &GpuConfig::gtx480(),
+                &Hashtable::with_params(threads, per_thread, buckets, tpc),
+                sched,
+            )
+            .expect("fermi run"),
+            1 => experiments::run(
+                &GpuConfig::gtx1080ti(),
+                &Hashtable::with_params(threads, per_thread, buckets, tpc),
+                sched,
+            )
+            .expect("pascal run"),
+            _ => experiments::run(
+                &GpuConfig::gtx480(),
+                &Hashtable::with_params(32, per_thread, buckets, 32),
+                sched,
+            )
+            .expect("single-warp run"),
+        }
+    });
+    for (i, &buckets) in buckets_sweep.iter().enumerate() {
+        let (fermi, pascal) = (&results[3 * i], &results[3 * i + 1]);
         let cpu_ms = cpu_hashtable_ms(insertions, buckets as usize);
-        let fermi = experiments::run(
-            &GpuConfig::gtx480(),
-            &ht,
-            SchedConfig::baseline(BasePolicy::Gto),
-        )
-        .expect("fermi run");
-        let pascal = experiments::run(
-            &GpuConfig::gtx1080ti(),
-            &ht,
-            SchedConfig::baseline(BasePolicy::Gto),
-        )
-        .expect("pascal run");
         t.row(vec![
             buckets.to_string(),
             r3(cpu_ms),
@@ -92,23 +111,10 @@ fn main() {
     println!("Fig 1b-d: execution time and synchronization overheads");
     t.emit(&opts);
 
-    // Fig 1e: single warp vs multiple warps.
+    // Fig 1e: single warp vs multiple warps (multi = the Fermi run above).
     let mut t = Table::new(&["buckets", "simd_eff_1warp", "simd_eff_multi"]);
-    for &buckets in buckets_sweep {
-        let single = Hashtable::with_params(32, per_thread, buckets, 32);
-        let multi = Hashtable::with_params(threads, per_thread, buckets, tpc);
-        let s = experiments::run(
-            &GpuConfig::gtx480(),
-            &single,
-            SchedConfig::baseline(BasePolicy::Gto),
-        )
-        .expect("single-warp run");
-        let m = experiments::run(
-            &GpuConfig::gtx480(),
-            &multi,
-            SchedConfig::baseline(BasePolicy::Gto),
-        )
-        .expect("multi-warp run");
+    for (i, &buckets) in buckets_sweep.iter().enumerate() {
+        let (m, s) = (&results[3 * i], &results[3 * i + 2]);
         t.row(vec![
             buckets.to_string(),
             pct(s.sim.simd_efficiency()),

@@ -5,7 +5,7 @@
 //! identical to the baseline.
 
 use bows::{DdosConfig, DelayMode, HashKind};
-use experiments::{r3, Opts, SchedConfig, Table};
+use experiments::{r3, run_suite_grid, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::rodinia_suite;
 
@@ -24,20 +24,26 @@ fn main() {
     let mut t = Table::new(&hdr);
     let mut geo = vec![0.0f64; delays.len()];
     let mut n = 0usize;
-    for w in rodinia_suite(opts.scale) {
-        let base = experiments::run(&cfg, w.as_ref(), SchedConfig::baseline(BasePolicy::Gto))
-            .expect("baseline");
+    // Per-workload config row: GTO baseline, the MODULO-hashing delay
+    // sweep, and the XOR control at the largest delay (must be exactly 1.0).
+    let mut scheds = vec![SchedConfig::baseline(BasePolicy::Gto)];
+    for &d in delays {
+        let mut sc = SchedConfig::bows(BasePolicy::Gto, DelayMode::Fixed(d));
+        sc.ddos = DdosConfig {
+            hash: HashKind::Modulo,
+            ..DdosConfig::default()
+        };
+        scheds.push(sc);
+    }
+    scheds.push(SchedConfig::bows(BasePolicy::Gto, DelayMode::Fixed(5000)));
+    let suite = rodinia_suite(opts.scale);
+    for row_results in run_suite_grid(&cfg, &suite, &scheds) {
+        let base = &row_results[0];
         let base_cycles = base.cycles.max(1) as f64;
         let mut row = vec![base.name.clone()];
         let mut detected = false;
         let mut cells = Vec::new();
-        for (i, &d) in delays.iter().enumerate() {
-            let mut sc = SchedConfig::bows(BasePolicy::Gto, DelayMode::Fixed(d));
-            sc.ddos = DdosConfig {
-                hash: HashKind::Modulo,
-                ..DdosConfig::default()
-            };
-            let r = experiments::run(&cfg, w.as_ref(), sc).expect("modulo run");
+        for (i, r) in row_results[1..=delays.len()].iter().enumerate() {
             detected |= r.stages.iter().any(|s| !s.report.confirmed_sibs.is_empty());
             let v = r.cycles as f64 / base_cycles;
             geo[i] += v.ln();
@@ -46,13 +52,7 @@ fn main() {
         n += 1;
         row.push(if detected { "yes" } else { "no" }.to_string());
         row.extend(cells);
-        // XOR control at the largest delay: must be exactly 1.0.
-        let xor = experiments::run(
-            &cfg,
-            w.as_ref(),
-            SchedConfig::bows(BasePolicy::Gto, DelayMode::Fixed(5000)),
-        )
-        .expect("xor run");
+        let xor = &row_results[delays.len() + 1];
         row.push(r3(xor.cycles as f64 / base_cycles));
         t.row(row);
     }

@@ -2,7 +2,7 @@
 //! (a) BOWS speedup over GTO, (b) dynamic instruction count vs GTO plus the
 //! "ideal blocking" proxy (a lock that always succeeds on the first try).
 
-use experiments::{r3, Opts, SchedConfig, Table};
+use experiments::{grid, r3, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::sync::{Hashtable, HtMode};
 use workloads::Scale;
@@ -26,18 +26,29 @@ fn main() {
         "bows_inst_ratio",
         "ideal_block_inst_ratio",
     ]);
-    for &buckets in buckets_sweep {
+    // Three cells per bucket count: GTO baseline, BOWS, and the
+    // ideal-no-lock instruction proxy.
+    let cells: Vec<(u32, u8)> = buckets_sweep
+        .iter()
+        .flat_map(|&b| (0u8..3).map(move |k| (b, k)))
+        .collect();
+    let results = grid::parallel_map(&cells, |_, &(buckets, kind)| {
         let ht = Hashtable::with_params(threads, per_thread, buckets, tpc);
-        let base = experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
-            .expect("gto");
-        let bows = experiments::run(&cfg, &ht, SchedConfig::bows_adaptive(BasePolicy::Gto))
-            .expect("bows");
-        let ideal = experiments::run(
-            &cfg,
-            &ht.clone().with_mode(HtMode::IdealNoLock),
-            SchedConfig::baseline(BasePolicy::Gto),
-        )
-        .expect("ideal");
+        match kind {
+            0 => experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
+                .expect("gto"),
+            1 => experiments::run(&cfg, &ht, SchedConfig::bows_adaptive(BasePolicy::Gto))
+                .expect("bows"),
+            _ => experiments::run(
+                &cfg,
+                &ht.with_mode(HtMode::IdealNoLock),
+                SchedConfig::baseline(BasePolicy::Gto),
+            )
+            .expect("ideal"),
+        }
+    });
+    for (i, &buckets) in buckets_sweep.iter().enumerate() {
+        let (base, bows, ideal) = (&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]);
         t.row(vec![
             buckets.to_string(),
             r3(base.cycles as f64 / bows.cycles.max(1) as f64),

@@ -1,7 +1,7 @@
 //! Figure 2: distribution of lock-acquire and wait-exit outcomes across the
 //! eight synchronization kernels under LRR, GTO and CAWA.
 
-use experiments::{pct, Opts, SchedConfig, Table};
+use experiments::{pct, run_suite_grid, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::sync_suite;
 
@@ -19,10 +19,11 @@ fn main() {
         "wait_exit_fail",
         "attempts_per_success",
     ]);
-    for w in sync_suite(opts.scale) {
-        for policy in [BasePolicy::Lrr, BasePolicy::Gto, BasePolicy::Cawa] {
-            let res = experiments::run(&cfg, w.as_ref(), SchedConfig::baseline(policy))
-                .expect("baseline run");
+    let policies = [BasePolicy::Lrr, BasePolicy::Gto, BasePolicy::Cawa];
+    let scheds: Vec<SchedConfig> = policies.iter().map(|&p| SchedConfig::baseline(p)).collect();
+    let suite = sync_suite(opts.scale);
+    for row_results in run_suite_grid(&cfg, &suite, &scheds) {
+        for (policy, res) in policies.iter().zip(&row_results) {
             let lock_total =
                 res.mem.lock_success + res.mem.lock_inter_fail + res.mem.lock_intra_fail;
             let wait_total = res.sim.wait_exit_success + res.sim.wait_exit_fail;

@@ -2,7 +2,7 @@
 //! Fig. 3a) on the hashtable — the paper's point is that it does NOT help
 //! on recent GPUs because the delay code itself wastes issue slots.
 
-use experiments::{r3, Opts, SchedConfig, Table};
+use experiments::{grid, r3, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::sync::{Hashtable, HtMode};
 use workloads::Scale;
@@ -28,30 +28,33 @@ fn main() {
         "vs_no_delay",
         "thread_inst",
     ]);
-    for &buckets in buckets_sweep {
-        let mut no_delay_ms = 0.0;
-        for factor in [0u32, 50, 100, 500, 1000] {
-            let mode = if factor == 0 {
-                HtMode::Normal
-            } else {
-                HtMode::SwBackoff { factor }
-            };
-            let ht =
-                Hashtable::with_params(threads, per_thread, buckets, tpc).with_mode(mode);
-            let res = experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto))
-                .expect("run");
-            let ms = res.time_ms(&cfg);
-            if factor == 0 {
-                no_delay_ms = ms;
-            }
-            t.row(vec![
-                buckets.to_string(),
-                factor.to_string(),
-                r3(ms),
-                r3(ms / no_delay_ms),
-                res.sim.thread_inst.to_string(),
-            ]);
+    let factors = [0u32, 50, 100, 500, 1000];
+    let cells: Vec<(u32, u32)> = buckets_sweep
+        .iter()
+        .flat_map(|&b| factors.iter().map(move |&f| (b, f)))
+        .collect();
+    let results = grid::parallel_map(&cells, |_, &(buckets, factor)| {
+        let mode = if factor == 0 {
+            HtMode::Normal
+        } else {
+            HtMode::SwBackoff { factor }
+        };
+        let ht = Hashtable::with_params(threads, per_thread, buckets, tpc).with_mode(mode);
+        experiments::run(&cfg, &ht, SchedConfig::baseline(BasePolicy::Gto)).expect("run")
+    });
+    let mut no_delay_ms = 0.0;
+    for (&(buckets, factor), res) in cells.iter().zip(&results) {
+        let ms = res.time_ms(&cfg);
+        if factor == 0 {
+            no_delay_ms = ms;
         }
+        t.row(vec![
+            buckets.to_string(),
+            factor.to_string(),
+            r3(ms),
+            r3(ms / no_delay_ms),
+            res.sim.thread_inst.to_string(),
+        ]);
     }
     t.emit(&opts);
     println!(

@@ -4,7 +4,7 @@
 //! and data-stall cycles spent on failed spin iterations turn into
 //! backed-off cycles, freeing the machine for lock holders.
 
-use experiments::{pct, Opts, SchedConfig, Table};
+use experiments::{pct, run_suite_grid, Opts, SchedConfig, Table};
 use simt_core::{BasePolicy, GpuConfig};
 use workloads::sync_suite;
 
@@ -22,12 +22,13 @@ fn main() {
         "backoff",
         "arb_loss",
     ]);
-    for w in sync_suite(opts.scale) {
-        for sched in [
-            SchedConfig::baseline(BasePolicy::Gto),
-            SchedConfig::bows_adaptive(BasePolicy::Gto),
-        ] {
-            let res = experiments::run(&cfg, w.as_ref(), sched).expect("run");
+    let scheds = [
+        SchedConfig::baseline(BasePolicy::Gto),
+        SchedConfig::bows_adaptive(BasePolicy::Gto),
+    ];
+    let suite = sync_suite(opts.scale);
+    for row_results in run_suite_grid(&cfg, &suite, &scheds) {
+        for (sched, res) in scheds.iter().zip(&row_results) {
             let b = res.sim.stall_breakdown();
             t.row(vec![
                 res.name.clone(),

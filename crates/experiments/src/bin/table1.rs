@@ -8,7 +8,7 @@
 //! detector), so the whole table costs one simulation per workload.
 
 use bows::{Ddos, DdosConfig, HashKind};
-use experiments::{pct, r3, Opts, Table};
+use experiments::{grid, pct, r3, Opts, Table};
 use simt_core::{BasePolicy, Gpu, GpuConfig, SpinDetector};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -19,10 +19,26 @@ type Sink = Arc<Mutex<HashMap<(usize, usize), u64>>>;
 
 /// Runs many DDOS instances against one execution; is_sib is always false
 /// (pure observation — scheduling is unaffected). Confirmations are merged
-/// into the shared sink when the SM (and thus this detector) is dropped.
+/// into the shared sink when the simulator collects per-SM reports at the
+/// end of the run ([`SpinDetector::confirmed_sibs`]): an explicit,
+/// idempotent min-merge rather than a Drop-time side effect, so the merge
+/// point is deterministic and safe to drive from harness worker threads.
 struct FanOut {
     dets: Vec<Ddos>,
     sink: Sink,
+}
+
+impl FanOut {
+    fn merge_into_sink(&self) {
+        let mut sink = self.sink.lock().expect("sink lock");
+        for (i, d) in self.dets.iter().enumerate() {
+            for (pc, at) in d.confirmed_sibs() {
+                sink.entry((i, pc))
+                    .and_modify(|c| *c = (*c).min(at))
+                    .or_insert(at);
+            }
+        }
+    }
 }
 
 impl SpinDetector for FanOut {
@@ -49,24 +65,13 @@ impl SpinDetector for FanOut {
     }
 
     fn confirmed_sibs(&self) -> Vec<(usize, u64)> {
+        self.merge_into_sink();
+        // The fan-out rows are reported via the sink, not the kernel report.
         Vec::new()
     }
 
     fn name(&self) -> &'static str {
         "ddos-fanout"
-    }
-}
-
-impl Drop for FanOut {
-    fn drop(&mut self) {
-        let mut sink = self.sink.lock().expect("sink lock");
-        for (i, d) in self.dets.iter().enumerate() {
-            for (pc, at) in d.confirmed_sibs() {
-                sink.entry((i, pc))
-                    .and_modify(|c| *c = (*c).min(at))
-                    .or_insert(at);
-            }
-        }
     }
 }
 
@@ -179,11 +184,15 @@ fn main() {
         workload_list.push((w, false));
     }
 
-    for (w, is_sync) in &workload_list {
+    // One harness cell per workload: every DDOS variant observes that
+    // workload's single execution through the fan-out detector, so the
+    // whole table still costs one simulation per workload.
+    let det_cfgs: Vec<DdosConfig> = vars.iter().map(|v| v.cfg).collect();
+    let cell_results = grid::parallel_map(&workload_list, |_, (w, _)| {
         let sink: Sink = Arc::new(Mutex::new(HashMap::new()));
-        let det_cfgs: Vec<DdosConfig> = vars.iter().map(|v| v.cfg).collect();
         let warps = cfg.warps_per_sm();
         let sink_for_factory = Arc::clone(&sink);
+        let det_cfgs = &det_cfgs;
         let mut gpu = Gpu::new(cfg.clone());
         let prepared = w.prepare(&mut gpu);
         let rotate = cfg.gto_rotate_period;
@@ -208,12 +217,19 @@ fn main() {
                 report,
             ));
         }
-        if let Err(e) = (prepared.verify)(&gpu) {
+        let verify_err = (prepared.verify)(&gpu).err();
+        let confirmed = sink.lock().expect("sink lock").clone();
+        (stages_meta, confirmed, verify_err)
+    });
+
+    for ((w, is_sync), (stages_meta, confirmed, verify_err)) in
+        workload_list.iter().zip(&cell_results)
+    {
+        if let Some(e) = verify_err {
             eprintln!("WARNING: {} failed verification: {e}", w.name());
         }
-        let confirmed = sink.lock().expect("sink lock").clone();
         for (i, a) in acc.iter_mut().enumerate() {
-            for (true_sibs, backs, report) in &stages_meta {
+            for (true_sibs, backs, report) in stages_meta {
                 for &pc in backs {
                     let Some(tl) = report.branch_log.get(pc) else {
                         continue;

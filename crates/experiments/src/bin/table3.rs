@@ -1,57 +1,12 @@
 //! Table III: implementation cost of DDOS and BOWS, derived from the
 //! configuration (bit-accurate against the paper's reference numbers).
+//! The body lives in [`experiments::table3_report`] so the determinism
+//! suite can compare serial and parallel output byte for byte.
 
-use bows::{DdosConfig, ImplementationCost};
-use experiments::{Opts, Table};
-use simt_core::GpuConfig;
+use experiments::Opts;
 
 fn main() {
     let opts = Opts::parse();
     println!("Table III: DDOS and BOWS implementation costs per SM\n");
-    for cfg in [GpuConfig::gtx480(), GpuConfig::gtx1080ti()] {
-        let warps = cfg.warps_per_sm() as u64;
-        let mut ddos = DdosConfig::default();
-        println!("{} ({} warps/SM):", cfg.name, warps);
-        let mut t = Table::new(&["component", "bits", "notes"]);
-        let c = ImplementationCost::per_sm(&ddos, warps);
-        t.row(vec![
-            "SIB-PT".into(),
-            c.sibpt_bits.to_string(),
-            format!("{} entries x 35 bits", ddos.sibpt_entries),
-        ]);
-        t.row(vec![
-            "history registers".into(),
-            c.history_bits.to_string(),
-            format!("{} warps x {} bits", warps, ddos.history_bits_per_warp()),
-        ]);
-        t.row(vec![
-            "detector FSM".into(),
-            c.fsm_bits.to_string(),
-            format!("{warps} x 4-state FSM"),
-        ]);
-        t.row(vec![
-            "pending delay counters".into(),
-            c.delay_counter_bits.to_string(),
-            format!("{warps} x 14 bits (delays to 10000)"),
-        ]);
-        t.row(vec![
-            "backed-off queue".into(),
-            c.backed_off_queue_bits.to_string(),
-            format!("{warps} x 5 bits"),
-        ]);
-        t.row(vec![
-            "TOTAL".into(),
-            c.total_bits().to_string(),
-            format!("{} bytes", c.total_bytes()),
-        ]);
-        t.emit(&opts);
-        // The cost-reduction option the paper mentions: time sharing.
-        ddos.time_share_epoch = Some(1000);
-        let shared = ImplementationCost::per_sm(&ddos, warps);
-        println!(
-            "with time-shared history registers: {} bits total ({} bytes)\n",
-            shared.total_bits(),
-            shared.total_bytes()
-        );
-    }
+    print!("{}", experiments::table3_report(opts.csv));
 }

@@ -4,9 +4,16 @@
 //!
 //! * `--scale tiny|small|full` — problem sizes (default `small`; `tiny` is
 //!   for smoke-testing the harness itself),
-//! * `--csv` — emit machine-readable CSV after the human-readable table.
+//! * `--csv` — emit machine-readable CSV after the human-readable table,
+//! * `--jobs <n>` — worker threads for the simulation grid (default:
+//!   `BOWS_JOBS` or the machine's available parallelism).
 //!
 //! Results are printed as the same rows/series the paper's figures plot.
+//! Every grid of independent (workload × config) cells runs through
+//! [`grid::parallel_map`], which reassembles results in submission order so
+//! output is byte-identical to a serial run at any `--jobs` value.
+
+pub mod grid;
 
 use bows::{AdaptiveConfig, DdosConfig, DelayMode};
 use simt_core::{BasePolicy, GpuConfig, SimError};
@@ -97,14 +104,26 @@ pub struct Opts {
     pub scale: Scale,
     /// Also print CSV.
     pub csv: bool,
+    /// Grid worker threads (also set globally via [`grid::set_jobs`]).
+    pub jobs: usize,
+}
+
+const USAGE: &str = "flags: --scale tiny|small|full   --csv   --jobs <n>";
+
+/// Print `msg` and the usage line to stderr, then exit with status 2.
+/// Experiment sweeps must fail loudly on a malformed invocation — silently
+/// running at default settings would poison committed results.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
 }
 
 impl Opts {
     /// Parse from `std::env::args`.
     ///
-    /// # Panics
-    ///
-    /// Panics (with usage help) on unknown flags.
+    /// Exits with status 2 (after printing the usage line to stderr) on an
+    /// unknown flag, an unknown scale, or a flag missing its value; exits 0
+    /// on `--help`.
     pub fn parse() -> Opts {
         let mut scale = Scale::Small;
         let mut csv = false;
@@ -112,23 +131,50 @@ impl Opts {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--scale" => {
-                    let v = args.next().unwrap_or_default();
+                    let Some(v) = args.next() else {
+                        usage_error("--scale requires a value (tiny|small|full)");
+                    };
                     scale = match v.as_str() {
                         "tiny" => Scale::Tiny,
                         "small" => Scale::Small,
                         "full" => Scale::Full,
-                        other => panic!("unknown scale `{other}` (tiny|small|full)"),
+                        other => usage_error(&format!(
+                            "unknown scale `{other}` (tiny|small|full)"
+                        )),
                     };
                 }
                 "--csv" => csv = true,
+                "--jobs" => {
+                    let Some(v) = args.next() else {
+                        usage_error("--jobs requires a value");
+                    };
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => grid::set_jobs(n),
+                        _ => usage_error(&format!("invalid --jobs value `{v}`")),
+                    }
+                }
                 "--help" | "-h" => {
-                    println!("flags: --scale tiny|small|full   --csv");
+                    println!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag `{other}` (try --help)"),
+                other => usage_error(&format!("unknown flag `{other}` (try --help)")),
             }
         }
-        Opts { scale, csv }
+        Opts {
+            scale,
+            csv,
+            jobs: grid::jobs(),
+        }
+    }
+
+    /// Options for library/test use at a given scale (CSV off, current
+    /// global worker count).
+    pub fn at_scale(scale: Scale) -> Opts {
+        Opts {
+            scale,
+            csv: false,
+            jobs: grid::jobs(),
+        }
     }
 }
 
@@ -284,15 +330,39 @@ pub fn detection_metrics(res: &WorkloadResult) -> DetectionMetrics {
     }
 }
 
-/// Shared body of Figures 9 (Fermi) and 15 (Pascal): normalized execution
-/// time and dynamic energy for {LRR, GTO, CAWA} with and without BOWS,
-/// normalized to LRR, geometric-mean row at the end.
-pub fn perf_energy_figure(cfg: &GpuConfig, opts: &Opts, figure: &str) {
-    println!(
-        "{figure}: normalized execution time and dynamic energy on {} \
-         (normalized to LRR; lower is better)\n",
-        cfg.name
-    );
+/// Run every (workload × scheduler) cell of a figure grid on the thread
+/// pool, returning per-workload result rows in suite order (config order
+/// within each row). Output is deterministic at any worker count.
+///
+/// # Panics
+///
+/// Panics with workload/config context if any cell returns a
+/// [`SimError`] — matching the serial `.expect("run")` behavior.
+pub fn run_suite_grid(
+    cfg: &GpuConfig,
+    suite: &[Box<dyn Workload>],
+    scheds: &[SchedConfig],
+) -> Vec<Vec<WorkloadResult>> {
+    let cells: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|w| (0..scheds.len()).map(move |c| (w, c)))
+        .collect();
+    let flat = grid::parallel_map(&cells, |_, &(w, c)| {
+        run(cfg, suite[w].as_ref(), scheds[c]).unwrap_or_else(|e| {
+            panic!("{} under {}: {e}", suite[w].name(), scheds[c].label())
+        })
+    });
+    let mut flat = flat.into_iter();
+    suite
+        .iter()
+        .map(|_| scheds.iter().map(|_| flat.next().expect("cell")).collect())
+        .collect()
+}
+
+/// Shared body of Figures 9 (Fermi) and 15 (Pascal), as a renderable
+/// table: normalized execution time and dynamic energy for
+/// {LRR, GTO, CAWA} with and without BOWS, normalized to LRR,
+/// geometric-mean row at the end.
+pub fn perf_energy_table(cfg: &GpuConfig, scale: Scale) -> Table {
     let configs: Vec<SchedConfig> = [BasePolicy::Lrr, BasePolicy::Gto, BasePolicy::Cawa]
         .into_iter()
         .flat_map(|b| [SchedConfig::baseline(b), SchedConfig::bows_adaptive(b)])
@@ -304,11 +374,8 @@ pub fn perf_energy_figure(cfg: &GpuConfig, opts: &Opts, figure: &str) {
     let mut geo_time = vec![0.0f64; configs.len()];
     let mut geo_energy = vec![0.0f64; configs.len()];
     let mut n = 0usize;
-    for w in workloads::sync_suite(opts.scale) {
-        let results: Vec<_> = configs
-            .iter()
-            .map(|&sc| run(cfg, w.as_ref(), sc).expect("run"))
-            .collect();
+    let suite = workloads::sync_suite(scale);
+    for results in run_suite_grid(cfg, &suite, &configs) {
         let base_cycles = results[0].cycles.max(1) as f64;
         let base_energy = results[0].dynamic_j.max(1e-18);
         let times: Vec<f64> = results.iter().map(|r| r.cycles as f64 / base_cycles).collect();
@@ -331,7 +398,17 @@ pub fn perf_energy_figure(cfg: &GpuConfig, opts: &Opts, figure: &str) {
     let mut row = vec!["Gmean".to_string(), "energy".to_string()];
     row.extend(geo_energy.iter().map(|&x| r3((x / n as f64).exp())));
     t.row(row);
-    t.emit(opts);
+    t
+}
+
+/// Print the Figure 9/15 body with its caption.
+pub fn perf_energy_figure(cfg: &GpuConfig, opts: &Opts, figure: &str) {
+    println!(
+        "{figure}: normalized execution time and dynamic energy on {} \
+         (normalized to LRR; lower is better)\n",
+        cfg.name
+    );
+    perf_energy_table(cfg, opts.scale).emit(opts);
 }
 
 /// The Figure 10–13 sweep: GTO baseline plus BOWS at fixed delays and
@@ -349,26 +426,97 @@ pub fn delay_sweep(
         .chain(std::iter::once(SchedConfig::bows_adaptive(BasePolicy::Gto)))
         .collect();
     let labels: Vec<String> = configs.iter().map(SchedConfig::label).collect();
-    let mut out = Vec::new();
-    for w in workloads::sync_suite(scale) {
-        let results: Vec<_> = configs
-            .iter()
-            .zip(&labels)
-            .map(|(&sc, label)| {
-                let t0 = std::time::Instant::now();
-                let r = run(cfg, w.as_ref(), sc).expect("run");
-                eprintln!(
-                    "  [{} / {label}] {} cycles, {:.1}s wall",
-                    w.name(),
-                    r.cycles,
-                    t0.elapsed().as_secs_f64()
-                );
-                r
-            })
-            .collect();
-        out.push((w.name().to_string(), results));
-    }
+    let suite = workloads::sync_suite(scale);
+    let cells: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let flat = grid::parallel_map(&cells, |_, &(w, c)| {
+        let t0 = std::time::Instant::now();
+        let r = run(cfg, suite[w].as_ref(), configs[c]).unwrap_or_else(|e| {
+            panic!("{} under {}: {e}", suite[w].name(), labels[c])
+        });
+        // Progress goes to stderr; completion order (and thus line order)
+        // varies with the worker count, the results do not.
+        eprintln!(
+            "  [{} / {}] {} cycles, {:.1}s wall",
+            suite[w].name(),
+            labels[c],
+            r.cycles,
+            t0.elapsed().as_secs_f64()
+        );
+        r
+    });
+    let mut flat = flat.into_iter();
+    let out = suite
+        .iter()
+        .map(|w| {
+            (
+                w.name().to_string(),
+                configs.iter().map(|_| flat.next().expect("cell")).collect(),
+            )
+        })
+        .collect();
     (labels, out)
+}
+
+/// Table III (implementation cost of DDOS and BOWS) as a string, one
+/// section per GPU configuration. Pure configuration arithmetic — no
+/// simulation — but the per-config sections still go through the grid so
+/// determinism tests can compare serial and parallel assembly end to end.
+pub fn table3_report(csv: bool) -> String {
+    let cfgs = [GpuConfig::gtx480(), GpuConfig::gtx1080ti()];
+    let sections = grid::parallel_map(&cfgs, |_, cfg| {
+        let warps = cfg.warps_per_sm() as u64;
+        let mut ddos = DdosConfig::default();
+        let mut out = format!("{} ({} warps/SM):\n", cfg.name, warps);
+        let mut t = Table::new(&["component", "bits", "notes"]);
+        let c = bows::ImplementationCost::per_sm(&ddos, warps);
+        t.row(vec![
+            "SIB-PT".into(),
+            c.sibpt_bits.to_string(),
+            format!("{} entries x 35 bits", ddos.sibpt_entries),
+        ]);
+        t.row(vec![
+            "history registers".into(),
+            c.history_bits.to_string(),
+            format!("{} warps x {} bits", warps, ddos.history_bits_per_warp()),
+        ]);
+        t.row(vec![
+            "detector FSM".into(),
+            c.fsm_bits.to_string(),
+            format!("{warps} x 4-state FSM"),
+        ]);
+        t.row(vec![
+            "pending delay counters".into(),
+            c.delay_counter_bits.to_string(),
+            format!("{warps} x 14 bits (delays to 10000)"),
+        ]);
+        t.row(vec![
+            "backed-off queue".into(),
+            c.backed_off_queue_bits.to_string(),
+            format!("{warps} x 5 bits"),
+        ]);
+        t.row(vec![
+            "TOTAL".into(),
+            c.total_bits().to_string(),
+            format!("{} bytes", c.total_bytes()),
+        ]);
+        let _ = writeln!(out, "{}", t.text());
+        if csv {
+            let _ = writeln!(out, "CSV:\n{}", t.csv());
+        }
+        // The cost-reduction option the paper mentions: time sharing.
+        ddos.time_share_epoch = Some(1000);
+        let shared = bows::ImplementationCost::per_sm(&ddos, warps);
+        let _ = writeln!(
+            out,
+            "with time-shared history registers: {} bits total ({} bytes)\n",
+            shared.total_bits(),
+            shared.total_bytes()
+        );
+        out
+    });
+    sections.concat()
 }
 
 #[cfg(test)]

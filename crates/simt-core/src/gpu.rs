@@ -268,10 +268,15 @@ impl Gpu {
         // the machine is making progress.
         let mut livelock_since: Option<u64> = None;
         let mut locks_at_scan = mem_before.lock_success;
+        // Reusable completion sink: the cycle loop never allocates for the
+        // common zero-or-few-completions case.
+        let mut completions = Vec::new();
 
         while remaining > 0 {
             // Memory completions first so unblocked warps can issue today.
-            for c in self.mem.cycle(now) {
+            completions.clear();
+            self.mem.cycle_into(now, &mut completions);
+            for c in completions.drain(..) {
                 sms[c.sm].on_mem_complete(c)?;
             }
             let mut issued_any = false;

@@ -109,6 +109,13 @@ pub struct Sm {
     max_regs: usize,
     max_shared: usize,
     meta: Vec<WarpMeta>,
+    /// Warp slots owned by each scheduler unit (fixed striding), precomputed
+    /// so the per-cycle issue and end-of-cycle loops never rebuild it.
+    unit_warps: Vec<Vec<usize>>,
+    /// Per-cycle scratch: the warp each unit issued (reused, never freed).
+    issued_scratch: Vec<Option<usize>>,
+    /// Per-unit scratch for the eligible-warp list (reused, never freed).
+    eligible_scratch: Vec<usize>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -162,6 +169,15 @@ impl Sm {
             max_regs: cfg.regs_per_sm,
             max_shared: cfg.shared_words_per_sm,
             meta: vec![WarpMeta::default(); cfg.warps_per_sm()],
+            unit_warps: (0..cfg.schedulers_per_sm)
+                .map(|u| {
+                    (u..cfg.warps_per_sm())
+                        .step_by(cfg.schedulers_per_sm)
+                        .collect()
+                })
+                .collect(),
+            issued_scratch: vec![None; cfg.schedulers_per_sm],
+            eligible_scratch: Vec::with_capacity(cfg.warps_per_sm()),
         }
     }
 
@@ -302,10 +318,11 @@ impl Sm {
         stats: &mut SimStats,
     ) -> Result<SmCycle, SimError> {
         let mut result = SmCycle::default();
-        // 1. Writebacks.
+        // 1. Writebacks. The slot's vector is swapped out, drained and
+        // swapped back so its capacity is reused every WHEEL cycles.
         let slot = (now as usize) % WHEEL;
-        let drained: Vec<WbEntry> = std::mem::take(&mut self.wheel[slot]);
-        for wb in drained {
+        let mut drained = std::mem::take(&mut self.wheel[slot]);
+        for wb in drained.drain(..) {
             let w = &mut self.warps[wb.warp];
             if let Some(r) = wb.reg {
                 w.sb.release_reg(r);
@@ -314,6 +331,7 @@ impl Sm {
                 w.sb.release_pred(p);
             }
         }
+        self.wheel[slot] = drained;
         // 2. Retire CTAs whose warps have all exited and drained their
         // outstanding memory (stores may still be in flight at exit).
         for slot in 0..self.ctas.len() {
@@ -360,20 +378,25 @@ impl Sm {
             }
             self.meta[i] = m;
         }
-        // 3. Issue per scheduler unit.
-        let mut issued_by_unit: Vec<Option<usize>> = vec![None; self.num_units];
-        for (u, issued_slot) in issued_by_unit.iter_mut().enumerate() {
-            let mut eligible: Vec<usize> = Vec::new();
-            for w in (u..self.warps.len()).step_by(self.num_units) {
+        // 3. Issue per scheduler unit. The eligible list and the per-unit
+        // issue record live in reusable scratch buffers — this loop runs
+        // every cycle and must not allocate.
+        for slot in &mut self.issued_scratch {
+            *slot = None;
+        }
+        for u in 0..self.num_units {
+            self.eligible_scratch.clear();
+            for i in 0..self.unit_warps[u].len() {
+                let w = self.unit_warps[u][i];
                 if self.meta[w].eligible {
                     if self.units[u].can_issue(now, w) {
-                        eligible.push(w);
+                        self.eligible_scratch.push(w);
                     } else {
                         stats.stall_backoff += 1;
                     }
                 }
             }
-            if eligible.is_empty() {
+            if self.eligible_scratch.is_empty() {
                 continue;
             }
             let ctx = SchedCtx {
@@ -381,15 +404,18 @@ impl Sm {
                 meta: &self.meta,
                 resident_version: self.resident_version,
             };
-            let Some(w) = self.units[u].pick(&ctx, &eligible) else {
+            let Some(w) = self.units[u].pick(&ctx, &self.eligible_scratch) else {
                 continue;
             };
-            debug_assert!(eligible.contains(&w), "policy picked ineligible warp");
+            debug_assert!(
+                self.eligible_scratch.contains(&w),
+                "policy picked ineligible warp"
+            );
             stats.issued_cycles += 1;
-            stats.stall_arbitration += (eligible.len() - 1) as u64;
+            stats.stall_arbitration += (self.eligible_scratch.len() - 1) as u64;
             let outcome = self.execute(w, now, lctx, mem, stats)?;
             result.issued += 1;
-            *issued_slot = Some(w);
+            self.issued_scratch[u] = Some(w);
             self.progress[w].on_issue(now, &outcome.info);
             let ctx = SchedCtx {
                 now,
@@ -441,16 +467,15 @@ impl Sm {
             }
         }
         // 4. End-of-cycle policy bookkeeping + Figure 11 sampling.
-        for (u, &issued) in issued_by_unit.iter().enumerate() {
-            let unit_warps: Vec<usize> =
-                (u..self.warps.len()).step_by(self.num_units).collect();
+        for u in 0..self.num_units {
+            let issued = self.issued_scratch[u];
             let ctx = SchedCtx {
                 now,
                 meta: &self.meta,
                 resident_version: self.resident_version,
             };
-            self.units[u].end_cycle(&ctx, &unit_warps, issued);
-            for &w in &unit_warps {
+            self.units[u].end_cycle(&ctx, &self.unit_warps[u], issued);
+            for &w in &self.unit_warps[u] {
                 if self.meta[w].resident && !self.meta[w].done {
                     stats.resident_warp_samples += 1;
                     if self.units[u].is_backed_off(w) {

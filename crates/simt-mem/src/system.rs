@@ -351,10 +351,34 @@ impl MemorySystem {
     }
 
     /// Advance one cycle; returns completions that fire this cycle.
+    ///
+    /// Convenience wrapper over [`MemorySystem::cycle_into`] that allocates
+    /// a fresh vector per call; cycle-loop callers should hold a reusable
+    /// sink and call `cycle_into` instead.
     pub fn cycle(&mut self, now: u64) -> Vec<MemCompletion> {
-        self.step_l1s(now);
-        self.step_partitions(now);
-        self.drain_events(now)
+        let mut out = Vec::new();
+        self.cycle_into(now, &mut out);
+        out
+    }
+
+    /// Advance one cycle, appending completions that fire this cycle to
+    /// `out` (which is *not* cleared — the caller owns and recycles it).
+    ///
+    /// Quiescent stages are skipped outright: an L1 bank or L2 partition
+    /// with nothing queued costs one branch, so idle cycles of a mostly
+    /// compute-bound kernel do not pay for the memory hierarchy.
+    pub fn cycle_into(&mut self, now: u64, out: &mut Vec<MemCompletion>) {
+        if self.l1s.iter().any(|l| !l.inq.is_empty()) {
+            self.step_l1s(now);
+        }
+        if self
+            .parts
+            .iter()
+            .any(|p| !p.inq.is_empty() || !p.dramq.is_empty())
+        {
+            self.step_partitions(now);
+        }
+        self.drain_events(now, out);
     }
 
     fn step_l1s(&mut self, now: u64) {
@@ -682,8 +706,7 @@ impl MemorySystem {
         }
     }
 
-    fn drain_events(&mut self, now: u64) -> Vec<MemCompletion> {
-        let mut out = Vec::new();
+    fn drain_events(&mut self, now: u64, out: &mut Vec<MemCompletion>) {
         while let Some(&Reverse((at, key))) = self.events.peek() {
             if at > now {
                 break;
@@ -712,7 +735,6 @@ impl MemorySystem {
                 }
             }
         }
-        out
     }
 }
 
@@ -768,6 +790,50 @@ mod tests {
         assert!(t_hit - start < t_miss);
         assert_eq!(mem.stats().l1_hits, 1);
         assert_eq!(mem.stats().l1_misses, 1);
+    }
+
+    /// `cycle` and `cycle_into` (the allocation-free path with quiescence
+    /// skips) must produce identical completion streams, and `cycle_into`
+    /// must append to — never clear — the caller's sink.
+    #[test]
+    fn cycle_into_matches_cycle_and_appends() {
+        let mut a = new_mem();
+        let mut b = new_mem();
+        for mem in [&mut a, &mut b] {
+            for (i, addr) in [0u64, 8, 256, 512].iter().enumerate() {
+                mem.enqueue(
+                    i % 2,
+                    MemRequest::new(ReqKind::Load { bypass_l1: false }, *addr, i as u64 + 1),
+                    0,
+                );
+            }
+        }
+        let mut via_cycle = Vec::new();
+        let mut via_into = vec![(
+            MemCompletion {
+                sm: 9,
+                tag: 999,
+                atomic_results: Vec::new(),
+            },
+            0u64,
+        )];
+        let mut sink = Vec::new();
+        for now in 0..100_000u64 {
+            via_cycle.extend(a.cycle(now).into_iter().map(|c| ((c.sm, c.tag), now)));
+            b.cycle_into(now, &mut sink);
+            via_into.extend(sink.drain(..).map(|c| (c, now)));
+            if via_cycle.len() == 4 && via_into.len() == 5 {
+                break;
+            }
+        }
+        assert_eq!(via_into[0].0.tag, 999, "sink contents are appended to, not cleared");
+        let into_stream: Vec<((usize, u64), u64)> = via_into[1..]
+            .iter()
+            .map(|(c, now)| ((c.sm, c.tag), *now))
+            .collect();
+        assert_eq!(via_cycle, into_stream);
+        assert_eq!(via_cycle.len(), 4, "all requests completed");
+        assert!(a.quiescent() && b.quiescent());
     }
 
     #[test]

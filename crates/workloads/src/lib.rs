@@ -61,7 +61,11 @@ pub struct Prepared {
 }
 
 /// A benchmark from the paper's suite.
-pub trait Workload {
+///
+/// `Send + Sync` is a supertrait so suites of boxed workloads can be shared
+/// across the experiment harness's worker threads (every implementor is
+/// plain data: sizes, seeds, mode flags).
+pub trait Workload: Send + Sync {
     /// Paper name ("HT", "ATM", ..., or a Rodinia analog name).
     fn name(&self) -> &'static str;
 
