@@ -103,6 +103,43 @@ mod tests {
     }
 
     #[test]
+    fn one_bit_width_is_parity_or_lsb() {
+        // bits = 1, the narrowest legal width: XOR folding degenerates to
+        // the parity of all 32 bits, MODULO to the least-significant bit.
+        assert_eq!(HashKind::Xor.hash(0, 1), 0);
+        assert_eq!(HashKind::Xor.hash(1, 1), 1);
+        assert_eq!(HashKind::Xor.hash(0b11, 1), 0);
+        assert_eq!(HashKind::Xor.hash(0x8000_0000, 1), 1);
+        assert_eq!(HashKind::Xor.hash(0xffff_ffff, 1), 0);
+        for v in [0u32, 1, 2, 3, 0xffff_fffe, 0xffff_ffff] {
+            assert_eq!(HashKind::Xor.hash(v, 1), (v.count_ones() & 1) as u16);
+            assert_eq!(HashKind::Modulo.hash(v, 1), (v & 1) as u16);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_width_folds_exactly_two_halves() {
+        // bits = 16, the widest legal width: the mask computation must not
+        // overflow, XOR folds high half into low half, MODULO truncates.
+        assert_eq!(HashKind::Xor.hash(0x1234_5678, 16), 0x1234 ^ 0x5678);
+        assert_eq!(HashKind::Xor.hash(0xffff_0000, 16), 0xffff);
+        assert_eq!(HashKind::Xor.hash(0xffff_ffff, 16), 0);
+        assert_eq!(HashKind::Modulo.hash(0x1234_5678, 16), 0x5678);
+        assert_eq!(HashKind::Modulo.hash(0xffff_0000, 16), 0);
+    }
+
+    #[test]
+    fn hash_fits_width_at_boundaries() {
+        for bits in [1u8, 16] {
+            for v in [0u32, 1, 0xffff_ffff, 0x8000_0001, 12345] {
+                for kind in [HashKind::Xor, HashKind::Modulo] {
+                    assert!(u32::from(kind.hash(v, bits)) < (1u32 << bits));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn xor_with_non_divisor_width() {
         // 3-bit chunks over 32 bits: 11 chunks, last partial. Must not
         // panic and must fit.

@@ -14,6 +14,7 @@
 //! output is byte-identical to a serial run at any `--jobs` value.
 
 pub mod grid;
+pub mod oracle;
 
 use bows::{AdaptiveConfig, DdosConfig, DelayMode};
 use simt_core::{BasePolicy, GpuConfig, SimError};

@@ -1,0 +1,110 @@
+//! The static oracle against the real workload corpus, and the
+//! static×dynamic join on live simulations.
+
+use bows::HashKind;
+use experiments::oracle::{oracle_stages, precision_recall};
+use simt_analyze::AnalyzeExt;
+use simt_core::{Gpu, GpuConfig};
+use workloads::{rodinia_suite, sync_suite, Scale};
+
+/// The static classification must reproduce the hand-written `!sib`
+/// annotations on every kernel of both suites — no misses, no extras —
+/// and every shipped kernel must be lint-clean.
+#[test]
+fn static_oracle_matches_annotations_on_whole_corpus() {
+    let cfg = GpuConfig::test_tiny();
+    let mut checked = 0;
+    for w in sync_suite(Scale::Tiny)
+        .into_iter()
+        .chain(rodinia_suite(Scale::Tiny))
+    {
+        let mut gpu = Gpu::new(cfg.clone());
+        let prepared = w.prepare(&mut gpu);
+        for stage in &prepared.stages {
+            let analysis = stage.kernel.analyze();
+            assert_eq!(
+                analysis.sib_pcs(),
+                stage.kernel.true_sibs,
+                "{}/{}: static spin set diverges from annotations",
+                w.name(),
+                stage.kernel.name
+            );
+            assert!(
+                !analysis.has_errors(),
+                "{}/{}: lint errors: {:#?}",
+                w.name(),
+                stage.kernel.name,
+                analysis.diagnostics
+            );
+            assert!(
+                analysis.diagnostics.is_empty(),
+                "{}/{}: unexpected warnings: {:#?}",
+                w.name(),
+                stage.kernel.name,
+                analysis.diagnostics
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 22, "corpus shrank? checked {checked} kernels");
+}
+
+/// XOR DDOS confirmations on the sync suite are a subset of the static
+/// spin set: every dynamic confirmation is statically classified (zero
+/// false detections), and most executed spin branches are confirmed.
+/// Recall is not required to be perfect — the static oracle proves a
+/// branch *can* spin; at Tiny scale a lightly-contended one (TB's tree
+/// insert) may execute without spinning long enough to confirm.
+#[test]
+fn xor_ddos_agrees_with_static_oracle_on_sync_suite() {
+    let cfg = GpuConfig::test_tiny();
+    let stages = oracle_stages(&cfg, &sync_suite(Scale::Tiny));
+    for s in &stages {
+        assert!(
+            s.xor_false().is_empty(),
+            "{}/{}: XOR confirmed non-spin branches {:?}",
+            s.workload,
+            s.kernel,
+            s.xor_false()
+        );
+    }
+    let pr = precision_recall(&stages, HashKind::Xor, Some(true));
+    assert!(pr.tp > 0, "sync suite must exercise spin branches");
+    assert_eq!(pr.precision(), 1.0);
+    assert!(
+        pr.recall() >= 0.8,
+        "XOR should confirm nearly all executed spin branches: {pr:?}"
+    );
+}
+
+/// MODULO hashing aliases power-of-two-stride loops (Figure 14): somewhere
+/// in the Rodinia suite it confirms a branch the static oracle proves is a
+/// plain counted loop, and the oracle reports it as a false detection.
+/// XOR stays clean on the same runs.
+#[test]
+fn modulo_aliasing_reported_as_false_detection() {
+    let cfg = GpuConfig::test_tiny();
+    let stages = oracle_stages(&cfg, &rodinia_suite(Scale::Tiny));
+    let mod_pr = precision_recall(&stages, HashKind::Modulo, Some(false));
+    let xor_pr = precision_recall(&stages, HashKind::Xor, Some(false));
+    assert_eq!(xor_pr.fp, 0, "XOR must not false-detect on Rodinia");
+    assert!(
+        mod_pr.fp > 0,
+        "MODULO should alias at least one power-of-two-stride loop; \
+         stages: {:?}",
+        stages
+            .iter()
+            .map(|s| (s.workload.clone(), s.modulo_confirmed.clone()))
+            .collect::<Vec<_>>()
+    );
+    let offenders: Vec<&str> = stages
+        .iter()
+        .filter(|s| !s.modulo_false().is_empty())
+        .map(|s| s.workload.as_str())
+        .collect();
+    assert!(!offenders.is_empty());
+    // No Rodinia kernel spins, so every MODULO confirmation is false.
+    for s in &stages {
+        assert_eq!(s.modulo_confirmed, s.modulo_false());
+    }
+}

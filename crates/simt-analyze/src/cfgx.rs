@@ -1,0 +1,355 @@
+//! The analysis view of a kernel's control flow.
+//!
+//! [`simt_isa::cfg::Cfg`] is built for the SIMT reconvergence stack, where a
+//! block ending in `exit` has no successors — correct for reconvergence (an
+//! exited thread never reconverges) but wrong for static analysis: a *guarded*
+//! `@p exit` only retires the threads whose guard holds, and the rest fall
+//! through. [`FlowGraph`] starts from the simulator's block structure and
+//! patches those fall-through edges back in, then layers on the derived
+//! structure every pass needs: predecessors, reachability from entry, forward
+//! dominators, postdominator *sets* (set-based so graphs with no path to exit
+//! — infinite loops — still get a defined answer), and control dependence.
+//!
+//! All analyses are also total on kernels that fail validation (out-of-range
+//! branch targets, no `exit`): `Cfg::build` drops edges it cannot resolve and
+//! the lints report those defects explicitly.
+
+use simt_isa::cfg::{Block, Cfg};
+use simt_isa::{Inst, Op};
+
+/// A small dense bitset over `usize` indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A full set over a universe of `len` elements.
+    pub fn full(len: usize) -> BitSet {
+        let mut s = BitSet::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self &= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let n = *a & b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let n = *a | b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// Control-flow structure of one instruction sequence, as the analyses see it.
+pub struct FlowGraph {
+    /// Basic blocks (same boundaries as the simulator's CFG).
+    pub blocks: Vec<Block>,
+    /// Per-block predecessor lists (over the patched edge set).
+    pub preds: Vec<Vec<usize>>,
+    /// Map from instruction index to containing block.
+    block_of: Vec<usize>,
+    /// Blocks reachable from the entry block.
+    pub reachable: BitSet,
+    /// Forward dominator sets: `dom[b]` contains every block that dominates
+    /// `b` (including `b` itself). Unreachable blocks dominate-by-everything
+    /// (the standard lattice top); callers should mask with [`reachable`].
+    ///
+    /// [`reachable`]: FlowGraph::reachable
+    pub dom: Vec<BitSet>,
+    /// Postdominator sets: `pdom[b]` contains every block that postdominates
+    /// `b` (including `b`). Greatest-fixpoint solution, so blocks with no
+    /// path to exit still get a defined (over-approximate) answer.
+    pub pdom: Vec<BitSet>,
+}
+
+impl FlowGraph {
+    /// Build the analysis flow graph of an instruction sequence.
+    pub fn build(insts: &[Inst]) -> FlowGraph {
+        let cfg = Cfg::build(insts);
+        let mut blocks = cfg.blocks.clone();
+        let n = insts.len();
+        let block_of: Vec<usize> = (0..n).map(|pc| cfg.block_of(pc)).collect();
+
+        // Patch: a block ending in a *guarded* exit falls through to the next
+        // instruction for the threads whose guard does not hold.
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let inst = &insts[last];
+            if inst.op == Op::Exit && inst.guard.is_some() && blocks[b].end < n {
+                let ft = block_of[blocks[b].end];
+                if !blocks[b].succs.contains(&ft) {
+                    blocks[b].succs.push(ft);
+                }
+            }
+        }
+
+        let nb = blocks.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (b, blk) in blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+
+        // Reachability from the entry block.
+        let mut reachable = BitSet::new(nb);
+        if nb > 0 {
+            let mut stack = vec![0usize];
+            reachable.insert(0);
+            while let Some(b) = stack.pop() {
+                for &s in &blocks[b].succs {
+                    if reachable.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+
+        // Forward dominators, iterative set intersection. Small graphs (tens
+        // of blocks) make the O(n^2) sets cheaper than building a tree.
+        let mut dom: Vec<BitSet> = (0..nb).map(|_| BitSet::full(nb)).collect();
+        if nb > 0 {
+            dom[0] = BitSet::new(nb);
+            dom[0].insert(0);
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for b in 1..nb {
+                    let mut new = BitSet::full(nb);
+                    let mut any = false;
+                    for &p in &preds[b] {
+                        new.intersect_with(&dom[p]);
+                        any = true;
+                    }
+                    if !any {
+                        new = BitSet::full(nb); // unreachable: lattice top
+                    }
+                    new.insert(b);
+                    if new != dom[b] {
+                        dom[b] = new;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Postdominators over the same edges, greatest fixpoint backwards.
+        // Blocks with no successors are their own postdominator frontier.
+        let mut pdom: Vec<BitSet> = (0..nb).map(|_| BitSet::full(nb)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                let mut new = if blocks[b].succs.is_empty() {
+                    BitSet::new(nb)
+                } else {
+                    let mut acc = BitSet::full(nb);
+                    for &s in &blocks[b].succs {
+                        acc.intersect_with(&pdom[s]);
+                    }
+                    acc
+                };
+                new.insert(b);
+                if new != pdom[b] {
+                    pdom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+
+        FlowGraph {
+            blocks,
+            preds,
+            block_of,
+            reachable,
+            dom,
+            pdom,
+        }
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Does block `a` dominate block `b`?
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        self.dom[b].contains(a)
+    }
+
+    /// Per-block control dependence: `cd[b]` lists the *branch blocks* `c`
+    /// such that `b` is control-dependent on `c` (Ferrante et al.: `b`
+    /// postdominates a successor of `c` but does not strictly postdominate
+    /// `c`). A block can be control-dependent on itself (loop-exit tests).
+    pub fn control_deps(&self) -> Vec<Vec<usize>> {
+        let nb = self.blocks.len();
+        let mut cd: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (c, blk) in self.blocks.iter().enumerate() {
+            if blk.succs.len() < 2 {
+                continue;
+            }
+            for &s in &blk.succs {
+                for b in self.pdom[s].iter() {
+                    let strictly_pdoms_c = b != c && self.pdom[c].contains(b);
+                    if !strictly_pdoms_c && !cd[b].contains(&c) {
+                        cd[b].push(c);
+                    }
+                }
+            }
+        }
+        cd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{CmpOp, Pred, Reg, Ty};
+
+    fn guarded_bra(t: usize, p: u8, want: bool) -> Inst {
+        let mut b = Inst::bra(t);
+        b.guard = Some((Pred(p), want));
+        b
+    }
+
+    /// 0: setp p0; 1: @p0 bra 3; 2: nop; 3: exit
+    fn if_then() -> Vec<Inst> {
+        vec![
+            Inst::setp(CmpOp::Eq, Ty::S32, Pred(0), Reg(0), 0),
+            guarded_bra(3, 0, true),
+            Inst::new(Op::Nop),
+            Inst::new(Op::Exit),
+        ]
+    }
+
+    #[test]
+    fn guarded_exit_falls_through() {
+        // 0: @p0 exit; 1: exit
+        let mut ge = Inst::new(Op::Exit);
+        ge.guard = Some((Pred(0), true));
+        let insts = vec![ge, Inst::new(Op::Exit)];
+        let g = FlowGraph::build(&insts);
+        assert_eq!(g.blocks.len(), 2);
+        assert_eq!(g.blocks[0].succs, vec![1], "guarded exit falls through");
+        assert!(g.reachable.contains(1));
+    }
+
+    #[test]
+    fn unguarded_exit_terminates() {
+        let insts = vec![Inst::new(Op::Exit), Inst::new(Op::Nop), Inst::new(Op::Exit)];
+        let g = FlowGraph::build(&insts);
+        assert!(g.blocks[0].succs.is_empty());
+        assert!(!g.reachable.contains(1), "code after exit is unreachable");
+    }
+
+    #[test]
+    fn dominators_on_diamond() {
+        let g = FlowGraph::build(&if_then());
+        // Block 0 [0,2) dominates everything; the `then` block [2,3) does
+        // not dominate the join [3,4).
+        let join = g.block_of(3);
+        let then = g.block_of(2);
+        assert!(g.dominates(0, join));
+        assert!(!g.dominates(then, join));
+    }
+
+    #[test]
+    fn control_dependence_on_if() {
+        let g = FlowGraph::build(&if_then());
+        let cd = g.control_deps();
+        let then = g.block_of(2);
+        let join = g.block_of(3);
+        assert_eq!(cd[then], vec![g.block_of(1)]);
+        assert!(cd[join].is_empty(), "join is not control-dependent");
+    }
+
+    #[test]
+    fn loop_exit_block_controls_itself() {
+        // 0: nop; 1: setp p0; 2: @p0 bra 0; 3: exit — the block holding the
+        // back edge is control-dependent on itself.
+        let insts = vec![
+            Inst::new(Op::Nop),
+            Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 9),
+            guarded_bra(0, 0, true),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let cd = g.control_deps();
+        let head = g.block_of(0);
+        assert!(cd[head].contains(&head), "loop body depends on exit test");
+    }
+
+    #[test]
+    fn infinite_loop_has_total_pdom() {
+        // 0: nop; 1: bra 0 — no path to exit; pdom must still be defined.
+        let insts = vec![Inst::new(Op::Nop), Inst::bra(0)];
+        let g = FlowGraph::build(&insts);
+        assert_eq!(g.pdom.len(), g.blocks.len());
+        for b in 0..g.blocks.len() {
+            assert!(g.pdom[b].contains(b));
+        }
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::new(130);
+        assert!(a.insert(0));
+        assert!(a.insert(129));
+        assert!(!a.insert(129));
+        let mut b = BitSet::full(130);
+        assert!(b.intersect_with(&a) || b == a);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 129]);
+        b.remove(0);
+        assert!(!b.contains(0));
+        assert!(!b.is_empty());
+    }
+}

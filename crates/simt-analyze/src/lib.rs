@@ -1,0 +1,147 @@
+//! Static analysis for `bows-sim` kernels: a dataflow framework over the
+//! PTX-like IR, correctness lints, and a static spin-loop oracle.
+//!
+//! The oracle is the reason this crate exists: DDOS (the paper's *dynamic*
+//! spin detector) claims zero false detections under XOR hashing, and until
+//! now the repo had no independent ground truth to check that against beyond
+//! the hand-written `!sib` annotations. [`static_sibs`] classifies spin-
+//! inducing branches from first principles — loop structure, dependence
+//! closure of the exit predicate, side-effect discipline, escape analysis —
+//! so the `oracle` experiment can cross-validate all three sources: the
+//! annotations, the static classification, and DDOS's dynamic confirmations.
+//!
+//! Layered passes (each usable on its own):
+//!
+//! * [`cfgx::FlowGraph`] — analysis CFG (guarded-`exit` fall-through edges
+//!   restored), reachability, dominators, postdominator sets, control
+//!   dependence;
+//! * [`loops::natural_loops`] — back edges via dominance, loop bodies, exits;
+//! * [`defs::ReachingDefs`] / [`defs::Liveness`] — register *and* predicate
+//!   dataflow with a virtual uninitialized definition at entry;
+//! * [`uniform::Uniformity`] — warp-uniformity with sync dependence;
+//! * [`sib::static_sibs`] — the spin oracle;
+//! * [`lint::lint`] — structured diagnostics (severity, pc, block, variable).
+//!
+//! # Example
+//!
+//! ```
+//! use simt_analyze::AnalyzeExt;
+//! use simt_isa::asm::assemble;
+//!
+//! let k = assemble(
+//!     r#"
+//!     .kernel wait
+//!     .regs 4
+//!         ld.param r1, [0]
+//!     W:  ld.global.volatile r2, [r1]
+//!         setp.eq.s32 p0, r2, 0
+//!     @p0 bra W !sib !wait
+//!         exit
+//!     "#,
+//! )?;
+//! let a = k.analyze();
+//! assert!(a.diagnostics.is_empty());
+//! assert_eq!(a.sibs.len(), 1);
+//! assert_eq!(a.sibs[0].branch_pc, 3);
+//! # Ok::<(), simt_isa::AsmError>(())
+//! ```
+
+pub mod cfgx;
+pub mod defs;
+pub mod lint;
+pub mod loops;
+pub mod sib;
+pub mod uniform;
+
+pub use cfgx::{BitSet, FlowGraph};
+pub use defs::{Liveness, ReachingDefs, Var};
+pub use lint::{has_errors, lint, Diagnostic, LintKind, Severity};
+pub use loops::{natural_loops, NaturalLoop};
+pub use sib::{static_sibs, StaticSib};
+pub use uniform::Uniformity;
+
+use simt_isa::Kernel;
+
+/// Everything the standard analysis pipeline produces for one kernel.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Backward branches the oracle classifies as spin-inducing.
+    pub sibs: Vec<StaticSib>,
+    /// Lint findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// Spin branch pcs, for joining against `Kernel::true_sibs` or DDOS
+    /// `confirmed_sibs()`.
+    pub fn sib_pcs(&self) -> Vec<usize> {
+        self.sibs.iter().map(|s| s.branch_pc).collect()
+    }
+
+    /// Any error-severity finding?
+    pub fn has_errors(&self) -> bool {
+        has_errors(&self.diagnostics)
+    }
+}
+
+/// Analyze an instruction sequence (also works on kernels that fail
+/// validation — the lints explain *why* they are invalid).
+pub fn analyze_insts(insts: &[simt_isa::Inst]) -> Analysis {
+    Analysis {
+        sibs: static_sibs(insts),
+        diagnostics: lint(insts),
+    }
+}
+
+/// Extension trait hanging the analysis pipeline off [`Kernel`].
+///
+/// (An extension trait rather than an inherent method: `simt-isa` must not
+/// depend on this crate.)
+pub trait AnalyzeExt {
+    /// Run the full static analysis pipeline.
+    fn analyze(&self) -> Analysis;
+}
+
+impl AnalyzeExt for Kernel {
+    fn analyze(&self) -> Analysis {
+        analyze_insts(&self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::asm::assemble;
+
+    #[test]
+    fn analyze_agrees_with_annotation_on_spinlock() {
+        let k = assemble(
+            r#"
+            .kernel spinlock
+            .regs 10
+                ld.param r1, [0]
+                ld.param r2, [4]
+                mov r9, 0
+            SPIN:
+                atom.global.cas r3, [r1], 0, 1 !acquire
+                setp.eq.s32 p1, r3, 0
+            @!p1 bra TEST
+                ld.global.volatile r4, [r2]
+                add r4, r4, 1
+                st.global [r2], r4
+                membar
+                atom.global.exch r5, [r1], 0 !release
+                mov r9, 1
+            TEST:
+                setp.eq.s32 p2, r9, 0
+            @p2 bra SPIN !sib
+                exit
+            "#,
+        )
+        .unwrap();
+        let a = k.analyze();
+        assert_eq!(a.sib_pcs(), k.true_sibs);
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+}

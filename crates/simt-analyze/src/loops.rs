@@ -1,0 +1,187 @@
+//! Natural-loop detection.
+//!
+//! A *back edge* is a CFG edge `latch -> header` whose target dominates its
+//! source; the loop body is the set of blocks that can reach the latch
+//! without passing through the header (computed by reverse reachability from
+//! the latch, stopping at the header). Backward branches that are not back
+//! edges (irreducible entries, e.g. a jump into the middle of a loop) are
+//! reported as such so the spin oracle can skip them instead of guessing.
+
+use crate::cfgx::{BitSet, FlowGraph};
+use simt_isa::Inst;
+
+/// One natural loop, identified by its back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Instruction index of the backward branch forming the back edge.
+    pub branch_pc: usize,
+    /// Header block id (the back edge's target).
+    pub header: usize,
+    /// Latch block id (the block holding the backward branch).
+    pub latch: usize,
+    /// Blocks in the loop body, header and latch included.
+    pub blocks: BitSet,
+    /// Exit edges `(from_block, to_block)` leaving the loop.
+    pub exits: Vec<(usize, usize)>,
+}
+
+impl NaturalLoop {
+    /// Is instruction `pc` inside the loop body?
+    pub fn contains_pc(&self, g: &FlowGraph, pc: usize) -> bool {
+        self.blocks.contains(g.block_of(pc))
+    }
+
+    /// Iterate the instruction indices of the loop body in program order.
+    pub fn insts<'a>(&'a self, g: &'a FlowGraph) -> impl Iterator<Item = usize> + 'a {
+        self.blocks
+            .iter()
+            .flat_map(|b| g.blocks[b].start..g.blocks[b].end)
+    }
+}
+
+/// Find every natural loop formed by a backward branch.
+///
+/// Returns loops in program order of their backward branch. A conditional
+/// backward branch whose target does *not* dominate it (irreducible control
+/// flow) yields no loop here.
+pub fn natural_loops(g: &FlowGraph, insts: &[Inst]) -> Vec<NaturalLoop> {
+    let nb = g.blocks.len();
+    let mut out = Vec::new();
+    for (pc, inst) in insts.iter().enumerate() {
+        if !inst.is_backward_branch(pc) {
+            continue;
+        }
+        let Some(target) = inst.target else { continue };
+        if target >= g.block_of_len() {
+            continue; // out-of-range target: reported by the lints
+        }
+        let latch = g.block_of(pc);
+        let header = g.block_of(target);
+        if !g.reachable.contains(latch) || !g.dominates(header, latch) {
+            continue; // unreachable or irreducible back edge
+        }
+        // Body: reverse reachability from the latch, stopping at the header.
+        let mut blocks = BitSet::new(nb);
+        blocks.insert(header);
+        blocks.insert(latch);
+        let mut stack = vec![latch];
+        while let Some(b) = stack.pop() {
+            if b == header {
+                continue;
+            }
+            for &p in &g.preds[b] {
+                if blocks.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        let mut exits = Vec::new();
+        for b in blocks.iter() {
+            for &s in &g.blocks[b].succs {
+                if !blocks.contains(s) {
+                    exits.push((b, s));
+                }
+            }
+        }
+        out.push(NaturalLoop {
+            branch_pc: pc,
+            header,
+            latch,
+            blocks,
+            exits,
+        });
+    }
+    out
+}
+
+impl FlowGraph {
+    /// Number of instructions covered by the block map (used to guard
+    /// lookups against out-of-range branch targets).
+    pub fn block_of_len(&self) -> usize {
+        self.blocks.last().map_or(0, |b| b.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{CmpOp, Op, Pred, Reg, Ty};
+
+    fn guarded_bra(t: usize, p: u8) -> Inst {
+        let mut b = Inst::bra(t);
+        b.guard = Some((Pred(p), true));
+        b
+    }
+
+    #[test]
+    fn simple_counted_loop() {
+        // 0: nop (head); 1: setp; 2: @p0 bra 0; 3: exit
+        let insts = vec![
+            Inst::new(Op::Nop),
+            Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 9),
+            guarded_bra(0, 0),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let loops = natural_loops(&g, &insts);
+        assert_eq!(loops.len(), 1);
+        let l = loops[0].clone();
+        assert_eq!(l.branch_pc, 2);
+        assert_eq!(l.header, l.latch, "single-block loop");
+        assert_eq!(l.exits.len(), 1);
+        assert!(l.contains_pc(&g, 1));
+        assert!(!l.contains_pc(&g, 3));
+    }
+
+    #[test]
+    fn nested_loops_have_nested_bodies() {
+        // 0: nop (outer head); 1: nop (inner head); 2: setp p0;
+        // 3: @p0 bra 1 (inner); 4: setp p1; 5: @p1 bra 0 (outer); 6: exit
+        let insts = vec![
+            Inst::new(Op::Nop),
+            Inst::new(Op::Nop),
+            Inst::setp(CmpOp::Lt, Ty::S32, Pred(0), Reg(0), 9),
+            guarded_bra(1, 0),
+            Inst::setp(CmpOp::Lt, Ty::S32, Pred(1), Reg(1), 9),
+            guarded_bra(0, 1),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let loops = natural_loops(&g, &insts);
+        assert_eq!(loops.len(), 2);
+        let inner = &loops[0];
+        let outer = &loops[1];
+        assert!(!inner.contains_pc(&g, 0));
+        assert!(outer.contains_pc(&g, 0));
+        assert!(outer.contains_pc(&g, 3), "outer body contains inner");
+    }
+
+    #[test]
+    fn irreducible_back_edge_is_skipped() {
+        // Jump into the middle of a "loop": the backward branch's target
+        // does not dominate it.
+        // 0: bra 2; 1: nop (side entry target); 2: nop; 3: @p0 bra 1; 4: exit
+        let insts = vec![
+            Inst::bra(2),
+            Inst::new(Op::Nop),
+            Inst::new(Op::Nop),
+            guarded_bra(1, 0),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let loops = natural_loops(&g, &insts);
+        assert!(
+            loops.iter().all(|l| l.branch_pc != 3),
+            "irreducible edge must not form a natural loop"
+        );
+    }
+
+    #[test]
+    fn infinite_self_loop_has_no_exits() {
+        let insts = vec![Inst::new(Op::Nop), Inst::bra(0)];
+        let g = FlowGraph::build(&insts);
+        let loops = natural_loops(&g, &insts);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].exits.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Warp-uniformity (divergence) analysis.
+//!
+//! Classifies every variable as *uniform* (provably equal across the active
+//! lanes of a warp) or *divergent*. Sources of divergence:
+//!
+//! * lane-varying special registers (`%tid`, `%laneid`, `%gtid`),
+//! * atomic return values (each lane observes a different old value),
+//! * loads whose address is divergent,
+//! * any computation over divergent inputs,
+//! * *sync dependence*: a definition inside a region controlled by a
+//!   divergent branch executes on a lane-varying path, so its value differs
+//!   across lanes after reconvergence.
+//!
+//! `%ctaid`, `%ntid`, `%nctaid`, `%smid`, `%warpid`, `%clock` and kernel
+//! parameters are warp-uniform; a (volatile) load from a uniform address is
+//! treated as uniform — all lanes issue the same address in the same cycle.
+//! This is the standard GPU compiler approximation (cf. divergence analysis
+//! in "Control Flow Management in Modern GPUs"), precise enough to prove the
+//! corpus's CTA-wide done-counter polls uniform.
+
+use crate::cfgx::{BitSet, FlowGraph};
+use crate::defs::{defs, Var, NUM_VARS};
+use simt_isa::{Inst, Op, Operand, Special};
+
+/// Uniformity solution.
+pub struct Uniformity {
+    /// Divergent variables, over [`Var::index`]. A variable is divergent if
+    /// *any* definition of it is divergent.
+    pub divergent_vars: BitSet,
+    /// Blocks ending in a divergent conditional branch.
+    pub divergent_branches: BitSet,
+}
+
+fn special_is_divergent(s: Special) -> bool {
+    match s {
+        Special::TidX | Special::LaneId | Special::GlobalTid => true,
+        Special::CtaIdX
+        | Special::NTidX
+        | Special::NCtaIdX
+        | Special::WarpId
+        | Special::SmId
+        | Special::Clock => false,
+    }
+}
+
+impl Uniformity {
+    /// Solve to fixpoint.
+    pub fn solve(g: &FlowGraph, insts: &[Inst]) -> Uniformity {
+        let cd = g.control_deps();
+        let nb = g.blocks.len();
+        let mut divergent_vars = BitSet::new(NUM_VARS);
+        let mut divergent_branches = BitSet::new(nb);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (pc, inst) in insts.iter().enumerate() {
+                let dsts = defs(inst);
+                if dsts.is_empty() {
+                    continue;
+                }
+                let mut div = match inst.op {
+                    // Atomics: each lane receives a distinct old value.
+                    Op::Atom(_) => true,
+                    // Loads: divergent iff the address is divergent.
+                    Op::Ld(..) => inst
+                        .addr
+                        .and_then(|a| a.base)
+                        .is_some_and(|r| divergent_vars.contains(Var::Reg(r).index())),
+                    _ => false,
+                };
+                if !matches!(inst.op, Op::Ld(..)) {
+                    for s in &inst.srcs {
+                        div |= match *s {
+                            Operand::Reg(r) => divergent_vars.contains(Var::Reg(r).index()),
+                            Operand::Special(sp) => special_is_divergent(sp),
+                            Operand::Imm(_) => false,
+                        };
+                    }
+                }
+                div |= inst
+                    .psrcs
+                    .iter()
+                    .any(|&p| divergent_vars.contains(Var::Pred(p).index()));
+                if let Some((p, _)) = inst.guard {
+                    div |= divergent_vars.contains(Var::Pred(p).index());
+                }
+                // Sync dependence: the defining block executes under a
+                // divergent branch.
+                let b = g.block_of(pc);
+                div |= cd[b].iter().any(|&c| divergent_branches.contains(c));
+                if div {
+                    for v in dsts {
+                        changed |= divergent_vars.insert(v.index());
+                    }
+                }
+            }
+            // Re-derive divergent branches from guard uniformity.
+            for (b, blk) in g.blocks.iter().enumerate() {
+                if blk.succs.len() < 2 {
+                    continue;
+                }
+                let last = &insts[blk.end - 1];
+                let div = last
+                    .guard
+                    .is_some_and(|(p, _)| divergent_vars.contains(Var::Pred(p).index()));
+                if div {
+                    changed |= divergent_branches.insert(b);
+                }
+            }
+        }
+        Uniformity {
+            divergent_vars,
+            divergent_branches,
+        }
+    }
+
+    /// Is the variable divergent?
+    pub fn is_divergent(&self, v: Var) -> bool {
+        self.divergent_vars.contains(v.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{CmpOp, MemAddr, Pred, Reg, Space, Ty};
+
+    #[test]
+    fn tid_is_divergent_ctaid_uniform() {
+        let insts = vec![
+            Inst::mov(Reg(1), Special::TidX),
+            Inst::mov(Reg(2), Special::CtaIdX),
+            Inst::binary(Op::Add(Ty::S32), Reg(3), Reg(1), Reg(2)),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let u = Uniformity::solve(&g, &insts);
+        assert!(u.is_divergent(Var::Reg(Reg(1))));
+        assert!(!u.is_divergent(Var::Reg(Reg(2))));
+        assert!(u.is_divergent(Var::Reg(Reg(3))), "taint propagates");
+    }
+
+    #[test]
+    fn load_from_uniform_address_is_uniform() {
+        let insts = vec![
+            Inst::mov(Reg(1), Special::CtaIdX),
+            Inst::ld(Space::Global, Reg(2), MemAddr::new(Reg(1), 0)),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let u = Uniformity::solve(&g, &insts);
+        assert!(!u.is_divergent(Var::Reg(Reg(2))));
+    }
+
+    #[test]
+    fn atomic_result_is_divergent() {
+        let insts = vec![
+            Inst::mov(Reg(1), Special::CtaIdX),
+            Inst::atom(
+                simt_isa::AtomOp::Add,
+                Reg(2),
+                MemAddr::new(Reg(1), 0),
+                vec![Operand::Imm(1)],
+            ),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let u = Uniformity::solve(&g, &insts);
+        assert!(u.is_divergent(Var::Reg(Reg(2))));
+    }
+
+    #[test]
+    fn sync_dependence_taints_defs_under_divergent_branch() {
+        // 0: mov r1, %tid; 1: setp.eq p0, r1, 0; 2: @p0 bra 4;
+        // 3: mov r2, 7 (under divergent branch); 4: exit
+        let mut b = Inst::bra(4);
+        b.guard = Some((Pred(0), true));
+        let insts = vec![
+            Inst::mov(Reg(1), Special::TidX),
+            Inst::setp(CmpOp::Eq, Ty::S32, Pred(0), Reg(1), 0),
+            b,
+            Inst::mov(Reg(2), 7),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let u = Uniformity::solve(&g, &insts);
+        assert!(u.is_divergent(Var::Pred(Pred(0))));
+        assert!(u.is_divergent(Var::Reg(Reg(2))), "sync dependence");
+        assert!(u.divergent_branches.contains(g.block_of(2)));
+    }
+
+    #[test]
+    fn uniform_branch_stays_uniform() {
+        let mut b = Inst::bra(4);
+        b.guard = Some((Pred(0), true));
+        let insts = vec![
+            Inst::mov(Reg(1), Special::CtaIdX),
+            Inst::setp(CmpOp::Eq, Ty::S32, Pred(0), Reg(1), 0),
+            b,
+            Inst::mov(Reg(2), 7),
+            Inst::new(Op::Exit),
+        ];
+        let g = FlowGraph::build(&insts);
+        let u = Uniformity::solve(&g, &insts);
+        assert!(!u.is_divergent(Var::Reg(Reg(2))));
+        assert!(u.divergent_branches.is_empty());
+    }
+}

@@ -56,6 +56,58 @@ impl From<KernelError> for AsmError {
     }
 }
 
+/// A parsed-but-unvalidated kernel: labels are resolved, instruction lines
+/// recorded, but none of [`Kernel::validate`]'s checks have run. This is the
+/// input the `simt-analyze` lints operate on — a kernel the assembler would
+/// *reject* (say, a branch past the end of the program) can still be
+/// analyzed and explained.
+#[derive(Debug, Clone)]
+pub struct RawKernel {
+    /// Kernel name from the `.kernel` directive.
+    pub name: String,
+    /// The instruction stream with targets resolved to indices.
+    pub insts: Vec<Inst>,
+    /// Label name → instruction index.
+    pub labels: HashMap<String, usize>,
+    /// Declared per-thread register count.
+    pub num_regs: u8,
+    /// Declared parameter slots.
+    pub num_params: u32,
+    /// Declared shared-memory words.
+    pub shared_words: u32,
+}
+
+impl RawKernel {
+    /// Validate and finish into a launchable [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] carrying the *source line* of the offending
+    /// instruction for pc-specific [`KernelError`]s (file-level errors such
+    /// as a missing `exit` report line 0).
+    pub fn finish(self) -> Result<Kernel, AsmError> {
+        let lines: Vec<u32> = self.insts.iter().map(|i| i.line).collect();
+        Kernel::from_insts(
+            self.name,
+            self.insts,
+            self.labels,
+            self.num_regs,
+            self.num_params,
+            self.shared_words,
+        )
+        .map_err(|e| {
+            let pc = match e {
+                KernelError::RegOutOfRange { pc, .. }
+                | KernelError::PredOutOfRange { pc, .. }
+                | KernelError::BadTarget { pc, .. } => Some(pc),
+                KernelError::NoExit | KernelError::Empty => None,
+            };
+            let line = pc.and_then(|pc| lines.get(pc).copied()).unwrap_or(0);
+            AsmError::new(line, e.to_string())
+        })
+    }
+}
+
 /// Assemble a kernel from text.
 ///
 /// # Errors
@@ -63,6 +115,17 @@ impl From<KernelError> for AsmError {
 /// Returns an [`AsmError`] naming the offending line for syntax errors,
 /// unknown mnemonics, unresolved labels, or kernel-level validation failures.
 pub fn assemble(text: &str) -> Result<Kernel, AsmError> {
+    assemble_raw(text)?.finish()
+}
+
+/// Assemble without validating: the entry point for the linter, which must
+/// accept kernels [`assemble`] rejects.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for syntax errors, unknown mnemonics, duplicate
+/// or unresolved labels — defects that prevent even *parsing* the kernel.
+pub fn assemble_raw(text: &str) -> Result<RawKernel, AsmError> {
     let mut name: Option<String> = None;
     let mut num_regs: u8 = 32;
     let mut num_params: u32 = 8;
@@ -135,8 +198,14 @@ pub fn assemble(text: &str) -> Result<Kernel, AsmError> {
         inst.line = line_no;
         insts.push(inst);
     }
-    Kernel::from_insts(name, insts, labels, num_regs, num_params, shared_words)
-        .map_err(AsmError::from)
+    Ok(RawKernel {
+        name,
+        insts,
+        labels,
+        num_regs,
+        num_params,
+        shared_words,
+    })
 }
 
 struct RawInst {

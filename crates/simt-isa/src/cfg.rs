@@ -29,6 +29,12 @@ pub struct Cfg {
 impl Cfg {
     /// Build the CFG of an instruction sequence with resolved branch targets.
     ///
+    /// Out-of-range targets are tolerated by dropping the edge, so analyses
+    /// (the `simt-analyze` lints) stay total on invalid input. Valid kernels
+    /// can never contain one: [`crate::Kernel::from_insts`] rejects
+    /// out-of-range targets *before* building the CFG, precisely because the
+    /// dropped edge would otherwise silently become a fall-through.
+    ///
     /// # Panics
     ///
     /// Panics if a branch has no resolved target (assembler bugs only; the

@@ -81,6 +81,17 @@ impl Kernel {
         num_params: u32,
         shared_words: u32,
     ) -> Result<Kernel, KernelError> {
+        // Branch targets must be validated *before* CFG construction:
+        // `Cfg::build` tolerates out-of-range targets by dropping the edge
+        // (so the linter can analyze invalid input), which would silently
+        // turn the branch into a fall-through here.
+        for (pc, inst) in insts.iter().enumerate() {
+            if let Some(t) = inst.target {
+                if t >= insts.len() {
+                    return Err(KernelError::BadTarget { pc, target: t });
+                }
+            }
+        }
         let cfg = Cfg::build(&insts);
         let reconv = cfg.reconv_points(&insts);
         let true_sibs = insts

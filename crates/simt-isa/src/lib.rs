@@ -46,7 +46,7 @@ mod kernel;
 mod op;
 mod reg;
 
-pub use asm::AsmError;
+pub use asm::{AsmError, RawKernel};
 pub use inst::{Annot, Inst, MemAddr, Operand};
 pub use kernel::{Kernel, KernelError, RECONV_EXIT};
 pub use op::{AtomOp, CmpOp, Op, OpClass, Space, Ty};

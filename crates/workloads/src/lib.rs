@@ -86,6 +86,10 @@ pub struct StageResult {
     pub true_sibs: Vec<usize>,
     /// All backward branches (the DDOS candidate set).
     pub backward_branches: Vec<usize>,
+    /// The instructions that ran, for post-hoc static analysis (the
+    /// `oracle` experiment re-derives spin branches from these and joins
+    /// them against `report.confirmed_sibs`).
+    pub insts: Vec<simt_isa::Inst>,
     /// The simulator's report.
     pub report: KernelReport,
 }
@@ -145,6 +149,7 @@ pub fn run_workload(
             kernel: stage.kernel.name.clone(),
             true_sibs: stage.kernel.true_sibs.clone(),
             backward_branches: stage.kernel.backward_branches(),
+            insts: stage.kernel.insts.clone(),
             report,
         });
     }

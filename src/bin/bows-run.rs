@@ -28,6 +28,7 @@ struct Cli {
     dumps: Vec<(usize, u64)>,
     chaos_seed: Option<u64>,
     chaos_level: Option<u8>,
+    lint: bool,
 }
 
 enum ParamSpec {
@@ -40,12 +41,16 @@ fn usage() -> ! {
         "usage: bows-run <kernel.s> [--ctas N] [--tpc N] [--param V|buf:W[=F]]...\n\
          \x20            [--sched lrr|gto|cawa] [--bows <cycles>|adaptive] [--no-ddos]\n\
          \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]...\n\
-         \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
+         \x20            [--chaos-seed N] [--chaos-level 0..3] [--lint]\n\
          \n\
          --chaos-seed seeds the deterministic memory fault injector\n\
          (same seed => bit-identical run); --chaos-level picks intensity\n\
          (0 off, 1 latency jitter, 2 +NACKs, 3 +MSHR squeeze; default 1\n\
-         when only a seed is given)."
+         when only a seed is given).\n\
+         \n\
+         --lint runs the static analyzer instead of simulating: prints\n\
+         correctness diagnostics and the statically-classified spin\n\
+         branches, exits 2 when any error-severity diagnostic fires."
     );
     std::process::exit(2);
 }
@@ -64,6 +69,7 @@ fn parse_cli() -> Cli {
         dumps: Vec::new(),
         chaos_seed: None,
         chaos_level: None,
+        lint: false,
     };
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -135,6 +141,7 @@ fn parse_cli() -> Cli {
                 }
                 cli.chaos_level = Some(lvl);
             }
+            "--lint" => cli.lint = true,
             "--help" | "-h" => usage(),
             other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
                 cli.kernel_path = other.to_string();
@@ -154,6 +161,45 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// `--lint`: static analysis without simulation.
+///
+/// Assembles without validation ([`simt_isa::asm::assemble_raw`]) so that
+/// kernels the assembler would reject — the very bugs the lints explain —
+/// can still be analyzed. Prints every diagnostic with its source line and
+/// the static spin-branch classification; exits 2 when any error-severity
+/// diagnostic fires (mirroring the usage exit so scripts can distinguish
+/// "kernel is broken" from "simulation failed").
+fn lint_file(path: &str, src: &str) -> ExitCode {
+    let raw = match simt_isa::asm::assemble_raw(src) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = simt_analyze::analyze_insts(&raw.insts);
+    println!("kernel      : {} ({} instructions)", raw.name, raw.insts.len());
+    if analysis.sibs.is_empty() {
+        println!("spin loops  : none");
+    } else {
+        for sib in &analysis.sibs {
+            println!(
+                "spin loop   : branch pc {} -> header pc {} (observes loads at {:?})",
+                sib.branch_pc, sib.header_pc, sib.observers
+            );
+        }
+    }
+    for d in &analysis.diagnostics {
+        let line = raw.insts.get(d.pc).map_or(0, |i| i.line);
+        println!("{path}:{line}: {d}");
+    }
+    if analysis.has_errors() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let cli = parse_cli();
     let src = match std::fs::read_to_string(&cli.kernel_path) {
@@ -163,6 +209,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cli.lint {
+        return lint_file(&cli.kernel_path, &src);
+    }
     let kernel = match assemble(&src) {
         Ok(k) => k,
         Err(e) => {

@@ -1,0 +1,10 @@
+; Lint fixture: END labels the end of the program, so the branch target
+; is one past the last instruction. `assemble` rejects this kernel;
+; `--lint` explains it.
+.kernel bad_target
+.regs 4
+.params 0
+    mov r1, 1
+    bra END
+    exit
+END:

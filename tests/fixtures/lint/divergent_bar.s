@@ -1,0 +1,12 @@
+; Lint fixture: only thread 0 of each CTA skips the barrier, so the
+; barrier executes under divergent control flow (classic GPU deadlock).
+.kernel divergent_bar
+.regs 8
+.params 1
+    ld.param r1, [0]
+    mov r2, %tid
+    setp.eq.s32 p0, r2, 0
+@p0 bra SKIP
+    bar
+SKIP:
+    exit

@@ -1,0 +1,8 @@
+; Lint fixture: r3 is read before any definition.
+.kernel undefined_read
+.regs 8
+.params 1
+    ld.param r1, [0]
+    add r2, r3, 1
+    st.global [r1], r2
+    exit

@@ -1,0 +1,10 @@
+; Lint fixture: the block after the unconditional branch can never run.
+.kernel unreachable
+.regs 8
+.params 1
+    ld.param r1, [0]
+    bra DONE
+    mov r2, 7
+    st.global [r1], r2
+DONE:
+    exit
