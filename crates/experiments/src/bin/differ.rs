@@ -1,0 +1,207 @@
+//! `differ`: the differential correctness oracle CLI.
+//!
+//! Sweeps the full workload corpus (8 sync + 14 Rodinia analogs) through
+//! both engines — the cycle-level simulator and the functional reference
+//! interpreter — across a {scheduler × BOWS × DDOS hash × chaos} matrix,
+//! then re-judges every committed fixture under `tests/fixtures/differential`
+//! against its `expect` directive.
+//!
+//! Exits 0 when the corpus agrees everywhere and every fixture reproduces
+//! its expected divergence; 1 otherwise (CI gates on it); 2 on usage
+//! errors.
+
+use experiments::differ::{check_suite, matrix, DifferCell, DEFAULT_FUEL};
+use experiments::fixture::check_fixture;
+use experiments::{grid, Table};
+use simt_core::GpuConfig;
+use std::process::ExitCode;
+use workloads::Scale;
+
+const USAGE: &str = "flags: --scale tiny|small|full   --matrix small|full   --jobs <n>   \
+--fuel <n>   --timeout-cycles <n>   --fixtures <dir>   --no-fixtures";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    scale: Scale,
+    full_matrix: bool,
+    fuel: u64,
+    timeout_cycles: Option<u64>,
+    fixtures: Option<String>,
+    run_fixtures: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        scale: Scale::Tiny,
+        full_matrix: false,
+        fuel: DEFAULT_FUEL,
+        timeout_cycles: None,
+        fixtures: None,
+        run_fixtures: true,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| usage_error(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                a.scale = match value(&mut args, "--scale").as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => usage_error(&format!("unknown scale `{other}`")),
+                }
+            }
+            "--matrix" => {
+                a.full_matrix = match value(&mut args, "--matrix").as_str() {
+                    "full" => true,
+                    "small" => false,
+                    other => usage_error(&format!("unknown matrix `{other}`")),
+                }
+            }
+            "--jobs" => {
+                let v = value(&mut args, "--jobs");
+                grid::set_jobs(v.parse().unwrap_or_else(|_| usage_error("bad --jobs")));
+            }
+            "--fuel" => {
+                a.fuel = value(&mut args, "--fuel")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("bad --fuel"));
+            }
+            "--timeout-cycles" => {
+                let v = value(&mut args, "--timeout-cycles");
+                a.timeout_cycles =
+                    Some(v.parse().unwrap_or_else(|_| usage_error("bad --timeout-cycles")));
+            }
+            "--fixtures" => a.fixtures = Some(value(&mut args, "--fixtures")),
+            "--no-fixtures" => a.run_fixtures = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    a
+}
+
+fn base_config(scale: Scale, timeout_cycles: Option<u64>) -> GpuConfig {
+    let mut cfg = match scale {
+        Scale::Tiny => GpuConfig::test_tiny(),
+        _ => GpuConfig::gtx480(),
+    };
+    if let Some(t) = timeout_cycles {
+        cfg.max_cycles = t;
+    }
+    cfg
+}
+
+fn run_fixtures(cfg: &GpuConfig, dir: &str, fuel: u64) -> Result<usize, usize> {
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "s"))
+            .collect(),
+        Err(e) => {
+            eprintln!("differ: cannot read fixture dir {dir}: {e}");
+            return Err(0);
+        }
+    };
+    entries.sort();
+    let mut t = Table::new(&["fixture", "expect", "observed", "status"]);
+    let mut failed = 0usize;
+    for path in &entries {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("differ: {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        match check_fixture(cfg, &name, &src, fuel) {
+            Ok(out) => {
+                let observed = out
+                    .reports
+                    .first()
+                    .map_or("agree", |r| r.divergence.kind())
+                    .to_string();
+                let status = match out.verdict() {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => {
+                        failed += 1;
+                        format!("FAIL: {e}")
+                    }
+                };
+                t.row(vec![name, out.fixture.expect.clone(), observed, status]);
+            }
+            Err(e) => {
+                failed += 1;
+                t.row(vec![name, "-".into(), "-".into(), format!("FAIL: {e}")]);
+            }
+        }
+    }
+    println!("{}", t.text());
+    if failed == 0 { Ok(entries.len()) } else { Err(failed) }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = base_config(args.scale, args.timeout_cycles);
+    let cells: Vec<DifferCell> = matrix(args.full_matrix);
+
+    let mut suite = workloads::sync_suite(args.scale);
+    suite.extend(workloads::rodinia_suite(args.scale));
+    println!(
+        "differ: {} workloads x {} cells on {} (fuel {})",
+        suite.len(),
+        cells.len(),
+        cfg.name,
+        args.fuel
+    );
+    let reports = check_suite(&cfg, &suite, &cells, args.fuel);
+    let mut failed = !reports.is_empty();
+    if reports.is_empty() {
+        println!("corpus: engines agree on all {} runs\n", suite.len() * cells.len());
+    } else {
+        println!("corpus: {} divergence(s):", reports.len());
+        for r in &reports {
+            println!("  {r}");
+        }
+        println!();
+    }
+
+    if args.run_fixtures {
+        let dir = args
+            .fixtures
+            .clone()
+            .unwrap_or_else(|| "tests/fixtures/differential".to_string());
+        if std::path::Path::new(&dir).is_dir() || args.fixtures.is_some() {
+            // Fixtures encode residency-limit expectations against the
+            // test_tiny machine; they do not scale with --scale.
+            match run_fixtures(&GpuConfig::test_tiny(), &dir, args.fuel) {
+                Ok(n) => println!("fixtures: {n} reproduced their expected divergence"),
+                Err(n) => {
+                    println!("fixtures: {n} FAILED");
+                    failed = true;
+                }
+            }
+        } else {
+            println!("fixtures: directory {dir} not found, skipped");
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -13,6 +13,9 @@
 //! [`grid::parallel_map`], which reassembles results in submission order so
 //! output is byte-identical to a serial run at any `--jobs` value.
 
+pub mod differ;
+pub mod fixture;
+pub mod fuzz;
 pub mod grid;
 pub mod oracle;
 

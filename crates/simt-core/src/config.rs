@@ -71,6 +71,11 @@ pub struct GpuConfig {
     /// partitions (the HQL-style comparator of the paper's Section VII /
     /// Figure 16b). Off for all paper-reproduction runs.
     pub blocking_locks: bool,
+    /// Capture per-thread architectural state (registers, predicates,
+    /// shared memory) of every CTA as it retires, attached to
+    /// [`crate::KernelReport::final_state`]. Used by the differential
+    /// oracle; off by default so measurement runs pay nothing for it.
+    pub capture_final_state: bool,
 }
 
 impl GpuConfig {
@@ -93,6 +98,7 @@ impl GpuConfig {
             watchdog_cycles: 1_000_000,
             backoff_starvation_cycles: 0,
             blocking_locks: false,
+            capture_final_state: false,
         }
     }
 
@@ -116,6 +122,7 @@ impl GpuConfig {
             watchdog_cycles: 1_000_000,
             backoff_starvation_cycles: 0,
             blocking_locks: false,
+            capture_final_state: false,
         }
     }
 
@@ -138,6 +145,7 @@ impl GpuConfig {
             watchdog_cycles: 200_000,
             backoff_starvation_cycles: 0,
             blocking_locks: false,
+            capture_final_state: false,
         }
     }
 

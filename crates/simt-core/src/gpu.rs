@@ -117,6 +117,10 @@ pub struct KernelReport {
     pub detector: String,
     /// Wall-clock milliseconds at the configured core clock.
     pub time_ms: f64,
+    /// Per-CTA architectural state at retirement, sorted by CTA id. Only
+    /// populated when [`GpuConfig::capture_final_state`] is set; `None`
+    /// otherwise, so measurement runs carry no capture cost.
+    pub final_state: Option<Vec<crate::warp::CtaState>>,
 }
 
 /// A simulated GPU: configuration plus device memory. SM state is created
@@ -385,6 +389,14 @@ impl Gpu {
             }
         }
         confirmed.sort_unstable();
+        let final_state = if self.cfg.capture_final_state {
+            let mut ctas: Vec<crate::warp::CtaState> =
+                sms.iter_mut().flat_map(|sm| sm.captured.drain(..)).collect();
+            ctas.sort_by_key(|c| c.cta_id);
+            Some(ctas)
+        } else {
+            None
+        };
         Ok(KernelReport {
             cycles: now,
             sim: stats,
@@ -395,6 +407,7 @@ impl Gpu {
             scheduler: scheduler_name,
             detector: detector_name,
             time_ms: self.cfg.cycles_to_ms(now),
+            final_state,
         })
     }
 

@@ -63,5 +63,5 @@ pub use scoreboard::Scoreboard;
 pub use sm::{LaunchCtx, Sm, SmCycle};
 pub use stack::{SimtStack, StackEntry};
 pub use stats::SimStats;
-pub use warp::{Cta, Warp};
+pub use warp::{Cta, CtaState, Warp};
 pub use watchdog::{HangClass, HangReport, ProgressScan, WarpProgress, WarpSnapshot};

@@ -116,6 +116,11 @@ pub struct Sm {
     issued_scratch: Vec<Option<usize>>,
     /// Per-unit scratch for the eligible-warp list (reused, never freed).
     eligible_scratch: Vec<usize>,
+    /// Capture CTA architectural state at retirement (differential oracle).
+    capture_state: bool,
+    /// Snapshots of retired CTAs, in retirement order (drained by the GPU
+    /// loop into [`crate::KernelReport::final_state`]).
+    pub captured: Vec<crate::warp::CtaState>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -178,6 +183,8 @@ impl Sm {
                 .collect(),
             issued_scratch: vec![None; cfg.schedulers_per_sm],
             eligible_scratch: Vec::with_capacity(cfg.warps_per_sm()),
+            capture_state: cfg.capture_final_state,
+            captured: Vec::new(),
         }
     }
 
@@ -248,6 +255,9 @@ impl Sm {
 
     fn free_cta(&mut self, cta_slot: usize) {
         let cta = self.ctas[cta_slot].take().expect("freeing live CTA");
+        if self.capture_state {
+            self.captured.push(cta.snapshot());
+        }
         self.regs_in_use -= cta.threads * cta.regs_per_thread;
         self.shared_in_use -= cta.shared.len();
         for w in &mut self.warps {

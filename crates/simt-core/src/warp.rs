@@ -75,6 +75,44 @@ impl Cta {
     pub fn live_warps(&self) -> usize {
         self.num_warps - self.warps_done
     }
+
+    /// Copy out the CTA's architectural state (for the differential
+    /// oracle's final-state capture).
+    pub fn snapshot(&self) -> CtaState {
+        CtaState {
+            cta_id: self.id,
+            threads: self.threads,
+            regs_per_thread: self.regs_per_thread,
+            regs: self.regs.clone(),
+            preds: self.preds.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+/// Architectural state of one CTA at retirement: what the differential
+/// oracle compares against the reference interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtaState {
+    /// Global CTA index in the grid.
+    pub cta_id: usize,
+    /// Threads in the CTA.
+    pub threads: usize,
+    /// Registers per thread.
+    pub regs_per_thread: usize,
+    /// Row-major per-thread registers: `regs[thread * regs_per_thread + r]`.
+    pub regs: Vec<u32>,
+    /// Per-thread predicate bitmasks (bit `p` = predicate `p`).
+    pub preds: Vec<u8>,
+    /// Final shared-memory words.
+    pub shared: Vec<u32>,
+}
+
+impl CtaState {
+    /// Register `r` of `thread`.
+    pub fn reg(&self, thread: usize, r: usize) -> u32 {
+        self.regs[thread * self.regs_per_thread + r]
+    }
 }
 
 /// One warp slot on an SM.

@@ -82,6 +82,35 @@ impl GlobalMem {
     pub fn read_vec(&self, base: Addr, len: u64) -> Vec<u32> {
         (0..len).map(|i| self.read_u32(base + i * 4)).collect()
     }
+
+    /// The full memory image as words (word `i` holds byte address `4*i`).
+    ///
+    /// This is the deterministic final-memory readback used by the
+    /// differential oracle: after a kernel completes, the image *is* the
+    /// architectural memory state, with no cache or in-flight-request
+    /// residue (the timing model writes through to this array at its
+    /// serialization points).
+    pub fn image(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Byte address of the first word where `self` and `other` disagree,
+    /// or `None` when the images are identical.
+    ///
+    /// Images of different lengths differ at the first address past the
+    /// shorter one (allocation sequences diverged — itself a finding).
+    pub fn first_diff(&self, other: &GlobalMem) -> Option<Addr> {
+        let n = self.data.len().min(other.data.len());
+        for i in 0..n {
+            if self.data[i] != other.data[i] {
+                return Some(i as Addr * 4);
+            }
+        }
+        if self.data.len() != other.data.len() {
+            return Some(n as Addr * 4);
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +145,24 @@ mod tests {
         let a = m.alloc(8);
         m.write_slice(a, &[1, 2, 3]);
         assert_eq!(m.read_vec(a, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn first_diff_finds_earliest_byte_address() {
+        let mut a = GlobalMem::new();
+        let base = a.alloc(8);
+        let mut b = a.clone();
+        assert_eq!(a.first_diff(&b), None);
+        b.write_u32(base + 12, 7);
+        b.write_u32(base + 20, 9);
+        assert_eq!(a.first_diff(&b), Some(base + 12));
+        assert_eq!(b.first_diff(&a), Some(base + 12));
+        // Length mismatch differs at the end of the shorter image.
+        let longer_end = a.allocated_bytes();
+        b.alloc(1);
+        a.write_u32(base + 12, 7);
+        a.write_u32(base + 20, 9);
+        assert_eq!(a.first_diff(&b), Some(longer_end));
     }
 
     #[test]

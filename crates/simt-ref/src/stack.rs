@@ -1,0 +1,155 @@
+//! An independent re-implementation of the IPDOM reconvergence stack.
+//!
+//! Semantically identical to the cycle-level machine's stack (divergent
+//! branches push the fall-through side below the taken side; an entry pops
+//! when its PC reaches its reconvergence PC), but written against the ISA
+//! contract rather than shared with `simt-core`, so a stack bug in either
+//! implementation shows up as a differential failure instead of cancelling
+//! out.
+
+use simt_isa::RECONV_EXIT;
+
+/// One level of divergence: the threads in `mask` execute from `pc` until
+/// they reach `rpc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Level {
+    pc: usize,
+    rpc: usize,
+    mask: u32,
+}
+
+/// The reference interpreter's reconvergence stack.
+#[derive(Debug, Clone)]
+pub struct RefStack {
+    levels: Vec<Level>,
+}
+
+impl RefStack {
+    /// A converged warp of `mask` threads entering at `pc`.
+    pub fn new(mask: u32, pc: usize) -> RefStack {
+        RefStack {
+            levels: vec![Level {
+                pc,
+                rpc: RECONV_EXIT,
+                mask,
+            }],
+        }
+    }
+
+    /// All threads have exited.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// PC of the executing group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every thread has exited.
+    pub fn pc(&self) -> usize {
+        self.levels.last().expect("exited warp has no pc").pc
+    }
+
+    /// Mask of the executing group (0 when exited).
+    pub fn active(&self) -> u32 {
+        self.levels.last().map_or(0, |l| l.mask)
+    }
+
+    /// Move the executing group to `next_pc`, reconverging if it arrived.
+    pub fn advance(&mut self, next_pc: usize) {
+        if let Some(top) = self.levels.last_mut() {
+            top.pc = next_pc;
+        }
+        self.pop_converged();
+    }
+
+    /// Execute a branch: `taken` lanes go to `target`, the rest of the
+    /// executing group falls through to `fallthrough`; both sides rejoin
+    /// at `rpc`.
+    pub fn branch(&mut self, taken: u32, target: usize, fallthrough: usize, rpc: usize) {
+        let group = self.active();
+        let t = taken & group;
+        let f = group & !t;
+        match (t, f) {
+            (0, _) => self.advance(fallthrough),
+            (_, 0) => self.advance(target),
+            _ => {
+                // Divergence. The current level waits at the join; the
+                // fall-through side is pushed first so the taken side
+                // executes first (matching the cycle-level machine and
+                // GPGPU-Sim).
+                let top = self.levels.last_mut().expect("branch on exited warp");
+                top.pc = rpc;
+                self.levels.push(Level {
+                    pc: fallthrough,
+                    rpc,
+                    mask: f,
+                });
+                self.levels.push(Level {
+                    pc: target,
+                    rpc,
+                    mask: t,
+                });
+                // A side whose entry PC is already the join (empty arm)
+                // reconverges before executing anything.
+                self.pop_converged();
+            }
+        }
+    }
+
+    /// Remove `mask` threads everywhere (they executed `exit`).
+    pub fn exit_threads(&mut self, mask: u32) {
+        for l in &mut self.levels {
+            l.mask &= !mask;
+        }
+        self.levels.retain(|l| l.mask != 0);
+        self.pop_converged();
+    }
+
+    fn pop_converged(&mut self) {
+        while self.levels.len() > 1 {
+            let top = self.levels[self.levels.len() - 1];
+            if top.rpc != RECONV_EXIT && top.pc == top.rpc {
+                self.levels.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergent_branch_runs_taken_side_first_then_rejoins() {
+        let mut s = RefStack::new(0xff, 4);
+        s.branch(0x0f, 10, 5, 12);
+        assert_eq!((s.pc(), s.active()), (10, 0x0f));
+        s.advance(12);
+        assert_eq!((s.pc(), s.active()), (5, 0xf0));
+        s.advance(12);
+        assert_eq!((s.pc(), s.active()), (12, 0xff));
+    }
+
+    #[test]
+    fn empty_arm_reconverges_immediately() {
+        let mut s = RefStack::new(0xf, 1);
+        s.branch(0xc, 9, 2, 9); // taken side *is* the join
+        assert_eq!((s.pc(), s.active()), (2, 0x3));
+        s.advance(9);
+        assert_eq!((s.pc(), s.active()), (9, 0xf));
+    }
+
+    #[test]
+    fn exit_inside_divergence_unwinds_to_live_side() {
+        let mut s = RefStack::new(0xf, 0);
+        s.branch(0x3, 10, 1, 20);
+        s.exit_threads(0x3);
+        assert_eq!((s.pc(), s.active()), (1, 0xc));
+        s.exit_threads(0xc);
+        assert!(s.is_empty());
+        assert_eq!(s.active(), 0);
+    }
+}

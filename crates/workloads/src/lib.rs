@@ -28,7 +28,8 @@ use simt_core::{
     SimError, SimStats,
 };
 use simt_isa::Kernel;
-use simt_mem::MemStats;
+use simt_mem::{GlobalMem, MemStats};
+use std::sync::Arc;
 
 /// Relative problem sizing. GPGPU-Sim-scale inputs would take hours per run
 /// in any software simulator; these presets keep contention (threads : locks)
@@ -51,6 +52,58 @@ pub struct Stage {
     pub launch: LaunchSpec,
 }
 
+/// One declarative property of a kernel's final global memory.
+///
+/// Postconditions are the equivalence language for *racy* workloads: where
+/// the exact final memory image is schedule-dependent (e.g. insertion order
+/// in a chained hashtable), the workload instead declares what every legal
+/// schedule must produce ("all N bodies inserted exactly once", "every lock
+/// word is 0"). The differential oracle checks these on both the reference
+/// interpreter's and the simulator's final memory.
+pub struct Postcond {
+    /// Short property name, e.g. `"locks-free"` (used in divergence reports).
+    pub name: String,
+    /// The property itself, over the final global-memory image.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn Fn(&GlobalMem) -> Result<(), String> + Send + Sync>,
+}
+
+impl Postcond {
+    /// A named postcondition.
+    pub fn new<F>(name: &str, check: F) -> Postcond
+    where
+        F: Fn(&GlobalMem) -> Result<(), String> + Send + Sync + 'static,
+    {
+        Postcond {
+            name: name.to_string(),
+            check: Box::new(check),
+        }
+    }
+}
+
+/// How the differential oracle should compare a workload's final state
+/// between the reference interpreter and the cycle-level simulator.
+#[derive(Clone)]
+pub enum Equivalence {
+    /// Final global memory is schedule-independent: compare bytewise.
+    /// (Registers are additionally compared for non-sync workloads, whose
+    /// per-thread state carries no schedule-dependent atomics results.)
+    Exact,
+    /// Final memory is schedule-dependent; both engines must instead
+    /// satisfy every listed postcondition.
+    Postconditions(Arc<Vec<Postcond>>),
+}
+
+impl Equivalence {
+    /// The postconditions, if this is a postcondition-mode workload.
+    pub fn postconditions(&self) -> Option<&[Postcond]> {
+        match self {
+            Equivalence::Exact => None,
+            Equivalence::Postconditions(p) => Some(p),
+        }
+    }
+}
+
 /// A prepared workload: device memory is initialized, kernels are ready.
 pub struct Prepared {
     /// Kernels to run in order (NW runs two).
@@ -58,6 +111,42 @@ pub struct Prepared {
     /// Functional verification against host-side expectations.
     #[allow(clippy::type_complexity)]
     pub verify: Box<dyn Fn(&Gpu) -> Result<(), String>>,
+    /// Differential-comparison mode (see [`Equivalence`]).
+    pub equivalence: Equivalence,
+}
+
+impl Prepared {
+    /// A workload whose final memory is schedule-independent: the given
+    /// `verify` checks it against host expectations, and the differential
+    /// oracle compares it bytewise against the reference interpreter.
+    pub fn exact<F>(stages: Vec<Stage>, verify: F) -> Prepared
+    where
+        F: Fn(&Gpu) -> Result<(), String> + 'static,
+    {
+        Prepared {
+            stages,
+            verify: Box::new(verify),
+            equivalence: Equivalence::Exact,
+        }
+    }
+
+    /// A racy workload: final memory is schedule-dependent, so functional
+    /// verification *and* differential comparison both reduce to the given
+    /// postconditions over final global memory.
+    pub fn racy(stages: Vec<Stage>, postconds: Vec<Postcond>) -> Prepared {
+        let posts = Arc::new(postconds);
+        let for_verify = Arc::clone(&posts);
+        Prepared {
+            stages,
+            verify: Box::new(move |gpu: &Gpu| {
+                for p in for_verify.iter() {
+                    (p.check)(gpu.mem().gmem()).map_err(|e| format!("{}: {e}", p.name))?;
+                }
+                Ok(())
+            }),
+            equivalence: Equivalence::Postconditions(posts),
+        }
+    }
 }
 
 /// A benchmark from the paper's suite.
@@ -132,6 +221,33 @@ pub fn run_workload(
     policy_factory: &PolicyFactory<'_>,
     detector_factory: &DetectorFactory<'_>,
 ) -> Result<WorkloadResult, SimError> {
+    run_workload_captured(cfg, workload, policy_factory, detector_factory).map(|c| c.result)
+}
+
+/// A completed run that also keeps what the differential oracle compares:
+/// the final global-memory image and the workload's comparison mode.
+pub struct CapturedRun {
+    /// The ordinary measurement result.
+    pub result: WorkloadResult,
+    /// Final global memory after all stages.
+    pub gmem: GlobalMem,
+    /// How to compare this workload against the reference interpreter.
+    pub equivalence: Equivalence,
+}
+
+/// [`run_workload`], but returning the final memory image and equivalence
+/// mode as well (enable [`GpuConfig::capture_final_state`] to additionally
+/// get per-stage register state in each [`KernelReport`]).
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_workload_captured(
+    cfg: &GpuConfig,
+    workload: &dyn Workload,
+    policy_factory: &PolicyFactory<'_>,
+    detector_factory: &DetectorFactory<'_>,
+) -> Result<CapturedRun, SimError> {
     let mut gpu = Gpu::new(cfg.clone());
     let prepared = workload.prepare(&mut gpu);
     let mut stages = Vec::new();
@@ -154,15 +270,45 @@ pub fn run_workload(
         });
     }
     let verified = (prepared.verify)(&gpu);
-    Ok(WorkloadResult {
-        name: workload.name().to_string(),
-        stages,
-        cycles,
-        sim,
-        mem,
-        dynamic_j,
-        verified,
+    Ok(CapturedRun {
+        result: WorkloadResult {
+            name: workload.name().to_string(),
+            stages,
+            cycles,
+            sim,
+            mem,
+            dynamic_j,
+            verified,
+        },
+        gmem: gpu.mem().gmem().clone(),
+        equivalence: prepared.equivalence,
     })
+}
+
+/// What a functional (reference) execution of a workload needs: the launch
+/// plan, the initialized pre-run memory image, and the comparison mode.
+///
+/// `prepare` is deterministic in `cfg`, so the allocations and parameters
+/// here are identical to those of any simulator run of the same workload
+/// under the same configuration — the precondition for bytewise comparison.
+pub struct RefPlan {
+    /// Kernels to execute in order.
+    pub stages: Vec<Stage>,
+    /// Global memory as initialized by `prepare`, before any kernel ran.
+    pub initial_gmem: GlobalMem,
+    /// How to compare final states.
+    pub equivalence: Equivalence,
+}
+
+/// Prepare `workload` on a throwaway GPU and extract the [`RefPlan`].
+pub fn reference_plan(cfg: &GpuConfig, workload: &dyn Workload) -> RefPlan {
+    let mut gpu = Gpu::new(cfg.clone());
+    let prepared = workload.prepare(&mut gpu);
+    RefPlan {
+        initial_gmem: gpu.mem().gmem().clone(),
+        stages: prepared.stages,
+        equivalence: prepared.equivalence,
+    }
 }
 
 /// Shorthand: run under a baseline policy with the static (oracle) SIB

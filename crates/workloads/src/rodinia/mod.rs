@@ -634,13 +634,13 @@ impl Workload for RodiniaWorkload {
             }
             Ok(())
         });
-        Prepared {
-            stages: vec![Stage {
+        Prepared::exact(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
             verify,
-        }
+        )
     }
 }
 

@@ -203,13 +203,13 @@ impl Workload for BankTransfer {
             }
             Ok(())
         });
-        Prepared {
-            stages: vec![Stage {
+        Prepared::exact(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
             verify,
-        }
+        )
     }
 }
 

@@ -129,37 +129,48 @@ impl Workload for DistanceSolver {
             threads_per_cta: self.threads_per_cta,
             params: vec![locks as u32, pos as u32, self.rounds as u32, REST],
         };
-        let spec = self.clone();
-        let verify = Box::new(move |gpu: &Gpu| -> Result<(), String> {
-            let g = gpu.mem().gmem();
-            // Relaxations transfer position between neighbors: the sum is
-            // an exact invariant regardless of interleaving.
-            let mut sum = 0u64;
-            for p in 0..particles {
-                sum += g.read_u32(pos + p * 4) as u64;
-            }
-            if sum != initial_sum {
-                return Err(format!(
-                    "position sum not conserved: {sum} != {initial_sum} (racy update)"
-                ));
-            }
-            // Every interior pair should be closer to rest than the initial
-            // 64 stretch (the solver made progress).
-            let x0 = g.read_u32(pos) as i64;
-            let x1 = g.read_u32(pos + 4) as i64;
-            if (x1 - x0 - REST as i64).abs() >= 64 - REST as i64 {
-                return Err("first constraint did not relax".to_string());
-            }
-            let _ = spec;
-            Ok(())
-        });
-        Prepared {
-            stages: vec![Stage {
+        // Final positions depend on relaxation interleaving; what every
+        // legal schedule preserves is the position sum (transfers are
+        // zero-sum under the per-pair locks) and solver progress.
+        Prepared::racy(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
-            verify,
-        }
+            vec![
+                crate::Postcond::new("position-sum-conserved", move |g| {
+                    let mut sum = 0u64;
+                    for p in 0..particles {
+                        sum += g.read_u32(pos + p * 4) as u64;
+                    }
+                    if sum != initial_sum {
+                        return Err(format!(
+                            "position sum not conserved: {sum} != {initial_sum} (racy update)"
+                        ));
+                    }
+                    Ok(())
+                }),
+                crate::Postcond::new("first-constraint-relaxed", move |g| {
+                    // Every interior pair should be closer to rest than the
+                    // initial 64 stretch (the solver made progress).
+                    let x0 = g.read_u32(pos) as i64;
+                    let x1 = g.read_u32(pos + 4) as i64;
+                    if (x1 - x0 - REST as i64).abs() >= 64 - REST as i64 {
+                        return Err("first constraint did not relax".to_string());
+                    }
+                    Ok(())
+                }),
+                crate::Postcond::new("locks-free", move |g| {
+                    for p in 0..particles {
+                        let v = g.read_u32(locks + p * 4);
+                        if v != 0 {
+                            return Err(format!("particle lock {p} still held ({v})"));
+                        }
+                    }
+                    Ok(())
+                }),
+            ],
+        )
     }
 }
 

@@ -186,13 +186,13 @@ impl Workload for NeedlemanWunsch {
             }
             Ok(())
         });
-        Prepared {
-            stages: vec![Stage {
+        Prepared::exact(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
             verify,
-        }
+        )
     }
 }
 

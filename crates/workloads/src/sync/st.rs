@@ -140,13 +140,13 @@ impl Workload for SortSignal {
             let _ = spec;
             Ok(())
         });
-        Prepared {
-            stages: vec![Stage {
+        Prepared::exact(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
             verify,
-        }
+        )
     }
 }
 

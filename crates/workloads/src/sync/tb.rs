@@ -126,8 +126,11 @@ impl Workload for TreeBuild {
             ],
         };
         let spec = self.clone();
-        let verify = Box::new(move |gpu: &Gpu| -> Result<(), String> {
-            let g = gpu.mem().gmem();
+        // Chain order is schedule-dependent (each insertion pushes at the
+        // head), so equivalence is declared as postconditions: the *set* of
+        // linked bodies and their hashed cells are invariants, the order is
+        // not.
+        let chain_ok = move |g: &simt_mem::GlobalMem| -> Result<(), String> {
             let mut seen = vec![false; bodies as usize];
             let mut count = 0u64;
             for c in 0..cells {
@@ -160,14 +163,25 @@ impl Workload for TreeBuild {
                 return Err(format!("{count} bodies linked, expected {bodies}"));
             }
             Ok(())
-        });
-        Prepared {
-            stages: vec![Stage {
+        };
+        Prepared::racy(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
-            verify,
-        }
+            vec![
+                crate::Postcond::new("bodies-linked-once", chain_ok),
+                crate::Postcond::new("locks-free", move |g| {
+                    for c in 0..cells {
+                        let v = g.read_u32(locks + c * 4);
+                        if v != 0 {
+                            return Err(format!("cell lock {c} still held ({v})"));
+                        }
+                    }
+                    Ok(())
+                }),
+            ],
+        )
     }
 }
 

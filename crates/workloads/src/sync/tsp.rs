@@ -145,13 +145,13 @@ impl Workload for Tsp {
             }
             Ok(())
         });
-        Prepared {
-            stages: vec![Stage {
+        Prepared::exact(
+            vec![Stage {
                 kernel: self.kernel(),
                 launch,
             }],
             verify,
-        }
+        )
     }
 }
 

@@ -28,6 +28,7 @@ struct Cli {
     dumps: Vec<(usize, u64)>,
     chaos_seed: Option<u64>,
     chaos_level: Option<u8>,
+    timeout_cycles: Option<u64>,
     lint: bool,
 }
 
@@ -41,12 +42,17 @@ fn usage() -> ! {
         "usage: bows-run <kernel.s> [--ctas N] [--tpc N] [--param V|buf:W[=F]]...\n\
          \x20            [--sched lrr|gto|cawa] [--bows <cycles>|adaptive] [--no-ddos]\n\
          \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]...\n\
-         \x20            [--chaos-seed N] [--chaos-level 0..3] [--lint]\n\
+         \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
+         \x20            [--timeout-cycles N] [--lint]\n\
          \n\
          --chaos-seed seeds the deterministic memory fault injector\n\
          (same seed => bit-identical run); --chaos-level picks intensity\n\
          (0 off, 1 latency jitter, 2 +NACKs, 3 +MSHR squeeze; default 1\n\
          when only a seed is given).\n\
+         \n\
+         --timeout-cycles caps the run at N cycles (0 = unlimited),\n\
+         overriding the --gpu preset's limit; a capped hang exits with a\n\
+         classified hang report like any other watchdog trip.\n\
          \n\
          --lint runs the static analyzer instead of simulating: prints\n\
          correctness diagnostics and the statically-classified spin\n\
@@ -69,6 +75,7 @@ fn parse_cli() -> Cli {
         dumps: Vec::new(),
         chaos_seed: None,
         chaos_level: None,
+        timeout_cycles: None,
         lint: false,
     };
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
@@ -141,6 +148,11 @@ fn parse_cli() -> Cli {
                 }
                 cli.chaos_level = Some(lvl);
             }
+            "--timeout-cycles" => {
+                cli.timeout_cycles = Some(
+                    next(&mut args, "--timeout-cycles").parse().unwrap_or_else(|_| usage()),
+                );
+            }
             "--lint" => cli.lint = true,
             "--help" | "-h" => usage(),
             other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
@@ -157,6 +169,9 @@ fn parse_cli() -> Cli {
         let seed = cli.chaos_seed.unwrap_or(1);
         let level = cli.chaos_level.unwrap_or(1);
         cli.gpu.mem.chaos = ChaosConfig::with_level(seed, level);
+    }
+    if let Some(t) = cli.timeout_cycles {
+        cli.gpu.max_cycles = t;
     }
     cli
 }

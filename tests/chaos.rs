@@ -273,6 +273,68 @@ fn mistuned_backoff_is_classified_as_backoff_starvation() {
     assert!(snap.idle_cycles >= 2_000);
 }
 
+/// Chaos timing-equivalence: fault injection may change *when* things
+/// happen, never *what* the kernel computes. For a schedule-independent
+/// workload (ST) the final memory image under every chaos seed/level must
+/// be byte-identical to the chaos-off run even as cycle counts move; for
+/// a racy workload (HT) the declared postconditions must hold at every
+/// chaos point.
+#[test]
+fn chaos_changes_timing_never_architectural_results() {
+    use experiments::differ::{run_sim_cell, DifferCell, CHAOS_POINTS};
+    use experiments::SchedConfig;
+
+    let base = GpuConfig::test_tiny();
+    let quiet_cell = DifferCell {
+        sched: SchedConfig::baseline(BasePolicy::Gto),
+        chaos: None,
+    };
+
+    // Exact workload: bytewise equality against the chaos-off image.
+    let st = sync_suite(Scale::Tiny).remove(1);
+    let quiet = run_sim_cell(&base, st.as_ref(), &quiet_cell).unwrap();
+    let mut timing_moved = false;
+    for &(seed, level) in &CHAOS_POINTS {
+        let cell = DifferCell {
+            sched: quiet_cell.sched,
+            chaos: Some((seed, level)),
+        };
+        let noisy = run_sim_cell(&base, st.as_ref(), &cell)
+            .unwrap_or_else(|e| panic!("{} @ chaos({seed},{level}): {e}", st.name()));
+        assert_eq!(
+            quiet.gmem.first_diff(&noisy.gmem),
+            None,
+            "chaos({seed},{level}) changed {}'s architectural result",
+            st.name()
+        );
+        timing_moved |= noisy.result.cycles != quiet.result.cycles;
+    }
+    assert!(
+        timing_moved,
+        "no chaos point changed the cycle count — injection cannot be live"
+    );
+
+    // Racy workload: every declared postcondition holds at every point.
+    let ht = sync_suite(Scale::Tiny).remove(4);
+    for &(seed, level) in &CHAOS_POINTS {
+        let cell = DifferCell {
+            sched: quiet_cell.sched,
+            chaos: Some((seed, level)),
+        };
+        let run = run_sim_cell(&base, ht.as_ref(), &cell)
+            .unwrap_or_else(|e| panic!("{} @ chaos({seed},{level}): {e}", ht.name()));
+        let posts = run
+            .equivalence
+            .postconditions()
+            .expect("HT declares postconditions");
+        for p in posts {
+            (p.check)(&run.gmem).unwrap_or_else(|e| {
+                panic!("{} postcondition `{}` @ chaos({seed},{level}): {e}", ht.name(), p.name)
+            });
+        }
+    }
+}
+
 /// A sync-free helper kernel: every thread bumps its own word 100 times,
 /// generating enough memory traffic that probabilistic injections are
 /// near-certain to fire. Used where tests need a direct `Gpu` to inspect

@@ -1,0 +1,20 @@
+; Like clock_skew, but the clock value never reaches memory: final global
+; memory agrees bytewise (out[gtid] = 7 on both engines), and only the
+; per-thread register comparison enabled by `regs` catches the divergence
+; in r4 — proving register capture sees state that memory comparison
+; cannot. Expected first diff: stage 0, cta 0, thread 0, r4.
+;; differ: launch ctas=1 tpc=32
+;; differ: alloc out 32
+;; differ: param out
+;; differ: regs
+;; differ: expect register
+.kernel clock_reg
+.regs 8
+    ld.param r1, [0]        ; out
+    mov r2, %gtid
+    shl r3, r2, 2
+    add r3, r1, r3          ; &out[gtid]
+    clock r4                ; held in a register only
+    mov r5, 7
+    st.global [r3], r5      ; memory result is engine-independent
+    exit

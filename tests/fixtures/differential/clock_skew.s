@@ -1,0 +1,26 @@
+; Pins the deliberate `clock` semantic gap between the engines: the
+; reference interpreter's clock is the warp's retired-instruction count
+; (timing-free), the simulator's is the SM cycle counter. A dependent ALU
+; chain between two clock reads yields delta 6 in the reference and a
+; pipeline-latency-scaled delta in the simulator, so the stored delta
+; diverges bytewise at out[0] and the report attributes the st.global line.
+;; differ: launch ctas=1 tpc=32
+;; differ: alloc out 32
+;; differ: param out
+;; differ: expect memory
+.kernel clock_skew
+.regs 8
+    ld.param r1, [0]        ; out
+    mov r2, %gtid
+    shl r3, r2, 2
+    add r3, r1, r3          ; &out[gtid]
+    clock r4                ; t0
+    mov r5, 0
+    add r5, r5, 1           ; dependent chain: 6 retired instructions
+    add r5, r5, 1           ; from t0 to t1 in the reference, many
+    add r5, r5, 1           ; cycles of ALU latency in the simulator
+    add r5, r5, 1
+    clock r6                ; t1
+    sub r6, r6, r4
+    st.global [r3], r6      ; delta: ref=6, sim=pipeline-dependent
+    exit

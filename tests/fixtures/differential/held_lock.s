@@ -1,0 +1,23 @@
+; A postcondition violated by the *kernel*, not by either engine: thread 0
+; CAS-acquires the lock and exits without releasing it. Both engines agree
+; on the final memory, and both fail the declared `lock[0] == 0` ("all
+; locks released") postcondition — the differ must blame each side
+; explicitly rather than report bytewise agreement as success.
+;; differ: launch ctas=1 tpc=32
+;; differ: alloc lock 1
+;; differ: alloc out 32
+;; differ: param lock
+;; differ: param out
+;; differ: post lock[0] == 0
+;; differ: expect postcondition
+.kernel held_lock
+.regs 8
+    ld.param r1, [0]        ; lock
+    ld.param r2, [4]        ; out
+    mov r3, %gtid
+    setp.eq.s32 p0, r3, 0
+    @p0 atom.global.cas r5, [r1], 0, 1   ; acquire... and never release
+    shl r6, r3, 2
+    add r6, r2, r6
+    st.global [r6], r3      ; per-thread payload, deterministic
+    exit

@@ -1,0 +1,34 @@
+; Pins the CTA-residency semantic gap. The reference interpreter makes the
+; whole grid resident, so the last CTA sets the flag and the 5 waiting CTAs
+; finish. The simulator under test_tiny (1 SM, max 4 resident CTAs) can
+; never launch CTA 5: CTAs 0-3 spin on a flag nobody will set, the
+; forward-progress watchdog classifies the store-free loop as a spin
+; livelock, and the run fails only on the simulator side.
+;; differ: launch ctas=6 tpc=32
+;; differ: alloc flag 1
+;; differ: alloc out 8
+;; differ: param flag
+;; differ: param out
+;; differ: timeout-cycles 2000000
+;; differ: expect sim-failed
+.kernel inter_cta_wait
+.regs 8
+    ld.param r1, [0]        ; flag
+    ld.param r2, [4]        ; out
+    mov r3, %ctaid
+    mov r4, %nctaid
+    sub r4, r4, 1
+    setp.eq.s32 p0, r3, r4  ; am I the last CTA?
+    @p0 bra SET
+WAIT:
+    ld.global r5, [r1]
+    setp.eq.s32 p1, r5, 1
+    @!p1 bra WAIT           ; depends on a CTA that may never launch
+    bra DONE
+SET:
+    mov r6, %tid
+    setp.eq.s32 p2, r6, 0
+    mov r7, 1
+    @p2 st.global [r1], r7  ; release the whole grid
+DONE:
+    exit

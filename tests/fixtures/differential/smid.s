@@ -1,0 +1,20 @@
+; Pins the `%smid` semantic gap: the reference interpreter has no SMs, so
+; %smid is always 0; the simulator dispatches CTAs round-robin over SMs,
+; so with 2 SMs CTA 1 lands on SM 1 and stores smid=1. First divergence is
+; out[1] (byte address base+4): ref=0, sim=1.
+;; differ: launch ctas=2 tpc=32
+;; differ: sms 2
+;; differ: alloc out 2
+;; differ: param out
+;; differ: expect memory
+.kernel smid_probe
+.regs 8
+    ld.param r1, [0]        ; out
+    mov r2, %ctaid
+    shl r3, r2, 2
+    add r3, r1, r3          ; &out[ctaid]
+    mov r4, %smid           ; ref: always 0; sim: the hosting SM
+    mov r5, %tid
+    setp.eq.s32 p0, r5, 0
+    @p0 st.global [r3], r4  ; one store per CTA
+    exit
