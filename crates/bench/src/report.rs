@@ -40,7 +40,7 @@ pub struct BenchReport {
 }
 
 /// Wall-time slowdown (current / baseline) above which a warning fires.
-pub const WALL_WARN_RATIO: f64 = 5.0;
+pub const WALL_WARN_RATIO: f64 = 1.25;
 /// Groups faster than this are pure noise; no wall-time warning below it.
 pub const WALL_WARN_FLOOR_MS: f64 = 50.0;
 
@@ -145,6 +145,32 @@ impl BenchReport {
             }
         }
         (failures, warnings)
+    }
+
+    /// Per-group wall-time deltas against a baseline, one line per group
+    /// present in both reports. Always produced (speedups included), so
+    /// CI output shows what the run cost even when nothing regressed;
+    /// regressions beyond [`WALL_WARN_RATIO`] additionally warn via
+    /// [`BenchReport::check_against`].
+    pub fn wall_deltas(&self, baseline: &BenchReport) -> Vec<String> {
+        let mut out = Vec::new();
+        for b in &baseline.groups {
+            let Some(g) = self.groups.iter().find(|g| g.name == b.name) else {
+                continue;
+            };
+            let ratio = g.wall_ms / b.wall_ms.max(1e-9);
+            out.push(format!(
+                "group `{}`: wall {:.1}ms vs baseline {:.1}ms ({:+.1}%), \
+                 {:.0} vs {:.0} cycles/sec",
+                b.name,
+                g.wall_ms,
+                b.wall_ms,
+                (ratio - 1.0) * 100.0,
+                g.cycles_per_sec,
+                b.cycles_per_sec,
+            ));
+        }
+        out
     }
 }
 

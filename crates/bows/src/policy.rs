@@ -295,6 +295,39 @@ impl SchedulerPolicy for Bows {
     fn backoff_queue_position(&self, warp: usize) -> Option<usize> {
         self.queue.iter().position(|&w| w == warp)
     }
+
+    fn next_wakeup(&self, now: u64) -> Option<u64> {
+        let mut next = self.inner.next_wakeup(now);
+        let mut fold = |t: u64| {
+            if t > now {
+                next = Some(next.map_or(t, |n: u64| n.min(t)));
+            }
+        };
+        if let Some(a) = &self.adaptive {
+            // Always a wakeup candidate: even an update that leaves the
+            // delay limit unchanged resets the window phase
+            // (`next_update = fire + window`), so skipping past it would
+            // desynchronize every later update from the cycle engine.
+            fold(a.next_update);
+        }
+        if self.components.throttle {
+            for s in &self.warps {
+                if s.backed_off && s.delay_zero_at > now {
+                    // The can_issue veto flips off at delay_zero_at.
+                    fold(s.delay_zero_at);
+                }
+            }
+        }
+        next
+    }
+
+    fn on_idle_span(&mut self, ctx: &SchedCtx<'_>, unit_warps: &[usize], span: u64) {
+        // No BOWS state advances during a dead span: window counters move
+        // only on issue, and the adaptive update cannot fire inside a span
+        // (next_update is a wakeup candidate above). Only the inner policy
+        // gets its idle bookkeeping.
+        self.inner.on_idle_span(ctx, unit_warps, span);
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,10 @@ use workloads::{rodinia_suite, run_workload, Scale};
 
 fn main() {
     let opts = Opts::parse();
-    let cfg = GpuConfig::gtx480();
+    let mut cfg = GpuConfig::gtx480();
+    // This binary calls run_workload directly (custom BOWS components), so
+    // the --engine override is applied here rather than in experiments::run.
+    experiments::apply_engine(&mut cfg);
     let (threads, per_thread, buckets, tpc) = match opts.scale {
         Scale::Tiny => (1024, 1, 32, 128),
         Scale::Small => (12288, 2, 256, 256),

@@ -7,7 +7,7 @@
 //! warns. Not an experiment regenerator: `run_experiments.sh` skips it.
 
 use experiments::{grid, SchedConfig};
-use simt_core::{BasePolicy, GpuConfig};
+use simt_core::{BasePolicy, Engine, GpuConfig};
 use std::time::Instant;
 use workloads::sync::{Hashtable, HtMode};
 use workloads::{rodinia_suite, sync_suite, Scale};
@@ -90,7 +90,7 @@ const GROUPS: &[Group] = &[
     ("pascal_sync_suite", group_pascal),
 ];
 
-const USAGE: &str = "usage: bench_report [--label <name>] [--out <dir>] [--check <baseline.json>] [--jobs <n>]";
+const USAGE: &str = "usage: bench_report [--label <name>] [--out <dir>] [--check <baseline.json>] [--jobs <n>] [--engine cycle|skip]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -131,6 +131,14 @@ fn parse_cli() -> Cli {
                 Some(n) if n >= 1 => grid::set_jobs(n),
                 _ => usage_error("--jobs requires a positive integer"),
             },
+            // Simulated cycles are engine-independent (the equivalence
+            // suite enforces it); the flag exists here to measure the
+            // wall-time delta between the two engines on identical work.
+            "--engine" => match args.next().as_deref() {
+                Some("cycle") => experiments::set_engine(Some(Engine::Cycle)),
+                Some("skip") => experiments::set_engine(Some(Engine::Skip)),
+                _ => usage_error("--engine requires `cycle` or `skip`"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -170,6 +178,9 @@ fn main() {
         let baseline = bench::report::BenchReport::from_json(&text)
             .unwrap_or_else(|e| usage_error(&format!("bad baseline `{baseline_path}`: {e}")));
         let (failures, warnings) = report.check_against(&baseline);
+        for d in report.wall_deltas(&baseline) {
+            eprintln!("wall: {d}");
+        }
         for w in &warnings {
             eprintln!("WARNING: {w}");
         }

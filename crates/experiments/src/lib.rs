@@ -20,9 +20,43 @@ pub mod grid;
 pub mod oracle;
 
 use bows::{AdaptiveConfig, DdosConfig, DelayMode};
-use simt_core::{BasePolicy, GpuConfig, SimError};
+use simt_core::{BasePolicy, Engine, GpuConfig, SimError};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
 use workloads::{run_workload, Scale, Workload, WorkloadResult};
+
+/// Process-global `--engine` override (mirrors [`grid::set_jobs`]): the
+/// experiment binaries build their `GpuConfig`s internally per figure, so
+/// the flag is applied at the single [`run`] chokepoint rather than
+/// threaded through every signature. 0 = unset, 1 = cycle, 2 = skip.
+static ENGINE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Set (or clear) the process-global engine override.
+pub fn set_engine(engine: Option<Engine>) {
+    let v = match engine {
+        None => 0,
+        Some(Engine::Cycle) => 1,
+        Some(Engine::Skip) => 2,
+    };
+    ENGINE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The engine selected by `--engine`, if any.
+pub fn engine_override() -> Option<Engine> {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Some(Engine::Cycle),
+        2 => Some(Engine::Skip),
+        _ => None,
+    }
+}
+
+/// Apply the `--engine` override to a configuration in place (no-op when
+/// the flag was not given). For callers that bypass [`run`].
+pub fn apply_engine(cfg: &mut GpuConfig) {
+    if let Some(e) = engine_override() {
+        cfg.engine = e;
+    }
+}
 
 /// Scheduling configuration under test: a baseline policy, optionally
 /// wrapped in BOWS.
@@ -83,6 +117,17 @@ pub fn run(
     w: &dyn Workload,
     sched: SchedConfig,
 ) -> Result<WorkloadResult, SimError> {
+    let override_storage;
+    let cfg = match engine_override() {
+        Some(e) if e != cfg.engine => {
+            override_storage = GpuConfig {
+                engine: e,
+                ..cfg.clone()
+            };
+            &override_storage
+        }
+        _ => cfg,
+    };
     let rotate = cfg.gto_rotate_period;
     let warps = cfg.warps_per_sm();
     let policy = bows::policy_factory(sched.base, sched.bows, rotate);
@@ -112,7 +157,8 @@ pub struct Opts {
     pub jobs: usize,
 }
 
-const USAGE: &str = "flags: --scale tiny|small|full   --csv   --jobs <n>";
+const USAGE: &str =
+    "flags: --scale tiny|small|full   --csv   --jobs <n>   --engine cycle|skip";
 
 /// Print `msg` and the usage line to stderr, then exit with status 2.
 /// Experiment sweeps must fail loudly on a malformed invocation — silently
@@ -148,6 +194,18 @@ impl Opts {
                     };
                 }
                 "--csv" => csv = true,
+                "--engine" => {
+                    let Some(v) = args.next() else {
+                        usage_error("--engine requires a value (cycle|skip)");
+                    };
+                    match v.as_str() {
+                        "cycle" => set_engine(Some(Engine::Cycle)),
+                        "skip" => set_engine(Some(Engine::Skip)),
+                        other => usage_error(&format!(
+                            "unknown engine `{other}` (cycle|skip)"
+                        )),
+                    }
+                }
                 "--jobs" => {
                     let Some(v) = args.next() else {
                         usage_error("--jobs requires a value");

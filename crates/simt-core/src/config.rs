@@ -26,6 +26,26 @@ impl Default for Latencies {
     }
 }
 
+/// How the main simulation loop advances time.
+///
+/// Both engines simulate the identical cycle-by-cycle machine; `Skip`
+/// merely refuses to *walk* through cycles in which nothing can happen.
+/// Every observable — final memory, [`crate::SimStats`], simulated-cycle
+/// totals, hang classification — is bit-identical between the two (see
+/// `tests/engine_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk every cycle, even when no SM can issue and no memory event is
+    /// due. The legacy loop; kept as the equivalence reference.
+    Cycle,
+    /// Event-horizon fast-forward: when a cycle ends with nothing issued,
+    /// jump straight to the earliest future cycle at which any SM or the
+    /// memory system can change state, bulk-accruing the skipped span's
+    /// stall statistics.
+    #[default]
+    Skip,
+}
+
 /// Top-level GPU configuration.
 ///
 /// Presets follow the paper's Table II: [`GpuConfig::gtx480`] (Fermi) and
@@ -76,6 +96,8 @@ pub struct GpuConfig {
     /// [`crate::KernelReport::final_state`]. Used by the differential
     /// oracle; off by default so measurement runs pay nothing for it.
     pub capture_final_state: bool,
+    /// Main-loop time-advance strategy (see [`Engine`]).
+    pub engine: Engine,
 }
 
 impl GpuConfig {
@@ -99,6 +121,7 @@ impl GpuConfig {
             backoff_starvation_cycles: 0,
             blocking_locks: false,
             capture_final_state: false,
+            engine: Engine::default(),
         }
     }
 
@@ -123,6 +146,7 @@ impl GpuConfig {
             backoff_starvation_cycles: 0,
             blocking_locks: false,
             capture_final_state: false,
+            engine: Engine::default(),
         }
     }
 
@@ -146,6 +170,7 @@ impl GpuConfig {
             backoff_starvation_cycles: 0,
             blocking_locks: false,
             capture_final_state: false,
+            engine: Engine::default(),
         }
     }
 

@@ -4,7 +4,7 @@ use crate::detect::{BranchLog, NullDetector, SpinDetector, StaticSibDetector};
 use crate::sched::{BasePolicy, SchedulerPolicy};
 use crate::sm::{LaunchCtx, Sm};
 use crate::watchdog::{HangClass, HangReport, ProgressScan};
-use crate::{EnergyBreakdown, EnergyModel, GpuConfig, SimStats};
+use crate::{EnergyBreakdown, EnergyModel, Engine, GpuConfig, SimStats};
 use simt_isa::Kernel;
 use simt_mem::{MemStats, MemorySystem};
 use std::collections::VecDeque;
@@ -245,17 +245,7 @@ impl Gpu {
         // Initial CTA dispatch: round-robin over SMs while anything fits.
         let mut pending: VecDeque<usize> = (0..launch.grid_ctas).collect();
         let mut age_counter = 0u64;
-        let mut made_progress = true;
-        while made_progress && !pending.is_empty() {
-            made_progress = false;
-            for sm in &mut sms {
-                let Some(&cta) = pending.front() else { break };
-                if sm.try_launch_cta(cta, &lctx, &mut age_counter) {
-                    pending.pop_front();
-                    made_progress = true;
-                }
-            }
-        }
+        dispatch_pending(&mut sms, &mut pending, &lctx, &mut age_counter);
         if pending.len() == launch.grid_ctas {
             return Err(SimError::LaunchTooLarge {
                 reason: "no CTA could be dispatched".to_string(),
@@ -275,6 +265,7 @@ impl Gpu {
         // Reusable completion sink: the cycle loop never allocates for the
         // common zero-or-few-completions case.
         let mut completions = Vec::new();
+        let skip = self.cfg.engine == Engine::Skip;
 
         while remaining > 0 {
             // Memory completions first so unblocked warps can issue today.
@@ -296,17 +287,7 @@ impl Gpu {
             if finished > 0 {
                 remaining -= finished as usize;
                 // Refill SMs that just freed resources.
-                let mut made_progress = true;
-                while made_progress && !pending.is_empty() {
-                    made_progress = false;
-                    for sm in &mut sms {
-                        let Some(&cta) = pending.front() else { break };
-                        if sm.try_launch_cta(cta, &lctx, &mut age_counter) {
-                            pending.pop_front();
-                            made_progress = true;
-                        }
-                    }
-                }
+                dispatch_pending(&mut sms, &mut pending, &lctx, &mut age_counter);
             }
             if issued_any {
                 stats.busy_cycles += 1;
@@ -365,7 +346,53 @@ impl Gpu {
                 }
             }
 
-            now += 1;
+            // Event-horizon fast-forward. A cycle in which no unit issued
+            // and no CTA retired leaves the whole machine in a state that
+            // cannot change until (a) the memory system delivers or serves
+            // something, or (b) an SM's own timers fire (writeback wheel,
+            // BOWS back-off expiry, adaptive-window update). Jump straight
+            // to that horizon, bulk-accruing the skipped cycles' stall
+            // statistics. Clamps keep every externally observable
+            // transition on its cycle-engine schedule: forward-progress
+            // scans stay on SCAN_PERIOD boundaries, GTO age rotation is
+            // observed at each rotation edge, the global-deadlock watchdog
+            // fires at exactly `idle_since + watchdog_cycles`, and the
+            // cycle limit trips at exactly `max_cycles`.
+            let mut next = now + 1;
+            if skip && !issued_any && finished == 0 {
+                let mut horizon = u64::MAX;
+                if let Some(t) = self.mem.next_event(now) {
+                    horizon = horizon.min(t);
+                }
+                for sm in &sms {
+                    if sm.has_work() {
+                        if let Some(t) = sm.next_ready_cycle(now) {
+                            horizon = horizon.min(t);
+                        }
+                    }
+                }
+                horizon = horizon.min((now / SCAN_PERIOD + 1) * SCAN_PERIOD);
+                let rotate = self.cfg.gto_rotate_period.max(1);
+                horizon = horizon.min((now / rotate + 1) * rotate);
+                if self.mem.quiescent() {
+                    // Quiescence cannot end inside a dead span, so the
+                    // deadlock deadline is a hard horizon bound.
+                    horizon = horizon.min(idle_since + self.cfg.watchdog_cycles);
+                }
+                if self.cfg.max_cycles > 0 {
+                    horizon = horizon.min(self.cfg.max_cycles);
+                }
+                if horizon > next {
+                    let span = horizon - next;
+                    for sm in &mut sms {
+                        if sm.has_work() {
+                            sm.fast_forward(now, span, &mut stats);
+                        }
+                    }
+                    next = horizon;
+                }
+            }
+            now = next;
             if self.cfg.max_cycles > 0 && now >= self.cfg.max_cycles {
                 return Err(self.hang(HangClass::CycleLimit, now, &sms, &scheduler_name));
             }
@@ -426,6 +453,28 @@ impl Gpu {
         match class {
             HangClass::CycleLimit => SimError::CycleLimit { cycle, report },
             _ => SimError::Deadlock { cycle, report },
+        }
+    }
+}
+
+/// Round-robin CTA dispatch: repeatedly offer the oldest pending CTA to
+/// each SM in turn until a full pass launches nothing (used both for the
+/// initial dispatch and for refills after a CTA retires).
+fn dispatch_pending(
+    sms: &mut [Sm],
+    pending: &mut VecDeque<usize>,
+    lctx: &LaunchCtx<'_>,
+    age_counter: &mut u64,
+) {
+    let mut made_progress = true;
+    while made_progress && !pending.is_empty() {
+        made_progress = false;
+        for sm in sms.iter_mut() {
+            let Some(&cta) = pending.front() else { break };
+            if sm.try_launch_cta(cta, lctx, age_counter) {
+                pending.pop_front();
+                made_progress = true;
+            }
         }
     }
 }

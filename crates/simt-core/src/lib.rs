@@ -54,7 +54,7 @@ mod stats;
 mod warp;
 mod watchdog;
 
-pub use config::{GpuConfig, Latencies};
+pub use config::{Engine, GpuConfig, Latencies};
 pub use detect::{BranchLog, BranchTimeline, NullDetector, SpinDetector, StaticSibDetector};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use gpu::{DetectorFactory, Gpu, KernelReport, LaunchSpec, PolicyFactory, SimError};

@@ -103,6 +103,28 @@ pub trait SchedulerPolicy {
     fn backoff_queue_position(&self, _warp: usize) -> Option<usize> {
         None
     }
+
+    /// Earliest future cycle (strictly after `now`) at which this unit's
+    /// internal state can change *on its own* — e.g. a BOWS back-off delay
+    /// expiring or an adaptive-window update firing. `None` when the policy
+    /// has no self-scheduled state changes (the baselines). Used by the
+    /// fast-forward engine; returning too-early cycles only costs speed,
+    /// returning too-late ones breaks cycle-engine equivalence.
+    fn next_wakeup(&self, _now: u64) -> Option<u64> {
+        None
+    }
+
+    /// Bulk-apply `span` consecutive issue-free end-of-cycle updates, as if
+    /// [`SchedulerPolicy::end_cycle`] ran with `issued = None` at cycles
+    /// `now+1 ..= now+span` (with `ctx` frozen at `now`, which is exact for
+    /// dead cycles: warp metadata cannot change while nothing issues).
+    /// The default literally loops `end_cycle`, which is always correct;
+    /// policies whose idle update is closed-form override it.
+    fn on_idle_span(&mut self, ctx: &SchedCtx<'_>, unit_warps: &[usize], span: u64) {
+        for _ in 0..span {
+            self.end_cycle(ctx, unit_warps, None);
+        }
+    }
 }
 
 /// Which baseline policy to build (convenience for experiment configs).
@@ -172,6 +194,9 @@ impl SchedulerPolicy for Lrr {
         self.last = w;
         Some(w)
     }
+
+    // Idle cycles touch no LRR state.
+    fn on_idle_span(&mut self, _ctx: &SchedCtx<'_>, _unit_warps: &[usize], _span: u64) {}
 }
 
 /// Greedy-then-oldest. Strict GTO can livelock under busy-wait
@@ -237,6 +262,11 @@ impl SchedulerPolicy for Gto {
         self.last_issued = Some(w);
         Some(w)
     }
+
+    // Idle cycles touch no GTO state (the rank cache refreshes lazily in
+    // `pick`, and the fast-forward engine never skips past a rotation
+    // boundary).
+    fn on_idle_span(&mut self, _ctx: &SchedCtx<'_>, _unit_warps: &[usize], _span: u64) {}
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -331,6 +361,19 @@ impl SchedulerPolicy for Cawa {
                 if issued != Some(w) {
                     self.warps[w].stalls += 1;
                 }
+            }
+        }
+    }
+
+    // `span` issue-free end_cycles in closed form: every resident live warp
+    // ages and stalls once per skipped cycle.
+    fn on_idle_span(&mut self, ctx: &SchedCtx<'_>, unit_warps: &[usize], span: u64) {
+        for &w in unit_warps {
+            self.ensure(w);
+            let m = ctx.meta[w];
+            if m.resident && !m.done {
+                self.warps[w].cycles += span;
+                self.warps[w].stalls += span;
             }
         }
     }

@@ -497,6 +497,106 @@ impl Sm {
         Ok(result)
     }
 
+    /// Earliest future cycle (strictly after `now`) at which this SM can
+    /// change state *without external input*: a pending writeback drains
+    /// (clearing a scoreboard hazard), a scheduler policy's internal timer
+    /// fires (a BOWS back-off delay or adaptive-window update), or a warp's
+    /// issue port frees. `None` when the SM can only be woken externally
+    /// (memory completions — the GPU loop folds those in separately; a
+    /// barrier or fence likewise releases only via issues or completions
+    /// already counted by these candidates).
+    ///
+    /// Called by the fast-forward engine immediately after a `cycle(now)`
+    /// in which no unit issued, so `self.meta` holds cycle `now`'s
+    /// eligibility snapshot and stays valid for the whole dead span.
+    pub fn next_ready_cycle(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| match next {
+            Some(n) if n <= t => {}
+            _ => next = Some(t),
+        };
+        // Writeback wheel: every entry lies within (now, now + WHEEL), and
+        // slot `now % WHEEL` was drained this cycle, so the first non-empty
+        // slot ahead of `now` is the earliest scoreboard release.
+        for off in 1..WHEEL as u64 {
+            if !self.wheel[((now + off) as usize) % WHEEL].is_empty() {
+                fold(now + off);
+                break;
+            }
+        }
+        for (i, w) in self.warps.iter().enumerate() {
+            if !w.resident || w.done {
+                continue;
+            }
+            if w.next_issue > now {
+                // Issue-port backpressure expires by itself. (Unreachable
+                // after a dead cycle — `next_issue = issue cycle + 1` — but
+                // cheap insurance against future pipeline models.)
+                fold(w.next_issue);
+            }
+            if self.meta[i].eligible && self.units[i % self.num_units].can_issue(now, i) {
+                // An issuable warp the policy nevertheless left idle. No
+                // in-tree policy ever does this (their `pick` on a
+                // non-empty set always issues), but a policy that idles by
+                // choice must be re-consulted every cycle: refuse to skip.
+                return Some(now + 1);
+            }
+        }
+        for u in 0..self.num_units {
+            if let Some(t) = self.units[u].next_wakeup(now) {
+                if t > now {
+                    fold(t);
+                }
+            }
+        }
+        next
+    }
+
+    /// Bulk-apply `span` dead cycles (`now+1 ..= now+span`, none of which
+    /// can issue, complete memory, or drain a writeback), accruing exactly
+    /// the per-cycle statistics [`Sm::cycle`] would have: every live warp's
+    /// stall classification is frozen across the span, as is the Figure 11
+    /// residency/back-off sampling. `self.meta` still holds cycle `now`'s
+    /// snapshot — nothing that feeds it changes during a dead span.
+    pub fn fast_forward(&mut self, now: u64, span: u64, stats: &mut SimStats) {
+        for (i, w) in self.warps.iter().enumerate() {
+            if !w.resident || w.done {
+                continue;
+            }
+            if w.at_barrier {
+                stats.stall_barrier += span;
+            } else if w.waiting_membar {
+                stats.stall_membar += span;
+            } else if now >= w.next_issue && !w.stack.is_empty() {
+                if self.meta[i].eligible {
+                    // In a dead cycle every eligible warp was vetoed by
+                    // `can_issue` (otherwise its unit would have issued),
+                    // and the veto holds across the span: the back-off
+                    // expiry is a `next_wakeup` candidate bounding it.
+                    stats.stall_backoff += span;
+                } else {
+                    stats.stall_data += span;
+                }
+            }
+        }
+        for u in 0..self.num_units {
+            let ctx = SchedCtx {
+                now,
+                meta: &self.meta,
+                resident_version: self.resident_version,
+            };
+            self.units[u].on_idle_span(&ctx, &self.unit_warps[u], span);
+            for &w in &self.unit_warps[u] {
+                if self.meta[w].resident && !self.meta[w].done {
+                    stats.resident_warp_samples += span;
+                    if self.units[u].is_backed_off(w) {
+                        stats.backed_off_warp_samples += span;
+                    }
+                }
+            }
+        }
+    }
+
     /// Functionally execute the instruction at the warp's PC.
     fn execute(
         &mut self,

@@ -226,6 +226,16 @@ impl ChaosEngine {
         self.stats.mshr_squeezes += 1;
         true
     }
+
+    /// Whether [`ChaosEngine::mshr_squeeze`] can ever consume an RNG draw.
+    /// When true, any cycle with a non-empty L1 queue rolls the dice, so
+    /// the fast-forward engine must not skip such cycles (a skipped roll
+    /// would desynchronize the deterministic chaos stream). When the
+    /// squeeze probability is zero, `roll` short-circuits before drawing
+    /// and skipping is safe.
+    pub fn squeeze_possible(&self) -> bool {
+        self.enabled && self.cfg.mshr_squeeze_ppm != 0
+    }
 }
 
 #[cfg(test)]

@@ -284,6 +284,59 @@ impl MemorySystem {
                 .all(|p| p.inq.is_empty() && p.dramq.is_empty())
     }
 
+    /// Earliest future cycle (strictly after `now`) at which this memory
+    /// system can change state on its own: deliver a scheduled event,
+    /// serve an L1 or partition queue head, or start a DRAM access.
+    /// `None` when nothing is in flight. Parked blocking-lock requests
+    /// contribute nothing: they wake only via a release, which is itself
+    /// an in-flight atomic already counted here.
+    ///
+    /// Called by the fast-forward engine after `cycle_into(now)` has run:
+    /// anything servable at `now` was already served (or lost port
+    /// arbitration and retries next cycle), so every candidate is clamped
+    /// to at least `now + 1`. All queues are head-blocking, so only each
+    /// queue's front matters.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: u64| match next {
+            Some(n) if n <= t => {}
+            _ => next = Some(t),
+        };
+        if let Some(&Reverse((at, _))) = self.events.peek() {
+            fold(at.max(now + 1));
+        }
+        // MSHR-squeeze chaos rolls the RNG on *every* cycle in which an L1
+        // has queued work; skipping any such cycle would desynchronize the
+        // deterministic chaos stream, so refuse to skip at all.
+        if self.chaos.squeeze_possible() && self.l1s.iter().any(|l| !l.inq.is_empty()) {
+            return Some(now + 1);
+        }
+        for l1 in &self.l1s {
+            let Some((ready, req)) = l1.inq.front() else {
+                continue;
+            };
+            if matches!(req.kind, ReqKind::Load { .. })
+                && l1.cache.peek(req.line) == AccessOutcome::Miss
+                && !l1.mshr.pending(req.line)
+                && !l1.mshr.has_space()
+            {
+                // MSHR-blocked head: it unblocks only through an L1 fill,
+                // which the event heap above already covers.
+                continue;
+            }
+            fold((*ready).max(now + 1));
+        }
+        for p in &self.parts {
+            if let Some(&(ready, _)) = p.inq.front() {
+                fold(ready.max(p.port_free).max(now + 1));
+            }
+            if let Some(&(earliest, _)) = p.dramq.front() {
+                fold(earliest.max(p.dram_next_free).max(now + 1));
+            }
+        }
+        next
+    }
+
     fn partition_of(&self, line: Addr) -> usize {
         ((line / LINE_BYTES) % self.parts.len() as u64) as usize
     }

@@ -29,6 +29,7 @@ struct Cli {
     chaos_seed: Option<u64>,
     chaos_level: Option<u8>,
     timeout_cycles: Option<u64>,
+    engine: Option<Engine>,
     lint: bool,
 }
 
@@ -43,7 +44,11 @@ fn usage() -> ! {
          \x20            [--sched lrr|gto|cawa] [--bows <cycles>|adaptive] [--no-ddos]\n\
          \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]...\n\
          \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
-         \x20            [--timeout-cycles N] [--lint]\n\
+         \x20            [--timeout-cycles N] [--engine cycle|skip] [--lint]\n\
+         \n\
+         --engine picks the main-loop time-advance strategy: `skip`\n\
+         (default) fast-forwards over cycles in which nothing can issue,\n\
+         `cycle` walks every cycle. Bit-identical results either way.\n\
          \n\
          --chaos-seed seeds the deterministic memory fault injector\n\
          (same seed => bit-identical run); --chaos-level picks intensity\n\
@@ -76,6 +81,7 @@ fn parse_cli() -> Cli {
         chaos_seed: None,
         chaos_level: None,
         timeout_cycles: None,
+        engine: None,
         lint: false,
     };
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
@@ -153,6 +159,13 @@ fn parse_cli() -> Cli {
                     next(&mut args, "--timeout-cycles").parse().unwrap_or_else(|_| usage()),
                 );
             }
+            "--engine" => {
+                cli.engine = Some(match next(&mut args, "--engine").as_str() {
+                    "cycle" => Engine::Cycle,
+                    "skip" => Engine::Skip,
+                    _ => usage(),
+                });
+            }
             "--lint" => cli.lint = true,
             "--help" | "-h" => usage(),
             other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
@@ -172,6 +185,9 @@ fn parse_cli() -> Cli {
     }
     if let Some(t) = cli.timeout_cycles {
         cli.gpu.max_cycles = t;
+    }
+    if let Some(e) = cli.engine {
+        cli.gpu.engine = e;
     }
     cli
 }

@@ -52,7 +52,7 @@ pub use workloads;
 pub mod prelude {
     pub use crate::bows::{AdaptiveConfig, Bows, Ddos, DdosConfig, DelayMode, HashKind};
     pub use crate::core::{
-        BasePolicy, EnergyModel, Gpu, GpuConfig, HangClass, HangReport, KernelReport,
+        BasePolicy, EnergyModel, Engine, Gpu, GpuConfig, HangClass, HangReport, KernelReport,
         LaunchSpec, SimError,
     };
     pub use crate::isa::asm::assemble;

@@ -1,0 +1,205 @@
+//! Engine-equivalence suite: the event-horizon fast-forward engine
+//! (`Engine::Skip`) must be observationally identical to the one-cycle-
+//! at-a-time engine (`Engine::Cycle`) — byte-identical final memory and
+//! bit-equal `SimStats`/`MemStats`/cycle counts — across the full
+//! 22-kernel corpus under every scheduler, with and without BOWS, and
+//! with and without seeded chaos. The skip engine is a pure simulation
+//! of dead time; any divergence here is a bug in its horizon analysis.
+//!
+//! The matrix is split into one `#[test]` per (policy × suite) so the
+//! harness parallelizes it across threads.
+
+use bows::{AdaptiveConfig, DdosConfig, DelayMode};
+use simt_core::{BasePolicy, Engine, GpuConfig, Gpu, HangClass, HangReport, LaunchSpec, SimError};
+use simt_isa::asm::assemble;
+use simt_isa::Kernel;
+use simt_mem::ChaosConfig;
+use workloads::{rodinia_suite, run_workload_captured, sync_suite, CapturedRun, Scale, Workload};
+
+/// One scheduling/perturbation cell of the matrix.
+#[derive(Clone, Copy)]
+struct Cell {
+    base: BasePolicy,
+    bows: bool,
+    chaos: Option<(u64, u8)>,
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        format!(
+            "{}{}{}",
+            self.base.name(),
+            if self.bows { "+bows" } else { "" },
+            match self.chaos {
+                Some((s, l)) => format!("+chaos({s},{l})"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Run one workload under one cell, mirroring `experiments::run`'s
+/// factory wiring (BOWS gets a live DDOS, baselines the static oracle).
+fn captured(cfg: &GpuConfig, w: &dyn Workload, cell: Cell) -> CapturedRun {
+    let bows_mode = cell.bows.then(|| DelayMode::Adaptive(AdaptiveConfig::default()));
+    let policy = bows::policy_factory(cell.base, bows_mode, cfg.gto_rotate_period);
+    let res = if cell.bows {
+        run_workload_captured(
+            cfg,
+            w,
+            &policy,
+            &bows::ddos_factory(DdosConfig::default(), cfg.warps_per_sm()),
+        )
+    } else {
+        run_workload_captured(cfg, w, &policy, &|k: &Kernel| {
+            if k.true_sibs.is_empty() {
+                Box::new(simt_core::NullDetector)
+            } else {
+                Box::new(simt_core::StaticSibDetector::new(k.true_sibs.clone()))
+            }
+        })
+    };
+    res.unwrap_or_else(|e| panic!("{} under {}: {e:?}", w.name(), cell.label()))
+}
+
+/// Assert cycle- and skip-engine runs of one cell are indistinguishable.
+fn check_cell(base_cfg: &GpuConfig, w: &dyn Workload, cell: Cell) {
+    let mut cfg = base_cfg.clone();
+    if let Some((seed, level)) = cell.chaos {
+        cfg.mem.chaos = ChaosConfig::with_level(seed, level);
+    }
+    cfg.engine = Engine::Cycle;
+    let cycle = captured(&cfg, w, cell);
+    cfg.engine = Engine::Skip;
+    let skip = captured(&cfg, w, cell);
+
+    let tag = format!("{} under {}", w.name(), cell.label());
+    assert_eq!(cycle.result.cycles, skip.result.cycles, "cycles diverge: {tag}");
+    assert_eq!(cycle.result.sim, skip.result.sim, "SimStats diverge: {tag}");
+    assert_eq!(cycle.result.mem, skip.result.mem, "MemStats diverge: {tag}");
+    if let Some(addr) = cycle.gmem.first_diff(&skip.gmem) {
+        panic!(
+            "final memory diverges at {addr:#x}: {tag} \
+             (cycle={:#x}, skip={:#x})",
+            cycle.gmem.read_u32(addr),
+            skip.gmem.read_u32(addr)
+        );
+    }
+    assert_eq!(cycle.gmem.image(), skip.gmem.image(), "memory image: {tag}");
+}
+
+/// Sweep every workload of `suite` through {BOWS off, adaptive} ×
+/// {chaos off, seeded} under one base policy.
+fn sweep(base: BasePolicy, suite: &[Box<dyn Workload>]) {
+    let cfg = GpuConfig::test_tiny();
+    for w in suite {
+        for bows in [false, true] {
+            for chaos in [None, Some((42u64, 2u8))] {
+                check_cell(&cfg, w.as_ref(), Cell { base, bows, chaos });
+            }
+        }
+    }
+}
+
+#[test]
+fn gto_sync_suite_engines_agree() {
+    sweep(BasePolicy::Gto, &sync_suite(Scale::Tiny));
+}
+
+#[test]
+fn gto_rodinia_suite_engines_agree() {
+    sweep(BasePolicy::Gto, &rodinia_suite(Scale::Tiny));
+}
+
+#[test]
+fn lrr_sync_suite_engines_agree() {
+    sweep(BasePolicy::Lrr, &sync_suite(Scale::Tiny));
+}
+
+#[test]
+fn lrr_rodinia_suite_engines_agree() {
+    sweep(BasePolicy::Lrr, &rodinia_suite(Scale::Tiny));
+}
+
+#[test]
+fn cawa_sync_suite_engines_agree() {
+    sweep(BasePolicy::Cawa, &sync_suite(Scale::Tiny));
+}
+
+#[test]
+fn cawa_rodinia_suite_engines_agree() {
+    sweep(BasePolicy::Cawa, &rodinia_suite(Scale::Tiny));
+}
+
+// ---------------------------------------------------------------------
+// Watchdog equivalence: hangs must be diagnosed with the same HangClass
+// at the same cycle under both engines. The livelock fixture keeps the
+// machine issuing (fast-forward never triggers, but the scan clamp must
+// still land on every SCAN_PERIOD boundary); the deadlock fixture goes
+// fully quiescent (the skip engine jumps straight to the watchdog
+// deadline, exercising the `idle_since + watchdog_cycles` clamp).
+// ---------------------------------------------------------------------
+
+/// Run a hang fixture under one engine and return its diagnosis.
+fn hang_under(engine: Engine, blocking_locks: bool, src: &str, flag_init: u32) -> (u64, HangReport) {
+    let kernel = assemble(src).unwrap();
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.engine = engine;
+    cfg.blocking_locks = blocking_locks;
+    cfg.watchdog_cycles = 5_000;
+    cfg.max_cycles = 100_000;
+    let mut gpu = Gpu::new(cfg);
+    let flag = gpu.mem_mut().gmem_mut().alloc(1);
+    gpu.mem_mut().gmem_mut().write_u32(flag, flag_init);
+    let launch = LaunchSpec {
+        grid_ctas: 1,
+        threads_per_cta: 32,
+        params: vec![flag as u32],
+    };
+    match gpu.run_baseline(&kernel, &launch, BasePolicy::Gto) {
+        Err(SimError::Deadlock { cycle, report }) => (cycle, *report),
+        other => panic!("expected a classified hang, got {other:?}"),
+    }
+}
+
+#[test]
+fn spin_livelock_diagnosed_identically() {
+    // Thread 0's warp spins forever on a flag nobody sets.
+    let src = r#"
+        .kernel stuck
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+        top:
+            ld.global.volatile r2, [r1]
+            setp.eq.s32 p1, r2, 0
+        @p1 bra top
+            exit
+    "#;
+    let (cycle_at, cycle_report) = hang_under(Engine::Cycle, false, src, 0);
+    let (skip_at, skip_report) = hang_under(Engine::Skip, false, src, 0);
+    assert_eq!(cycle_report.class, HangClass::SpinLivelock);
+    assert_eq!(cycle_at, skip_at, "livelock diagnosed at different cycles");
+    assert_eq!(cycle_report, skip_report, "livelock reports diverge");
+}
+
+#[test]
+fn global_deadlock_diagnosed_identically() {
+    // Every lane tries to acquire a lock that is pre-held and never
+    // released: under blocking locks the whole warp parks forever, the
+    // memory system goes quiescent, and the idle watchdog must fire at
+    // exactly `idle_since + watchdog_cycles` in both engines.
+    let src = r#"
+        .kernel dead
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            atom.global.cas r2, [r1], 0, 1 !acquire !sync
+            exit
+    "#;
+    let (cycle_at, cycle_report) = hang_under(Engine::Cycle, true, src, 1);
+    let (skip_at, skip_report) = hang_under(Engine::Skip, true, src, 1);
+    assert_eq!(cycle_report.class, HangClass::GlobalDeadlock);
+    assert_eq!(cycle_at, skip_at, "deadlock diagnosed at different cycles");
+    assert_eq!(cycle_report, skip_report, "deadlock reports diverge");
+}
