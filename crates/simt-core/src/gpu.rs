@@ -1,5 +1,6 @@
 //! GPU top level: CTA dispatch, the main cycle loop, run reports.
 
+use crate::cancel::{CancelCause, CancelToken};
 use crate::detect::{BranchLog, NullDetector, SpinDetector, StaticSibDetector};
 use crate::sched::{BasePolicy, SchedulerPolicy};
 use crate::sm::{LaunchCtx, Sm};
@@ -64,6 +65,26 @@ pub enum SimError {
         /// The broken invariant.
         what: String,
     },
+    /// A simulated kernel accessed device global memory outside every
+    /// allocation (or unaligned) — a kernel/request bug, surfaced as a
+    /// typed error so a malformed service request can never panic a
+    /// worker thread.
+    DeviceFault {
+        /// SM that issued the faulting access.
+        sm: usize,
+        /// PC of the faulting instruction.
+        pc: usize,
+        /// The fault (address, kind, allocated extent).
+        fault: simt_mem::MemFault,
+    },
+    /// The run's [`CancelToken`] fired (wall-clock deadline or an explicit
+    /// cancel from a supervisor) before the grid completed.
+    Cancelled {
+        /// Simulated cycle at which cancellation was observed.
+        cycle: u64,
+        /// Why the token fired.
+        cause: CancelCause,
+    },
 }
 
 impl SimError {
@@ -88,6 +109,12 @@ impl fmt::Display for SimError {
             SimError::LaunchTooLarge { reason } => write!(f, "launch too large: {reason}"),
             SimError::InternalInvariant { what } => {
                 write!(f, "internal invariant violated: {what}")
+            }
+            SimError::DeviceFault { sm, pc, fault } => {
+                write!(f, "device memory fault at pc {pc} (sm {sm}): {fault}")
+            }
+            SimError::Cancelled { cycle, cause } => {
+                write!(f, "run cancelled at cycle {cycle}: {cause}")
             }
         }
     }
@@ -132,6 +159,7 @@ pub struct Gpu {
     pub cfg: GpuConfig,
     mem: MemorySystem,
     energy_model: EnergyModel,
+    cancel: Option<CancelToken>,
 }
 
 impl Gpu {
@@ -143,7 +171,21 @@ impl Gpu {
             cfg,
             mem,
             energy_model: EnergyModel::default(),
+            cancel: None,
         }
+    }
+
+    /// Arm a cancellation token for subsequent runs. The token is polled
+    /// at forward-progress-scan boundaries (every [`SCAN_PERIOD`] cycles),
+    /// so a fired token stops the run within microseconds of real time
+    /// while costing nothing on the per-cycle hot path.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Remove any armed cancellation token.
+    pub fn clear_cancel_token(&mut self) {
+        self.cancel = None;
     }
 
     /// Device memory (host-side setup: allocate buffers, write inputs).
@@ -295,6 +337,15 @@ impl Gpu {
             } else if self.mem.quiescent() && now - idle_since >= self.cfg.watchdog_cycles {
                 // Nothing can ever issue again: classic SIMT deadlock.
                 return Err(self.hang(HangClass::GlobalDeadlock, now, &sms, &scheduler_name));
+            }
+
+            // Cooperative cancellation, polled on the same cadence as the
+            // forward-progress scan (Skip-engine horizons are clamped to
+            // SCAN_PERIOD boundaries, so dead spans cannot outrun it).
+            if now.is_multiple_of(SCAN_PERIOD) && now > 0 {
+                if let Some(cause) = self.cancel.as_ref().and_then(CancelToken::fired) {
+                    return Err(SimError::Cancelled { cycle: now, cause });
+                }
             }
 
             // Periodic forward-progress scan: catches hangs where warps keep
@@ -709,6 +760,95 @@ mod tests {
             gpu.run_baseline(&kernel, &launch, BasePolicy::Gto),
             Err(SimError::LaunchTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn cancel_token_stops_a_spin() {
+        // Same endless spin as `deadlock_watchdog_fires`, but an
+        // already-expired wall deadline stops it at the first progress
+        // scan, long before the watchdog would classify it.
+        let kernel = assemble(
+            r#"
+            .kernel stuck
+            .regs 8
+            .params 1
+                ld.param r1, [0]
+            top:
+                ld.global.volatile r2, [r1]
+                setp.eq.s32 p1, r2, 0
+            @p1 bra top
+                exit
+            "#,
+        )
+        .unwrap();
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.max_cycles = 10_000_000;
+        let mut gpu = Gpu::new(cfg);
+        let flag = gpu.mem_mut().gmem_mut().alloc(1);
+        let launch = LaunchSpec {
+            grid_ctas: 1,
+            threads_per_cta: 32,
+            params: vec![flag as u32],
+        };
+        gpu.set_cancel_token(CancelToken::with_deadline(std::time::Duration::ZERO));
+        match gpu.run_baseline(&kernel, &launch, BasePolicy::Gto) {
+            Err(SimError::Cancelled { cycle, cause }) => {
+                assert_eq!(cause, CancelCause::WallDeadline);
+                assert!(cycle < 10_000, "stopped at the first scan, got {cycle}");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completed_run_ignores_pending_deadline() {
+        // A run that finishes before any scan boundary is unaffected by an
+        // armed token: cancellation is observational only.
+        let kernel = vec_add_kernel();
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let n = 64u64;
+        let a = gpu.mem_mut().gmem_mut().alloc(n);
+        let b = gpu.mem_mut().gmem_mut().alloc(n);
+        let out = gpu.mem_mut().gmem_mut().alloc(n);
+        let launch = LaunchSpec {
+            grid_ctas: 1,
+            threads_per_cta: 64,
+            params: vec![a as u32, b as u32, out as u32],
+        };
+        gpu.set_cancel_token(CancelToken::with_deadline(std::time::Duration::from_secs(
+            3600,
+        )));
+        let report = gpu.run_baseline(&kernel, &launch, BasePolicy::Gto).unwrap();
+        assert_eq!(report.sim.ctas_completed, 1);
+    }
+
+    #[test]
+    fn wild_global_access_is_a_device_fault() {
+        // The kernel dereferences an unallocated address; the run must fail
+        // with a typed DeviceFault, not a panic.
+        let kernel = assemble(
+            r#"
+            .kernel wild
+            .regs 8
+            .params 1
+                ld.param r1, [0]
+                ld.global r2, [r1]
+                exit
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let launch = LaunchSpec {
+            grid_ctas: 1,
+            threads_per_cta: 32,
+            params: vec![0x00ff_0000],
+        };
+        match gpu.run_baseline(&kernel, &launch, BasePolicy::Gto) {
+            Err(SimError::DeviceFault { fault, .. }) => {
+                assert!(!fault.unaligned, "out-of-bounds, not unaligned: {fault}");
+            }
+            other => panic!("expected DeviceFault, got {other:?}"),
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cancel;
 mod config;
 pub mod detect;
 mod energy;
@@ -54,6 +55,7 @@ mod stats;
 mod warp;
 mod watchdog;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use config::{Engine, GpuConfig, Latencies};
 pub use detect::{BranchLog, BranchTimeline, NullDetector, SpinDetector, StaticSibDetector};
 pub use energy::{EnergyBreakdown, EnergyModel};

@@ -20,6 +20,11 @@ fn invariant(what: String) -> SimError {
     SimError::InternalInvariant { what }
 }
 
+/// A kernel-driven wild access, surfaced as a typed error (never a panic).
+fn device_fault(sm: usize, pc: usize, fault: simt_mem::MemFault) -> SimError {
+    SimError::DeviceFault { sm, pc, fault }
+}
+
 /// Immutable launch context shared by all SMs during a kernel run.
 #[derive(Debug)]
 pub struct LaunchCtx<'a> {
@@ -669,6 +674,12 @@ impl Sm {
             };
         }
 
+        // The operand `expect`s below (dst/pdst/target/addr) rely on
+        // `simt_isa::check_operand_shape`, which every kernel passes in
+        // `Kernel::validate`/`from_insts` before it can be launched — a
+        // malformed request fails there with a typed `KernelError`, so
+        // these are unreachable-by-construction invariants, not
+        // request-reachable panics.
         match inst.op {
             // ---- ALU ----
             Op::Mov
@@ -894,7 +905,10 @@ impl Sm {
                         for lane in BitIter(exec) {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
-                            let v = mem.gmem().read_u32(addr);
+                            let v = mem
+                                .gmem()
+                                .try_read_u32(addr)
+                                .map_err(|fault| device_fault(sm_id, pc, fault))?;
                             cta.set_reg(t, dst, v);
                             accesses.push(simt_mem::LaneAccess {
                                 lane: lane as u8,
@@ -966,7 +980,9 @@ impl Sm {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
                             let v = val!(&inst.srcs[0], lane, t);
-                            mem.gmem_mut().write_u32(addr, v);
+                            mem.gmem_mut()
+                                .try_write_u32(addr, v)
+                                .map_err(|fault| device_fault(sm_id, pc, fault))?;
                             accesses.push(simt_mem::LaneAccess {
                                 lane: lane as u8,
                                 addr,
@@ -1013,6 +1029,12 @@ impl Sm {
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
                     let addr = mem_addr(inst, cta, t);
+                    // Validate here, at issue: the lane ops are applied
+                    // later inside the partition's atomic unit, which has
+                    // no error path back to the warp.
+                    mem.gmem()
+                        .check_addr(addr)
+                        .map_err(|fault| device_fault(sm_id, pc, fault))?;
                     let a = val!(&inst.srcs[0], lane, t);
                     let b = inst.srcs.get(1).map(|s| val!(s, lane, t)).unwrap_or(0);
                     let op = LaneAtomic {

@@ -99,7 +99,8 @@ impl RawKernel {
             let pc = match e {
                 KernelError::RegOutOfRange { pc, .. }
                 | KernelError::PredOutOfRange { pc, .. }
-                | KernelError::BadTarget { pc, .. } => Some(pc),
+                | KernelError::BadTarget { pc, .. }
+                | KernelError::MalformedOperands { pc, .. } => Some(pc),
                 KernelError::NoExit | KernelError::Empty => None,
             };
             let line = pc.and_then(|pc| lines.get(pc).copied()).unwrap_or(0);

@@ -21,6 +21,18 @@ pub enum KernelError {
     NoExit,
     /// The kernel is empty.
     Empty,
+    /// An instruction is missing an operand its opcode requires (a
+    /// destination, address, branch target, or source). The assembler
+    /// never emits such instructions; this guards kernels built
+    /// programmatically (the builder API, fuzzers, service clients) so
+    /// the execution pipelines can rely on operand presence without
+    /// panicking.
+    MalformedOperands {
+        /// Instruction index.
+        pc: usize,
+        /// What is missing.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -37,6 +49,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::NoExit => write!(f, "kernel has no exit instruction"),
             KernelError::Empty => write!(f, "kernel is empty"),
+            KernelError::MalformedOperands { pc, what } => {
+                write!(f, "pc {pc}: {what}")
+            }
         }
     }
 }
@@ -85,12 +100,15 @@ impl Kernel {
         // `Cfg::build` tolerates out-of-range targets by dropping the edge
         // (so the linter can analyze invalid input), which would silently
         // turn the branch into a fall-through here.
+        // Operand shape likewise: `Cfg::build` expects every branch to carry
+        // a resolved target.
         for (pc, inst) in insts.iter().enumerate() {
             if let Some(t) = inst.target {
                 if t >= insts.len() {
                     return Err(KernelError::BadTarget { pc, target: t });
                 }
             }
+            check_operand_shape(pc, inst)?;
         }
         let cfg = Cfg::build(&insts);
         let reconv = cfg.reconv_points(&insts);
@@ -152,6 +170,7 @@ impl Kernel {
                     return Err(KernelError::BadTarget { pc, target: t });
                 }
             }
+            check_operand_shape(pc, inst)?;
         }
         if !has_exit {
             return Err(KernelError::NoExit);
@@ -201,6 +220,104 @@ impl Kernel {
         }
         out
     }
+}
+
+/// Operand-shape check: every opcode's required operands (destination,
+/// address, branch target, source/predicate counts) must be present.
+///
+/// The execution pipelines (`simt-core`'s SM and `simt-ref`'s interpreter)
+/// rely on these invariants with `expect`/indexing; enforcing them here —
+/// on the [`Kernel::validate`] path that every launch runs through — means
+/// a malformed kernel built through the programmatic APIs surfaces as a
+/// typed [`KernelError`] instead of panicking a simulation thread.
+fn check_operand_shape(pc: usize, inst: &Inst) -> Result<(), KernelError> {
+    use Op::*;
+    let err = |what: &'static str| Err(KernelError::MalformedOperands { pc, what });
+    let need_dst = |what: &'static str| {
+        if inst.dst.is_none() {
+            return Err(KernelError::MalformedOperands { pc, what });
+        }
+        Ok(())
+    };
+    let need_srcs = |n: usize, what: &'static str| {
+        if inst.srcs.len() < n {
+            return Err(KernelError::MalformedOperands { pc, what });
+        }
+        Ok(())
+    };
+    let need_pdst = |what: &'static str| {
+        if inst.pdst.is_none() {
+            return Err(KernelError::MalformedOperands { pc, what });
+        }
+        Ok(())
+    };
+    let need_psrcs = |n: usize, what: &'static str| {
+        if inst.psrcs.len() < n {
+            return Err(KernelError::MalformedOperands { pc, what });
+        }
+        Ok(())
+    };
+    match inst.op {
+        Mov | Not | Neg(_) | Sqrt | CvtI2F | CvtF2I => {
+            need_dst("unary ALU op missing destination register")?;
+            need_srcs(1, "unary ALU op missing its source operand")?;
+        }
+        Add(_) | Sub(_) | Mul(_) | Div(_) | Rem(_) | Min(_) | Max(_) | And | Or | Xor
+        | Shl | Shr | Sra => {
+            need_dst("binary ALU op missing destination register")?;
+            need_srcs(2, "binary ALU op missing a source operand")?;
+        }
+        Mad(_) => {
+            need_dst("mad missing destination register")?;
+            need_srcs(3, "mad requires three source operands")?;
+        }
+        Selp => {
+            need_dst("selp missing destination register")?;
+            need_srcs(2, "selp requires two source operands")?;
+            need_psrcs(1, "selp missing its select predicate")?;
+        }
+        Setp(..) => {
+            need_pdst("setp missing destination predicate")?;
+            need_srcs(2, "setp requires two source operands")?;
+        }
+        PAnd | POr => {
+            need_pdst("predicate op missing destination predicate")?;
+            need_psrcs(2, "binary predicate op missing a source predicate")?;
+        }
+        PNot => {
+            need_pdst("pnot missing destination predicate")?;
+            need_psrcs(1, "pnot missing its source predicate")?;
+        }
+        Bra => {
+            if inst.target.is_none() {
+                return err("branch has no resolved target");
+            }
+        }
+        Ld(..) => {
+            need_dst("load missing destination register")?;
+            if inst.addr.is_none() {
+                return err("load missing its address operand");
+            }
+        }
+        St(..) => {
+            if inst.addr.is_none() {
+                return err("store missing its address operand");
+            }
+            need_srcs(1, "store missing its value operand")?;
+        }
+        Atom(a) => {
+            need_dst("atomic missing destination register")?;
+            if inst.addr.is_none() {
+                return err("atomic missing its address operand");
+            }
+            if inst.srcs.len() < a.src_count() {
+                return err("atomic missing a source operand");
+            }
+        }
+        Clock => need_dst("clock missing destination register")?,
+        Bar | Membar | Exit | Nop => {}
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -264,6 +381,85 @@ mod tests {
         let k = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap();
         assert_eq!(k.backward_branches(), vec![2]);
         assert_eq!(k.true_sibs, vec![2]);
+    }
+
+    #[test]
+    fn rejects_malformed_operands() {
+        // Each case: a hand-broken instruction that the assembler can never
+        // emit but the programmatic APIs could.
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::new(Op::Mov), "mov with no operands"),
+            (
+                {
+                    let mut i = Inst::new(Op::Add(Ty::S32));
+                    i.dst = Some(Reg(0));
+                    i.srcs.push(1.into());
+                    i
+                },
+                "add with one source",
+            ),
+            (
+                {
+                    let mut i = Inst::new(Op::Setp(CmpOp::Eq, Ty::S32));
+                    i.srcs.push(1.into());
+                    i.srcs.push(2.into());
+                    i
+                },
+                "setp without pdst",
+            ),
+            (Inst::new(Op::Bra), "bra without target"),
+            (
+                {
+                    let mut i = Inst::new(Op::Ld(crate::Space::Global, false));
+                    i.dst = Some(Reg(0));
+                    i
+                },
+                "load without address",
+            ),
+            (
+                {
+                    let mut i = Inst::new(Op::St(crate::Space::Global, false));
+                    i.addr = Some(crate::MemAddr::new(Reg(0), 0));
+                    i
+                },
+                "store without value",
+            ),
+            (
+                {
+                    let mut i = Inst::new(Op::Atom(crate::AtomOp::Cas));
+                    i.dst = Some(Reg(0));
+                    i.addr = Some(crate::MemAddr::new(Reg(1), 0));
+                    i.srcs.push(0.into()); // CAS needs two sources
+                    i
+                },
+                "cas with one source",
+            ),
+            (Inst::new(Op::Clock), "clock without dst"),
+        ];
+        for (bad, label) in cases {
+            let insts = vec![bad, Inst::new(Op::Exit)];
+            let err = Kernel::from_insts("t", insts, HashMap::new(), 4, 0, 0).unwrap_err();
+            assert!(
+                matches!(err, KernelError::MalformedOperands { pc: 0, .. }),
+                "{label}: expected MalformedOperands, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn well_formed_constructors_pass_shape_check() {
+        let insts = vec![
+            Inst::ld(crate::Space::Param, Reg(1), crate::MemAddr::abs(0)),
+            Inst::atom(
+                crate::AtomOp::Cas,
+                Reg(2),
+                crate::MemAddr::new(Reg(1), 0),
+                vec![0.into(), 1.into()],
+            ),
+            Inst::st(crate::Space::Global, crate::MemAddr::new(Reg(1), 4), Reg(2)),
+            Inst::new(Op::Exit),
+        ];
+        Kernel::from_insts("t", insts, HashMap::new(), 4, 1, 0).unwrap();
     }
 
     #[test]

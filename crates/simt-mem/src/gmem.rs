@@ -1,6 +1,37 @@
 //! Functional device global memory.
 
 use crate::{Addr, LINE_BYTES};
+use std::fmt;
+
+/// A rejected device-memory access: the address was unaligned or outside
+/// every allocation. Produced by the checked accessors
+/// ([`GlobalMem::try_read_u32`] / [`GlobalMem::try_write_u32`] /
+/// [`GlobalMem::check_addr`]) so the simulation pipeline can turn a buggy
+/// kernel's wild access into a typed error instead of a panic — a
+/// malformed service request must never take down a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The offending byte address.
+    pub addr: Addr,
+    /// True when the fault is an alignment violation (else out of bounds).
+    pub unaligned: bool,
+    /// Bytes allocated at fault time (the valid range is `0..allocated`).
+    pub allocated: u64,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unaligned {
+            write!(f, "unaligned global access at {:#x}", self.addr)
+        } else {
+            write!(
+                f,
+                "global access out of bounds: {:#x} (allocated {:#x})",
+                self.addr, self.allocated
+            )
+        }
+    }
+}
 
 /// A flat, bump-allocated functional global memory.
 ///
@@ -69,6 +100,57 @@ impl GlobalMem {
             self.next
         );
         self.data[idx] = value;
+    }
+
+    /// Validate an address for a 4-byte access without touching it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MemFault`] a [`GlobalMem::read_u32`] /
+    /// [`GlobalMem::write_u32`] of the same address would panic with.
+    #[inline]
+    pub fn check_addr(&self, addr: Addr) -> Result<(), MemFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemFault {
+                addr,
+                unaligned: true,
+                allocated: self.next,
+            });
+        }
+        if addr / 4 >= self.data.len() as u64 {
+            return Err(MemFault {
+                addr,
+                unaligned: false,
+                allocated: self.next,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checked read: like [`GlobalMem::read_u32`] but returns a typed
+    /// fault instead of panicking. The simulation pipeline uses this for
+    /// kernel-driven accesses, keeping wild addresses survivable.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlobalMem::check_addr`].
+    #[inline]
+    pub fn try_read_u32(&self, addr: Addr) -> Result<u32, MemFault> {
+        self.check_addr(addr)?;
+        Ok(self.data[(addr / 4) as usize])
+    }
+
+    /// Checked write: like [`GlobalMem::write_u32`] but returns a typed
+    /// fault instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlobalMem::check_addr`].
+    #[inline]
+    pub fn try_write_u32(&mut self, addr: Addr, value: u32) -> Result<(), MemFault> {
+        self.check_addr(addr)?;
+        self.data[(addr / 4) as usize] = value;
+        Ok(())
     }
 
     /// Copy a slice into memory starting at `base`.
@@ -163,6 +245,22 @@ mod tests {
         a.write_u32(base + 12, 7);
         a.write_u32(base + 20, 9);
         assert_eq!(a.first_diff(&b), Some(longer_end));
+    }
+
+    #[test]
+    fn checked_accessors_fault_instead_of_panicking() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(4);
+        assert_eq!(m.try_read_u32(a), Ok(0));
+        assert!(m.try_write_u32(a, 7).is_ok());
+        assert_eq!(m.try_read_u32(a), Ok(7));
+        let oob = m.try_read_u32(1 << 40).unwrap_err();
+        assert!(!oob.unaligned);
+        assert!(oob.to_string().contains("out of bounds"));
+        let unaligned = m.try_write_u32(a + 2, 1).unwrap_err();
+        assert!(unaligned.unaligned);
+        assert!(unaligned.to_string().contains("unaligned"));
+        assert!(m.check_addr(a + 4).is_ok());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use cache::{AccessOutcome, Cache};
 pub use chaos::{ChaosConfig, ChaosEngine, ChaosStats};
 pub use coalescer::{Coalescer, LaneAccess, Transaction};
 pub use config::MemConfig;
-pub use gmem::GlobalMem;
+pub use gmem::{GlobalMem, MemFault};
 pub use mshr::Mshr;
 pub use stats::MemStats;
 pub use system::{LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind};

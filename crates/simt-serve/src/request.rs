@@ -1,0 +1,556 @@
+//! Simulation requests: JSON schema, validation, the content-address key,
+//! and the (pure, deterministic) execution function.
+//!
+//! A request fully determines its result: the simulator is bit-exact for a
+//! fixed (kernel, config, seed, engine), so [`SimRequest::cache_key`] can
+//! content-address the rendered response body. Everything that can change
+//! a single output byte must feed the key; the cache-soundness tests in
+//! `tests/cache_key.rs` hold this to account.
+
+use crate::json::{kernel_report_json, sim_error_json, Json};
+use bows::{AdaptiveConfig, DdosConfig, DelayMode};
+use simt_core::{BasePolicy, CancelToken, Engine, Gpu, GpuConfig, LaunchSpec, SimError};
+use simt_mem::ChaosConfig;
+
+/// One kernel parameter slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamSpec {
+    /// A scalar value passed as-is.
+    Scalar(u32),
+    /// A device buffer: allocate `words` words, fill them, pass the base.
+    Buffer { words: u64, fill: u32 },
+}
+
+/// A validated simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// Kernel assembly source.
+    pub kernel: String,
+    /// Grid size in CTAs.
+    pub ctas: usize,
+    /// Threads per CTA.
+    pub tpc: usize,
+    /// Parameter slots, left to right.
+    pub params: Vec<ParamSpec>,
+    /// GPU preset name (`tiny` | `gtx480` | `gtx1080ti`).
+    pub gpu: String,
+    /// Baseline scheduler.
+    pub sched: BasePolicy,
+    /// BOWS back-off: `None` = baseline, fixed cycles, or adaptive.
+    pub bows: Option<DelayMode>,
+    /// Run the DDOS detector (else the static `!sib` oracle).
+    pub ddos: bool,
+    /// Main-loop engine override.
+    pub engine: Option<Engine>,
+    /// Simulated-cycle budget override (`GpuConfig::max_cycles`).
+    pub timeout_cycles: Option<u64>,
+    /// Memory-chaos seed (simulated-hardware faults, not service chaos).
+    pub chaos_seed: Option<u64>,
+    /// Memory-chaos intensity 0..=3.
+    pub chaos_level: Option<u8>,
+    /// Post-run dumps: `(param slot, words)`.
+    pub dumps: Vec<(usize, u64)>,
+    /// Requesting tenant (quota accounting); `"anon"` by default.
+    pub tenant: String,
+    /// Priority 0 (highest) ..= 2 (lowest); default 1.
+    pub priority: u8,
+}
+
+/// Caps that keep one request from monopolizing a worker. Validation
+/// rejects anything larger with a 400-class error before admission.
+pub const MAX_KERNEL_BYTES: usize = 64 * 1024;
+pub const MAX_CTAS: usize = 4096;
+pub const MAX_PARAMS: usize = 32;
+pub const MAX_BUFFER_WORDS: u64 = 1 << 22;
+pub const MAX_DUMP_WORDS: u64 = 4096;
+
+impl SimRequest {
+    /// Parse and validate a request body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found; the HTTP
+    /// layer maps it to 400.
+    pub fn from_json(body: &str) -> Result<SimRequest, String> {
+        let j = Json::parse(body)?;
+        let kernel = j.get("kernel")?.as_str("kernel")?.to_string();
+        if kernel.is_empty() {
+            return Err("kernel: empty".into());
+        }
+        if kernel.len() > MAX_KERNEL_BYTES {
+            return Err(format!("kernel: larger than {MAX_KERNEL_BYTES} bytes"));
+        }
+        let ctas = match j.opt("ctas")? {
+            Some(v) => v.as_u64("ctas")? as usize,
+            None => 1,
+        };
+        if ctas == 0 || ctas > MAX_CTAS {
+            return Err(format!("ctas: must be in 1..={MAX_CTAS}"));
+        }
+        let tpc = match j.opt("tpc")? {
+            Some(v) => v.as_u64("tpc")? as usize,
+            None => 32,
+        };
+        if tpc == 0 || tpc > 1024 {
+            return Err("tpc: must be in 1..=1024".into());
+        }
+        let mut params = Vec::new();
+        if let Some(list) = j.opt("params")? {
+            for (i, p) in list.as_array("params")?.iter().enumerate() {
+                if params.len() >= MAX_PARAMS {
+                    return Err(format!("params: more than {MAX_PARAMS}"));
+                }
+                match p {
+                    Json::Obj(_) => {
+                        let words = p.get("buf")?.as_u64(&format!("params[{i}].buf"))?;
+                        if words == 0 || words > MAX_BUFFER_WORDS {
+                            return Err(format!(
+                                "params[{i}].buf: must be in 1..={MAX_BUFFER_WORDS}"
+                            ));
+                        }
+                        let fill = match p.opt("fill")? {
+                            Some(v) => v.as_u64(&format!("params[{i}].fill"))? as u32,
+                            None => 0,
+                        };
+                        params.push(ParamSpec::Buffer { words, fill });
+                    }
+                    _ => {
+                        let v = p.as_u64(&format!("params[{i}]"))?;
+                        if v > u32::MAX as u64 {
+                            return Err(format!("params[{i}]: exceeds u32"));
+                        }
+                        params.push(ParamSpec::Scalar(v as u32));
+                    }
+                }
+            }
+        }
+        let gpu = match j.opt("gpu")? {
+            Some(v) => v.as_str("gpu")?.to_string(),
+            None => "tiny".to_string(),
+        };
+        if !matches!(gpu.as_str(), "tiny" | "gtx480" | "gtx1080ti") {
+            return Err("gpu: expected tiny | gtx480 | gtx1080ti".into());
+        }
+        let sched = match j.opt("sched")? {
+            Some(v) => match v.as_str("sched")? {
+                "lrr" => BasePolicy::Lrr,
+                "gto" => BasePolicy::Gto,
+                "cawa" => BasePolicy::Cawa,
+                _ => return Err("sched: expected lrr | gto | cawa".into()),
+            },
+            None => BasePolicy::Gto,
+        };
+        let bows = match j.opt("bows")? {
+            None => None,
+            Some(Json::Str(s)) if s == "adaptive" => {
+                Some(DelayMode::Adaptive(AdaptiveConfig::default()))
+            }
+            Some(v) => Some(DelayMode::Fixed(v.as_u64("bows")?)),
+        };
+        let ddos = match j.opt("ddos")? {
+            Some(v) => v.as_bool("ddos")?,
+            None => true,
+        };
+        let engine = match j.opt("engine")? {
+            None => None,
+            Some(v) => Some(match v.as_str("engine")? {
+                "cycle" => Engine::Cycle,
+                "skip" => Engine::Skip,
+                _ => return Err("engine: expected cycle | skip".into()),
+            }),
+        };
+        let timeout_cycles = match j.opt("timeout_cycles")? {
+            Some(v) => Some(v.as_u64("timeout_cycles")?),
+            None => None,
+        };
+        let chaos_seed = match j.opt("chaos_seed")? {
+            Some(v) => Some(v.as_u64("chaos_seed")?),
+            None => None,
+        };
+        let chaos_level = match j.opt("chaos_level")? {
+            Some(v) => {
+                let l = v.as_u64("chaos_level")?;
+                if l > 3 {
+                    return Err("chaos_level: must be 0..=3".into());
+                }
+                Some(l as u8)
+            }
+            None => None,
+        };
+        let mut dumps = Vec::new();
+        if let Some(list) = j.opt("dumps")? {
+            for d in list.as_array("dumps")? {
+                let pair = d.as_array("dumps[]")?;
+                if pair.len() != 2 {
+                    return Err("dumps[]: expected [slot, words]".into());
+                }
+                let slot = pair[0].as_u64("dumps[].slot")? as usize;
+                let words = pair[1].as_u64("dumps[].words")?;
+                if words > MAX_DUMP_WORDS {
+                    return Err(format!("dumps[].words: more than {MAX_DUMP_WORDS}"));
+                }
+                if slot >= params.len() {
+                    return Err(format!("dumps[]: slot {slot} has no parameter"));
+                }
+                dumps.push((slot, words));
+            }
+        }
+        let tenant = match j.opt("tenant")? {
+            Some(v) => v.as_str("tenant")?.to_string(),
+            None => "anon".to_string(),
+        };
+        if tenant.is_empty() || tenant.len() > 64 {
+            return Err("tenant: must be 1..=64 bytes".into());
+        }
+        let priority = match j.opt("priority")? {
+            Some(v) => {
+                let p = v.as_u64("priority")?;
+                if p > 2 {
+                    return Err("priority: must be 0..=2".into());
+                }
+                p as u8
+            }
+            None => 1,
+        };
+        Ok(SimRequest {
+            kernel,
+            ctas,
+            tpc,
+            params,
+            gpu,
+            sched,
+            bows,
+            ddos,
+            engine,
+            timeout_cycles,
+            chaos_seed,
+            chaos_level,
+            dumps,
+            tenant,
+            priority,
+        })
+    }
+
+    /// Content-address of the response this request produces.
+    ///
+    /// Every result-affecting field feeds an FNV-1a hash of a canonical
+    /// encoding. `tenant` and `priority` are deliberately excluded — they
+    /// steer scheduling, not simulation — so identical work from different
+    /// tenants shares one cache entry.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.kernel);
+        h.u64(self.ctas as u64);
+        h.u64(self.tpc as u64);
+        for p in &self.params {
+            match *p {
+                ParamSpec::Scalar(v) => {
+                    h.u64(0);
+                    h.u64(v as u64);
+                }
+                ParamSpec::Buffer { words, fill } => {
+                    h.u64(1);
+                    h.u64(words);
+                    h.u64(fill as u64);
+                }
+            }
+        }
+        h.str(&self.gpu);
+        h.u64(match self.sched {
+            BasePolicy::Lrr => 0,
+            BasePolicy::Gto => 1,
+            BasePolicy::Cawa => 2,
+        });
+        match self.bows {
+            None => h.u64(0),
+            Some(DelayMode::Fixed(c)) => {
+                h.u64(1);
+                h.u64(c);
+            }
+            Some(DelayMode::Adaptive(_)) => h.u64(2),
+        }
+        h.u64(self.ddos as u64);
+        h.u64(match self.engine {
+            None => 0,
+            Some(Engine::Cycle) => 1,
+            Some(Engine::Skip) => 2,
+        });
+        h.u64(self.timeout_cycles.map_or(u64::MAX, |t| t));
+        h.u64(self.chaos_seed.map_or(u64::MAX, |s| s));
+        h.u64(self.chaos_level.map_or(u64::MAX, |l| l as u64));
+        for &(slot, words) in &self.dumps {
+            h.u64(slot as u64);
+            h.u64(words);
+        }
+        h.finish()
+    }
+
+    /// The effective [`GpuConfig`] after preset + overrides.
+    pub fn gpu_config(&self) -> GpuConfig {
+        let mut cfg = match self.gpu.as_str() {
+            "gtx480" => GpuConfig::gtx480(),
+            "gtx1080ti" => GpuConfig::gtx1080ti(),
+            _ => GpuConfig::test_tiny(),
+        };
+        if self.chaos_seed.is_some() || self.chaos_level.is_some() {
+            let seed = self.chaos_seed.unwrap_or(1);
+            let level = self.chaos_level.unwrap_or(1);
+            cfg.mem.chaos = ChaosConfig::with_level(seed, level);
+        }
+        if let Some(t) = self.timeout_cycles {
+            cfg.max_cycles = t;
+        }
+        if let Some(e) = self.engine {
+            cfg.engine = e;
+        }
+        cfg
+    }
+}
+
+/// How one execution of a request ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Simulation completed; the rendered success body.
+    Ok(String),
+    /// Simulation failed deterministically (deadlock, device fault, cycle
+    /// limit, bad launch). Retrying is pointless; the rendered error body.
+    SimError(String),
+    /// The run's cancel token fired (deadline): retryable.
+    Cancelled,
+}
+
+/// Execute a request to completion and render the response body.
+///
+/// This is the one function both the service workers and the load
+/// generator's expected-result oracle call, so "the service returned the
+/// right bytes" is checkable by construction. The optional `cancel` token
+/// bounds wall time.
+pub fn run_request(req: &SimRequest, cancel: Option<CancelToken>) -> RunOutcome {
+    // The simulator polls the token only at forward-progress scans, which a
+    // short kernel never reaches — so honor an already-fired deadline here
+    // (e.g. an attempt delayed past its deadline before it could start).
+    if let Some(c) = &cancel {
+        if c.fired().is_some() {
+            return RunOutcome::Cancelled;
+        }
+    }
+    let kernel = match simt_isa::asm::assemble(&req.kernel) {
+        Ok(k) => k,
+        Err(e) => {
+            let body = Json::Obj(vec![(
+                "error".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str("asm_error".into())),
+                    ("message".into(), Json::Str(e.to_string())),
+                ]),
+            )])
+            .render();
+            return RunOutcome::SimError(body);
+        }
+    };
+    let cfg = req.gpu_config();
+    let mut gpu = Gpu::new(cfg);
+    if let Some(c) = cancel {
+        gpu.set_cancel_token(c);
+    }
+    let mut params = Vec::new();
+    let mut bases: Vec<Option<u64>> = Vec::new();
+    for p in &req.params {
+        match *p {
+            ParamSpec::Scalar(v) => {
+                params.push(v);
+                bases.push(None);
+            }
+            ParamSpec::Buffer { words, fill } => {
+                let base = gpu.mem_mut().gmem_mut().alloc(words);
+                if fill != 0 {
+                    for i in 0..words {
+                        gpu.mem_mut().gmem_mut().write_u32(base + i * 4, fill);
+                    }
+                }
+                params.push(base as u32);
+                bases.push(Some(base));
+            }
+        }
+    }
+    let launch = LaunchSpec {
+        grid_ctas: req.ctas,
+        threads_per_cta: req.tpc,
+        params,
+    };
+    let rotate = gpu.cfg.gto_rotate_period;
+    let warps = gpu.cfg.warps_per_sm();
+    let policy = bows::policy_factory(req.sched, req.bows, rotate);
+    let result = if req.ddos {
+        let det = bows::ddos_factory(DdosConfig::default(), warps);
+        gpu.run(&kernel, &launch, &policy, &det)
+    } else {
+        gpu.run(&kernel, &launch, &policy, &|k: &simt_isa::Kernel| {
+            Box::new(simt_core::StaticSibDetector::new(k.true_sibs.clone()))
+        })
+    };
+    match result {
+        Ok(report) => {
+            let mut dumps = Vec::new();
+            for &(slot, words) in &req.dumps {
+                if let Some(Some(base)) = bases.get(slot) {
+                    dumps.push((slot, gpu.mem().gmem().read_vec(*base, words)));
+                }
+            }
+            RunOutcome::Ok(kernel_report_json(&report, &dumps).render())
+        }
+        Err(SimError::Cancelled { .. }) => RunOutcome::Cancelled,
+        Err(e) => {
+            let body = Json::Obj(vec![("error".into(), sim_error_json(&e))]).render();
+            RunOutcome::SimError(body)
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: the same checksum family the cache uses.
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn str(&mut self, s: &str) {
+        // Length-prefix so "ab"+"c" and "a"+"bc" hash differently.
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+/// Checksum of a response body, stored beside each cache entry.
+pub fn body_checksum(body: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(body.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub const VEC_KERNEL: &str = r#"
+        .kernel inc
+        .regs 8
+        .params 1
+            ld.param r1, [0]
+            mov r2, %gtid
+            shl r2, r2, 2
+            add r1, r1, r2
+            ld.global r3, [r1]
+            add r3, r3, 1
+            st.global [r1], r3
+            exit
+    "#;
+
+    fn sample_body() -> String {
+        format!(
+            "{{\"kernel\":{},\"ctas\":1,\"tpc\":32,\
+             \"params\":[{{\"buf\":32,\"fill\":5}}],\"dumps\":[[0,4]]}}",
+            crate::json::json_string(VEC_KERNEL)
+        )
+    }
+
+    #[test]
+    fn parse_and_defaults() {
+        let r = SimRequest::from_json(&sample_body()).unwrap();
+        assert_eq!(r.ctas, 1);
+        assert_eq!(r.sched, BasePolicy::Gto);
+        assert!(r.ddos);
+        assert_eq!(r.tenant, "anon");
+        assert_eq!(r.priority, 1);
+        assert_eq!(r.dumps, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(SimRequest::from_json("not json").is_err());
+        assert!(SimRequest::from_json("{}").is_err(), "kernel required");
+        assert!(SimRequest::from_json("{\"kernel\":\"x\",\"ctas\":0}").is_err());
+        assert!(SimRequest::from_json("{\"kernel\":\"x\",\"gpu\":\"h100\"}").is_err());
+        assert!(
+            SimRequest::from_json("{\"kernel\":\"x\",\"dumps\":[[3,4]]}").is_err(),
+            "dump slot must reference a parameter"
+        );
+    }
+
+    #[test]
+    fn tenant_and_priority_do_not_change_the_key() {
+        let a = SimRequest::from_json(&sample_body()).unwrap();
+        let mut b = a.clone();
+        b.tenant = "other".into();
+        b.priority = 0;
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn result_knobs_change_the_key() {
+        let a = SimRequest::from_json(&sample_body()).unwrap();
+        for mutate in [
+            |r: &mut SimRequest| r.ctas = 2,
+            |r: &mut SimRequest| r.sched = BasePolicy::Lrr,
+            |r: &mut SimRequest| r.engine = Some(Engine::Cycle),
+            |r: &mut SimRequest| r.chaos_seed = Some(7),
+            |r: &mut SimRequest| r.kernel.push(' '),
+        ] {
+            let mut b = a.clone();
+            mutate(&mut b);
+            assert_ne!(a.cache_key(), b.cache_key());
+        }
+    }
+
+    #[test]
+    fn run_request_succeeds_and_dumps() {
+        let r = SimRequest::from_json(&sample_body()).unwrap();
+        match run_request(&r, None) {
+            RunOutcome::Ok(body) => {
+                let j = Json::parse(&body).unwrap();
+                let dumps = j.get("dumps").unwrap();
+                let d0 = dumps.get("0").unwrap().as_array("d0").unwrap();
+                assert_eq!(d0, &vec![Json::UInt(6); 4], "fill 5 incremented once");
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asm_error_is_a_sim_error_body() {
+        let r = SimRequest::from_json("{\"kernel\":\"bogus text\"}").unwrap();
+        match run_request(&r, None) {
+            RunOutcome::SimError(body) => {
+                let j = Json::parse(&body).unwrap();
+                let kind = j.get("error").unwrap().get("kind").unwrap().clone();
+                assert_eq!(kind, Json::Str("asm_error".into()));
+            }
+            other => panic!("expected SimError, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Cache-key soundness: the content-addressed result cache must never
+//! serve bytes that differ from a cold simulation of the same request, and
+//! requests that can produce different results must never share a key.
+//!
+//! The interesting case is the `Engine::Cycle` / `Engine::Skip` pair: the
+//! two engines are bit-identical by construction (the event-horizon
+//! fast-forward invariant), so their *bodies* agree — but their keys must
+//! still differ, because the cache is keyed on the request, not on a
+//! hoped-for equivalence between configurations.
+
+use simt_serve::{ServeConfig, Service, ServiceChaos, SimRequest};
+use std::time::Duration;
+
+const KERNEL: &str = ".kernel inc\n.regs 8\n.params 1\n    ld.param r1, [0]\n    mov r2, %gtid\n    shl r2, r2, 2\n    add r1, r1, r2\n    ld.global r3, [r1]\n    add r3, r3, 1\n    st.global [r1], r3\n    exit\n";
+
+fn request(engine: &str, chaos_seed: Option<u64>) -> SimRequest {
+    let chaos = chaos_seed.map_or(String::new(), |s| format!("\"chaos_seed\":{s},"));
+    let body = format!(
+        "{{\"kernel\":{},\"ctas\":2,\"tpc\":32,\"params\":[{{\"buf\":64,\"fill\":3}}],\
+         \"engine\":\"{engine}\",{chaos}\"dumps\":[[0,8]]}}",
+        simt_serve::json::json_string(KERNEL)
+    );
+    SimRequest::from_json(&body).unwrap()
+}
+
+fn quiet_service() -> Service {
+    Service::start(ServeConfig {
+        workers: 2,
+        chaos: ServiceChaos::off(),
+        ..ServeConfig::default()
+    })
+}
+
+/// Cold and cached responses are byte-identical, for both engines.
+#[test]
+fn cold_vs_cached_identical_across_engines() {
+    for engine in ["cycle", "skip"] {
+        let svc = quiet_service();
+        let req = request(engine, None);
+        let cold = svc.submit(req.clone());
+        assert_eq!(cold.status, 200, "engine {engine}");
+        assert!(!cold.cached);
+        let warm = svc.submit(req);
+        assert!(warm.cached, "second submit must hit the cache");
+        assert_eq!(
+            cold.body, warm.body,
+            "engine {engine}: cache served different bytes"
+        );
+        assert!(svc.drain(Duration::from_secs(10)));
+    }
+}
+
+/// The two engines simulate to identical bytes (the fast-forward
+/// invariant) yet never share a cache key.
+#[test]
+fn engines_agree_on_bytes_but_not_on_keys() {
+    let cycle = request("cycle", None);
+    let skip = request("skip", None);
+    assert_ne!(cycle.cache_key(), skip.cache_key());
+
+    let svc = quiet_service();
+    let a = svc.submit(cycle);
+    let b = svc.submit(skip);
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert!(!b.cached, "distinct keys must not collide into a hit");
+    assert_eq!(a.body, b.body, "engines must stay bit-identical");
+    assert!(svc.drain(Duration::from_secs(10)));
+}
+
+/// Differing memory-chaos seeds are differing simulations: distinct keys,
+/// and a warm cache for one seed never answers for another.
+#[test]
+fn chaos_seeds_never_collide() {
+    let s1 = request("skip", Some(1));
+    let s2 = request("skip", Some(2));
+    let clean = request("skip", None);
+    assert_ne!(s1.cache_key(), s2.cache_key());
+    assert_ne!(s1.cache_key(), clean.cache_key());
+
+    let svc = quiet_service();
+    let r1 = svc.submit(s1.clone());
+    let r2 = svc.submit(s2);
+    assert_eq!(r1.status, 200);
+    assert_eq!(r2.status, 200);
+    assert!(!r2.cached);
+    // Same seed replays bit-exactly — and therefore hits.
+    let replay = svc.submit(s1);
+    assert!(replay.cached);
+    assert_eq!(replay.body, r1.body);
+    assert!(svc.drain(Duration::from_secs(10)));
+}

@@ -1,0 +1,85 @@
+//! End-to-end HTTP test: boot the real server on an ephemeral port and
+//! exercise every route and status code through the real client.
+
+use simt_serve::http::client;
+use simt_serve::{HttpServer, Json, ServeConfig, Service};
+use std::sync::Arc;
+
+const GOOD_BODY: &str = r#"{"kernel":".kernel t\n.regs 8\n.params 1\n    ld.param r1, [0]\n    mov r2, %gtid\n    shl r2, r2, 2\n    add r1, r1, r2\n    ld.global r3, [r1]\n    add r3, r3, 1\n    st.global [r1], r3\n    exit\n","tpc":32,"params":[{"buf":32,"fill":7}],"dumps":[[0,4]]}"#;
+
+#[test]
+fn full_http_round_trip() {
+    let service = Arc::new(Service::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr().to_string();
+
+    // Liveness.
+    let health = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("ok"));
+
+    // Cold simulate: 200, MISS, well-formed body with the expected dump.
+    let cold = client::post(&addr, "/simulate", GOOD_BODY).unwrap();
+    assert_eq!(cold.status, 200, "body: {}", cold.body);
+    assert_eq!(cold.x_cache.as_deref(), Some("MISS"));
+    let parsed = Json::parse(&cold.body).unwrap();
+    let dump = parsed.get("dumps").unwrap().get("0").unwrap();
+    assert_eq!(
+        dump.as_array("dump").unwrap(),
+        &vec![Json::UInt(8); 4],
+        "fill 7 incremented once"
+    );
+
+    // Warm simulate: byte-identical, HIT.
+    let warm = client::post(&addr, "/simulate", GOOD_BODY).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.x_cache.as_deref(), Some("HIT"));
+    assert_eq!(warm.body, cold.body);
+
+    // Malformed JSON and invalid requests: 400 with a structured error.
+    for bad in ["{not json", "{}", r#"{"kernel":"x","gpu":"h100"}"#] {
+        let resp = client::post(&addr, "/simulate", bad).unwrap();
+        assert_eq!(resp.status, 400, "for {bad}");
+        let e = Json::parse(&resp.body).unwrap();
+        assert!(e.get("error").unwrap().get("kind").is_ok());
+    }
+
+    // A kernel the assembler rejects: structured 422.
+    let resp = client::post(&addr, "/simulate", r#"{"kernel":"garbage here"}"#).unwrap();
+    assert_eq!(resp.status, 422);
+    assert!(resp.body.contains("asm_error"), "body: {}", resp.body);
+
+    // Unknown route and wrong method.
+    assert_eq!(client::get(&addr, "/nope").unwrap().status, 404);
+    assert_eq!(client::get(&addr, "/simulate").unwrap().status, 405);
+    assert_eq!(client::post(&addr, "/healthz", "").unwrap().status, 405);
+
+    // Stats reflect the traffic.
+    let stats = client::get(&addr, "/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let s = Json::parse(&stats.body).unwrap();
+    assert!(s.get("requests").unwrap().as_u64("requests").unwrap() >= 2);
+    assert_eq!(s.get("cache_hits").unwrap().as_u64("hits").unwrap(), 1);
+
+    // Drain: health flips, new work is refused with Retry-After, but a
+    // cached result may still serve.
+    assert_eq!(client::post(&addr, "/admin/drain", "").unwrap().status, 200);
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 503);
+    let refused = client::post(
+        &addr,
+        "/simulate",
+        r#"{"kernel":".kernel t\n.regs 4\n    mov r1, 2\n    exit\n","tpc":32}"#,
+    )
+    .unwrap();
+    assert_eq!(refused.status, 503);
+    assert!(refused.retry_after.is_some(), "sheds must carry Retry-After");
+    assert!(refused.body.contains("draining"));
+    let still_cached = client::post(&addr, "/simulate", GOOD_BODY).unwrap();
+    assert_eq!(still_cached.status, 200);
+    assert_eq!(still_cached.x_cache.as_deref(), Some("HIT"));
+
+    server.stop();
+}

@@ -29,6 +29,7 @@ struct Cli {
     chaos_seed: Option<u64>,
     chaos_level: Option<u8>,
     timeout_cycles: Option<u64>,
+    timeout_wall_s: Option<f64>,
     engine: Option<Engine>,
     lint: bool,
 }
@@ -44,7 +45,8 @@ fn usage() -> ! {
          \x20            [--sched lrr|gto|cawa] [--bows <cycles>|adaptive] [--no-ddos]\n\
          \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]...\n\
          \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
-         \x20            [--timeout-cycles N] [--engine cycle|skip] [--lint]\n\
+         \x20            [--timeout-cycles N] [--timeout-wall SECS]\n\
+         \x20            [--engine cycle|skip] [--lint]\n\
          \n\
          --engine picks the main-loop time-advance strategy: `skip`\n\
          (default) fast-forwards over cycles in which nothing can issue,\n\
@@ -58,6 +60,11 @@ fn usage() -> ! {
          --timeout-cycles caps the run at N cycles (0 = unlimited),\n\
          overriding the --gpu preset's limit; a capped hang exits with a\n\
          classified hang report like any other watchdog trip.\n\
+         \n\
+         --timeout-wall caps *host* wall-clock time (fractional seconds\n\
+         allowed). On expiry the simulator exits at its next\n\
+         forward-progress scan with a structured JSON timeout error on\n\
+         stdout and exit status 3.\n\
          \n\
          --lint runs the static analyzer instead of simulating: prints\n\
          correctness diagnostics and the statically-classified spin\n\
@@ -81,6 +88,7 @@ fn parse_cli() -> Cli {
         chaos_seed: None,
         chaos_level: None,
         timeout_cycles: None,
+        timeout_wall_s: None,
         engine: None,
         lint: false,
     };
@@ -158,6 +166,14 @@ fn parse_cli() -> Cli {
                 cli.timeout_cycles = Some(
                     next(&mut args, "--timeout-cycles").parse().unwrap_or_else(|_| usage()),
                 );
+            }
+            "--timeout-wall" => {
+                let s: f64 =
+                    next(&mut args, "--timeout-wall").parse().unwrap_or_else(|_| usage());
+                if !s.is_finite() || s <= 0.0 {
+                    usage();
+                }
+                cli.timeout_wall_s = Some(s);
             }
             "--engine" => {
                 cli.engine = Some(match next(&mut args, "--engine").as_str() {
@@ -251,6 +267,11 @@ fn main() -> ExitCode {
         }
     };
     let mut gpu = Gpu::new(cli.gpu.clone());
+    if let Some(secs) = cli.timeout_wall_s {
+        gpu.set_cancel_token(simt_core::CancelToken::with_deadline(
+            std::time::Duration::from_secs_f64(secs),
+        ));
+    }
     let mut params = Vec::new();
     let mut bases: Vec<Option<u64>> = Vec::new();
     for p in &cli.params {
@@ -291,6 +312,18 @@ fn main() -> ExitCode {
         };
         match result {
             Ok(r) => r,
+            Err(e @ SimError::Cancelled { .. }) => {
+                // Structured, machine-readable timeout on stdout (the same
+                // shape the simulation service returns) and a distinct
+                // exit status, so wrappers can tell "out of wall time"
+                // from "kernel is broken".
+                let body = simt_serve::Json::Obj(vec![(
+                    "error".into(),
+                    simt_serve::json::sim_error_json(&e),
+                )]);
+                println!("{}", body.render());
+                return ExitCode::from(3);
+            }
             Err(e) => {
                 eprintln!("simulation failed: {e}");
                 if let Some(report) = e.hang_report() {
