@@ -100,24 +100,45 @@ struct Request {
     body: String,
 }
 
+/// Read one `\n`-terminated line, accumulating at most `cap` bytes. The
+/// cap is enforced *while reading*, not after: a hostile client streaming
+/// an endless line without a terminator gets an error at `cap` bytes
+/// instead of growing the buffer without bound.
+fn read_line_bounded<R: BufRead>(reader: &mut R, cap: usize) -> Result<String, String> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(|e| e.to_string())?;
+        if buf.is_empty() {
+            break; // EOF mid-line: return what arrived.
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if line.len() + take > cap {
+            return Err("headers too large".into());
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    String::from_utf8(line).map_err(|_| "header is not UTF-8".to_string())
+}
+
 fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader
-        .read_line(&mut request_line)
-        .map_err(|e| e.to_string())?;
+    let request_line = read_line_bounded(&mut reader, MAX_HEADER_BYTES)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_string();
     let path = parts.next().ok_or("missing path")?.to_string();
     let mut content_length = 0usize;
     let mut header_bytes = request_line.len();
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| e.to_string())?;
-        header_bytes += line.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err("headers too large".into());
+        let line = read_line_bounded(&mut reader, MAX_HEADER_BYTES - header_bytes)?;
+        if line.is_empty() {
+            return Err("connection closed before end of headers".into());
         }
+        header_bytes += line.len();
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             break;
@@ -248,6 +269,32 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
         _ => {
             write_response(&mut stream, 404, &error_json("not_found", "no such route"), &[]);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_line_bounded_caps_unterminated_lines() {
+        // 100 KiB with no newline: the error must fire at the cap, long
+        // before the whole stream is buffered.
+        let junk = vec![b'a'; 100_000];
+        let mut r = BufReader::new(&junk[..]);
+        assert!(read_line_bounded(&mut r, MAX_HEADER_BYTES).is_err());
+
+        let mut r = BufReader::new(&b"hello\nworld\n"[..]);
+        assert_eq!(read_line_bounded(&mut r, 16).unwrap(), "hello\n");
+        assert_eq!(read_line_bounded(&mut r, 16).unwrap(), "world\n");
+        // EOF with no data: empty line.
+        assert_eq!(read_line_bounded(&mut r, 16).unwrap(), "");
+
+        // A line exactly at the cap passes; one byte over fails.
+        let mut r = BufReader::new(&b"abcd\n"[..]);
+        assert_eq!(read_line_bounded(&mut r, 5).unwrap(), "abcd\n");
+        let mut r = BufReader::new(&b"abcd\n"[..]);
+        assert!(read_line_bounded(&mut r, 4).is_err());
     }
 }
 

@@ -27,12 +27,18 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Deepest container nesting the parser accepts. The parser is
+/// recursive-descent, so without this bound a body of ~1 MiB of `[`
+/// characters would overflow the handler thread's stack and abort the
+/// process — a malformed request must never cost more than a 400.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
 impl Json {
     /// Parse a complete JSON document (trailing garbage is an error).
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -175,11 +181,14 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(format!("nesting deeper than {MAX_PARSE_DEPTH}"));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') if b[*pos..].starts_with(b"true") => {
             *pos += 4;
@@ -198,7 +207,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     let mut out = Vec::new();
     skip_ws(b, pos);
@@ -211,7 +220,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let val = parse_value(b, pos)?;
+        let val = parse_value(b, pos, depth + 1)?;
         out.push((key, val));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -225,7 +234,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     let mut out = Vec::new();
     skip_ws(b, pos);
@@ -234,7 +243,7 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(out));
     }
     loop {
-        out.push(parse_value(b, pos)?);
+        out.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -483,6 +492,23 @@ mod tests {
         assert!(Json::parse("{\"a\":}").is_err());
         assert!(Json::parse("{} extra").is_err());
         assert!(Json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Well past any legitimate request, far under the thread stack.
+        let bombs = [
+            "[".repeat(500_000),
+            "{\"a\":".repeat(500_000),
+            format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH + 1), "]".repeat(MAX_PARSE_DEPTH + 1)),
+        ];
+        for bomb in &bombs {
+            let err = Json::parse(bomb).unwrap_err();
+            assert!(err.contains("nesting"), "got: {err}");
+        }
+        // Nesting at the bound still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

@@ -231,57 +231,65 @@ impl SimRequest {
         })
     }
 
-    /// Content-address of the response this request produces.
-    ///
-    /// Every result-affecting field feeds an FNV-1a hash of a canonical
-    /// encoding. `tenant` and `priority` are deliberately excluded — they
-    /// steer scheduling, not simulation — so identical work from different
-    /// tenants shares one cache entry.
-    pub fn cache_key(&self) -> u64 {
-        let mut h = Fnv::new();
-        h.str(&self.kernel);
-        h.u64(self.ctas as u64);
-        h.u64(self.tpc as u64);
+    /// Canonical encoding of every result-affecting field — the identity
+    /// the cache binds entries to. `tenant` and `priority` are deliberately
+    /// excluded — they steer scheduling, not simulation — so identical work
+    /// from different tenants shares one cache entry. Two requests have
+    /// equal encodings iff they produce the same response body; the kernel
+    /// is length-prefixed so no field can masquerade as another.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut c = String::with_capacity(self.kernel.len() + 128);
+        let _ = write!(c, "k={}:{};ctas={};tpc={};p=[", self.kernel.len(), self.kernel, self.ctas, self.tpc);
         for p in &self.params {
             match *p {
                 ParamSpec::Scalar(v) => {
-                    h.u64(0);
-                    h.u64(v as u64);
+                    let _ = write!(c, "s:{v},");
                 }
                 ParamSpec::Buffer { words, fill } => {
-                    h.u64(1);
-                    h.u64(words);
-                    h.u64(fill as u64);
+                    let _ = write!(c, "b:{words}:{fill},");
                 }
             }
         }
-        h.str(&self.gpu);
-        h.u64(match self.sched {
-            BasePolicy::Lrr => 0,
-            BasePolicy::Gto => 1,
-            BasePolicy::Cawa => 2,
+        let _ = write!(c, "];gpu={};sched=", self.gpu);
+        c.push_str(match self.sched {
+            BasePolicy::Lrr => "lrr",
+            BasePolicy::Gto => "gto",
+            BasePolicy::Cawa => "cawa",
         });
         match self.bows {
-            None => h.u64(0),
-            Some(DelayMode::Fixed(c)) => {
-                h.u64(1);
-                h.u64(c);
+            None => c.push_str(";bows=-"),
+            Some(DelayMode::Fixed(cycles)) => {
+                let _ = write!(c, ";bows=f:{cycles}");
             }
-            Some(DelayMode::Adaptive(_)) => h.u64(2),
+            Some(DelayMode::Adaptive(_)) => c.push_str(";bows=a"),
         }
-        h.u64(self.ddos as u64);
-        h.u64(match self.engine {
-            None => 0,
-            Some(Engine::Cycle) => 1,
-            Some(Engine::Skip) => 2,
+        let _ = write!(c, ";ddos={}", self.ddos as u8);
+        c.push_str(match self.engine {
+            None => ";engine=-",
+            Some(Engine::Cycle) => ";engine=cycle",
+            Some(Engine::Skip) => ";engine=skip",
         });
-        h.u64(self.timeout_cycles.map_or(u64::MAX, |t| t));
-        h.u64(self.chaos_seed.map_or(u64::MAX, |s| s));
-        h.u64(self.chaos_level.map_or(u64::MAX, |l| l as u64));
+        let _ = write!(
+            c,
+            ";tc={:?};cs={:?};cl={:?};dumps=[",
+            self.timeout_cycles, self.chaos_seed, self.chaos_level
+        );
         for &(slot, words) in &self.dumps {
-            h.u64(slot as u64);
-            h.u64(words);
+            let _ = write!(c, "{slot}:{words},");
         }
+        c.push(']');
+        c
+    }
+
+    /// 64-bit content-address of [`SimRequest::canonical`] — the cache's
+    /// *index*, not its identity. FNV is not collision-resistant, so the
+    /// cache stores the canonical encoding beside each entry and verifies
+    /// it on every hit; a crafted key collision degrades to a miss, never
+    /// to serving another request's body.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.canonical().as_bytes());
         h.finish()
     }
 

@@ -69,6 +69,8 @@ pub struct Response {
 struct Job {
     id: u64,
     key: u64,
+    /// Canonical request encoding: the identity cache entries bind to.
+    canon: String,
     req: SimRequest,
     reply: mpsc::Sender<Response>,
 }
@@ -129,8 +131,9 @@ impl Service {
     pub fn submit(&self, req: SimRequest) -> Response {
         let s = &self.shared;
         s.requests.fetch_add(1, Ordering::Relaxed);
+        let canon = req.canonical();
         let key = req.cache_key();
-        match s.cache.lock().unwrap().lookup(key) {
+        match s.cache.lock().unwrap().lookup(key, &canon) {
             Lookup::Hit(body) => {
                 s.ok_responses.fetch_add(1, Ordering::Relaxed);
                 return Response {
@@ -152,6 +155,7 @@ impl Service {
             Job {
                 id,
                 key,
+                canon,
                 req,
                 reply: tx,
             },
@@ -174,7 +178,10 @@ impl Service {
 
     /// Stop admitting, let queued and in-flight work finish (bounded by
     /// `timeout`), then stop the workers. Returns true on a clean drain,
-    /// false if the timeout expired with work still in flight.
+    /// false if the timeout expired with work still in flight. On a dirty
+    /// drain, jobs still queued when the workers stop are answered with a
+    /// structured 503 — a caller blocked in [`Service::submit`] always
+    /// gets a response, never a hang.
     pub fn drain(mut self, timeout: Duration) -> bool {
         let s = &self.shared;
         s.admission.lock().unwrap().start_drain();
@@ -193,13 +200,24 @@ impl Service {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers are gone; flush whatever they left queued so every
+        // blocked submitter unblocks with a structured refusal.
+        let mut adm = s.admission.lock().unwrap();
+        while let Some(ticket) = adm.take() {
+            let _ = ticket.job.reply.send(Response {
+                status: 503,
+                body: error_body("shutdown", "service stopped before this request ran"),
+                cached: false,
+                retry_after: Some(1),
+            });
+        }
         clean
     }
 
     /// Service counters as a JSON object (the `/stats` body).
     pub fn stats_json(&self) -> Json {
         let s = &self.shared;
-        let (cache_hits, cache_misses, cache_corruptions, cache_entries) =
+        let (cache_hits, cache_misses, cache_corruptions, cache_collisions, cache_entries) =
             s.cache.lock().unwrap().stats();
         let (admitted, shed_quota, shed_overload) = s.admission.lock().unwrap().stats();
         let backlog = s.admission.lock().unwrap().backlog();
@@ -237,6 +255,10 @@ impl Service {
             (
                 "cache_corruptions_detected".into(),
                 Json::UInt(cache_corruptions),
+            ),
+            (
+                "cache_key_collisions".into(),
+                Json::UInt(cache_collisions),
             ),
             ("cache_entries".into(), Json::UInt(cache_entries as u64)),
             (
@@ -313,11 +335,13 @@ fn worker_loop(s: &Shared) {
         let ticket = {
             let mut adm = s.admission.lock().unwrap();
             loop {
-                if let Some(t) = adm.take() {
-                    break Some(t);
-                }
+                // Shutdown wins over queued work: past the drain deadline
+                // the queue's survivors are answered by `drain`, not run.
                 if s.shutdown.load(Ordering::Acquire) {
                     break None;
+                }
+                if let Some(t) = adm.take() {
+                    break Some(t);
                 }
                 let (guard, _) = s
                     .work_cv
@@ -341,7 +365,7 @@ fn worker_loop(s: &Shared) {
             JobResult::Ok(body) => {
                 {
                     let mut cache = s.cache.lock().unwrap();
-                    cache.insert(job.key, body.clone());
+                    cache.insert(job.key, job.canon, body.clone());
                     if s.cfg.chaos.corrupt_insert(job.id) {
                         cache.corrupt_for_chaos(job.key);
                     }
@@ -461,6 +485,73 @@ mod tests {
             stats.get("cache_corruptions_detected").unwrap().as_u64("c").unwrap() >= 1
         );
         assert!(svc.drain(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn dirty_drain_answers_stranded_queued_jobs() {
+        // One worker, every attempt slowed 400ms: occupy the worker, queue
+        // a second job behind it, then drain with a zero timeout. The
+        // stranded job's submitter must get a structured 503, not hang.
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                queue_cap: 32,
+                tenant_quota: 32,
+                max_queue_wait_ms: u64::MAX,
+                workers: 1,
+            },
+            pool: PoolConfig {
+                max_retries: 0,
+                backoff_base_ms: 1,
+                backoff_cap_ms: 4,
+                attempt_deadline_ms: 10_000,
+                reap_grace_ms: 1_000,
+            },
+            cache_entries: 16,
+            chaos: ServiceChaos {
+                seed: 1,
+                worker_panic_ppm: 0,
+                worker_slow_ppm: 1_000_000,
+                slow_ms: 400,
+                cache_corrupt_ppm: 0,
+            },
+        });
+        let req = SimRequest::from_json(VEC_KERNEL_REQ).unwrap();
+        let offer = |id: u64| {
+            let (tx, rx) = mpsc::channel();
+            svc.shared
+                .admission
+                .lock()
+                .unwrap()
+                .offer(
+                    "t",
+                    1,
+                    Job {
+                        id,
+                        key: req.cache_key(),
+                        canon: req.canonical(),
+                        req: req.clone(),
+                        reply: tx,
+                    },
+                )
+                .map_err(|r| format!("{r:?}"))
+                .unwrap();
+            svc.shared.work_cv.notify_one();
+            rx
+        };
+        let in_flight_rx = offer(0);
+        while svc.shared.in_flight.load(Ordering::Acquire) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stranded_rx = offer(1);
+        assert!(!svc.drain(Duration::from_millis(0)), "drain must report dirty");
+        let stranded = stranded_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("stranded job must be answered, not hang");
+        assert_eq!(stranded.status, 503);
+        assert!(stranded.body.contains("shutdown"), "body: {}", stranded.body);
+        let done = in_flight_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(done.status, 200, "in-flight job still finishes");
     }
 
     #[test]

@@ -83,3 +83,41 @@ fn full_http_round_trip() {
 
     server.stop();
 }
+
+#[test]
+fn hostile_inputs_are_refused_without_killing_the_service() {
+    use std::io::{Read, Write};
+
+    let service = Arc::new(Service::start(ServeConfig::default()));
+    let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr().to_string();
+
+    // A JSON nesting bomb inside the body cap: must be a 400 from the
+    // parser's depth limit, not a parser-recursion stack overflow (which
+    // would abort the whole process).
+    let bomb = "[".repeat(600_000);
+    let resp = client::post(&addr, "/simulate", &bomb).unwrap();
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert!(resp.body.contains("nesting"), "body: {}", resp.body);
+
+    // An endless header line (no terminator): the bounded reader must cut
+    // it off at the header cap instead of buffering it forever. The
+    // server may reset the connection while we still hold unread junk, so
+    // tolerate a transport error — the service surviving is the contract.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let _ = raw.write_all(b"GET /healthz HTTP/1.1\r\nX-Junk: ");
+    let _ = raw.write_all(&vec![b'a'; 64 * 1024]);
+    let _ = raw.flush();
+    let mut out = String::new();
+    let _ = raw.read_to_string(&mut out);
+    if !out.is_empty() {
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out:?}");
+    }
+    drop(raw);
+
+    // The service survived both attacks.
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+    server.stop();
+}
