@@ -98,6 +98,13 @@ pub struct GpuConfig {
     pub capture_final_state: bool,
     /// Main-loop time-advance strategy (see [`Engine`]).
     pub engine: Engine,
+    /// Worker threads cycling SMs inside a single simulation. `0` (the
+    /// default everywhere) resolves from the `BOWS_SM_THREADS` environment
+    /// variable, falling back to `1` (serial). Any value is clamped to
+    /// `[1, num_sms]` at run time. Results are bit-identical at every
+    /// thread count (see `tests/determinism.rs`); the knob trades host
+    /// cores for wall time only.
+    pub sm_threads: usize,
 }
 
 impl GpuConfig {
@@ -122,6 +129,7 @@ impl GpuConfig {
             blocking_locks: false,
             capture_final_state: false,
             engine: Engine::default(),
+            sm_threads: 0,
         }
     }
 
@@ -147,6 +155,7 @@ impl GpuConfig {
             blocking_locks: false,
             capture_final_state: false,
             engine: Engine::default(),
+            sm_threads: 0,
         }
     }
 
@@ -171,12 +180,55 @@ impl GpuConfig {
             blocking_locks: false,
             capture_final_state: false,
             engine: Engine::default(),
+            sm_threads: 0,
         }
     }
 
     /// Warp slots per SM.
     pub fn warps_per_sm(&self) -> usize {
         self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Resolve [`GpuConfig::sm_threads`]: an explicit nonzero value wins;
+    /// `0` falls back to the `BOWS_SM_THREADS` environment variable, then
+    /// to `1` (serial). The result is always at least 1; `Gpu::run`
+    /// additionally clamps it to `num_sms`.
+    pub fn effective_sm_threads(&self) -> usize {
+        if self.sm_threads > 0 {
+            return self.sm_threads;
+        }
+        std::env::var("BOWS_SM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+
+    /// Structural sanity checks that `Gpu::run` performs before building
+    /// any hardware state. A zero in any of these fields would otherwise
+    /// panic deep inside the run loop (`sms[0]`, `units()[0]`, or a
+    /// division by `warp_size`) — reachable from a hostile `simt-serve`
+    /// request config, so it must surface as a structured error instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 {
+            return Err("num_sms must be at least 1".to_string());
+        }
+        if self.schedulers_per_sm == 0 {
+            return Err("schedulers_per_sm must be at least 1".to_string());
+        }
+        if self.warp_size == 0 {
+            return Err("warp_size must be at least 1".to_string());
+        }
+        if self.max_threads_per_sm < self.warp_size {
+            return Err(format!(
+                "max_threads_per_sm ({}) must hold at least one warp ({})",
+                self.max_threads_per_sm, self.warp_size
+            ));
+        }
+        if self.max_ctas_per_sm == 0 {
+            return Err("max_ctas_per_sm must be at least 1".to_string());
+        }
+        Ok(())
     }
 
     /// Convert a cycle count into milliseconds at the core clock.
@@ -210,5 +262,41 @@ mod tests {
     fn cycles_to_ms() {
         let c = GpuConfig::gtx480();
         assert!((c.cycles_to_ms(700_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_validate_clean() {
+        for cfg in [GpuConfig::gtx480(), GpuConfig::gtx1080ti(), GpuConfig::test_tiny()] {
+            assert!(cfg.validate().is_ok(), "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_topologies() {
+        type BreakCfg = fn(&mut GpuConfig);
+        let cases: &[(BreakCfg, &str)] = &[
+            (|c| c.num_sms = 0, "num_sms"),
+            (|c| c.schedulers_per_sm = 0, "schedulers_per_sm"),
+            (|c| c.warp_size = 0, "warp_size"),
+            (|c| c.max_threads_per_sm = 16, "max_threads_per_sm"),
+            (|c| c.max_ctas_per_sm = 0, "max_ctas_per_sm"),
+        ];
+        for (break_cfg, field) in cases {
+            let mut cfg = GpuConfig::test_tiny();
+            break_cfg(&mut cfg);
+            let err = cfg.validate().expect_err(field);
+            assert!(err.contains(field), "`{err}` should name `{field}`");
+        }
+    }
+
+    /// Explicit values win over the environment and floor at serial.
+    #[test]
+    fn sm_threads_resolution() {
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.sm_threads = 3;
+        assert_eq!(cfg.effective_sm_threads(), 3);
+        // With sm_threads = 0 the result is env-dependent but never 0.
+        cfg.sm_threads = 0;
+        assert!(cfg.effective_sm_threads() >= 1);
     }
 }

@@ -8,7 +8,7 @@ use crate::watchdog::{ProgressScan, WarpProgress, WarpSnapshot};
 use crate::{GpuConfig, SimError, SimStats};
 use simt_isa::{Inst, Kernel, Op, OpClass, Operand, Reg, Space, Special, Ty};
 use simt_mem::{
-    LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind,
+    LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind, RequestStage,
 };
 use std::collections::HashMap;
 
@@ -59,6 +59,49 @@ struct PendingMem {
     warp: usize,
     remaining: u32,
     kind: PendKind,
+}
+
+/// A global-memory touch point staged during [`Sm::cycle`] and applied by
+/// [`Sm::replay_stage`].
+///
+/// [`Sm::cycle`] has no access to the shared [`MemorySystem`] (it may be
+/// running on a worker thread), so every functional global-memory effect —
+/// a load's reads, a store's writes, an atomic's address validation — is
+/// recorded here in issue order, together with the number of coalesced
+/// requests the op pushed into the SM's [`RequestStage`]. Replaying the
+/// stages in SM-id order reproduces serial execution's global-memory
+/// access order exactly: registers are CTA-private (no SM ever reads
+/// another SM's registers), a load's destination register is
+/// scoreboard-held until the timing request completes, and the request
+/// enqueue itself is timing-only (atomics mutate memory later, at
+/// partition service).
+#[derive(Debug)]
+enum StagedOp {
+    /// `ld.global`: read each `(thread, addr)` lane and write the value to
+    /// the thread's `dst` register.
+    Load {
+        warp: usize,
+        pc: usize,
+        dst: Reg,
+        lanes: Vec<(usize, u64)>,
+        n_reqs: u32,
+    },
+    /// `st.global`: lane values were computed at issue from (CTA-private)
+    /// registers; the memory writes themselves happen at replay, stopping
+    /// at the first faulting lane exactly as at-issue execution would.
+    Store {
+        pc: usize,
+        writes: Vec<(u64, u32)>,
+        n_reqs: u32,
+    },
+    /// `atom.global`: per-lane address validation (the lane ops are applied
+    /// later inside the partition's atomic unit, which has no error path
+    /// back to the warp).
+    Atomic {
+        pc: usize,
+        addrs: Vec<u64>,
+        n_reqs: u32,
+    },
 }
 
 /// CTA-level event produced by executing an instruction.
@@ -121,6 +164,10 @@ pub struct Sm {
     issued_scratch: Vec<Option<usize>>,
     /// Per-unit scratch for the eligible-warp list (reused, never freed).
     eligible_scratch: Vec<usize>,
+    /// Global-memory ops staged this cycle, drained by [`Sm::replay_stage`].
+    staged: Vec<StagedOp>,
+    /// Coalesced requests staged this cycle, absorbed in op order.
+    stage: RequestStage,
     /// Capture CTA architectural state at retirement (differential oracle).
     capture_state: bool,
     /// Snapshots of retired CTAs, in retirement order (drained by the GPU
@@ -188,6 +235,8 @@ impl Sm {
                 .collect(),
             issued_scratch: vec![None; cfg.schedulers_per_sm],
             eligible_scratch: Vec::with_capacity(cfg.warps_per_sm()),
+            staged: Vec::new(),
+            stage: RequestStage::new(),
             capture_state: cfg.capture_final_state,
             captured: Vec::new(),
         }
@@ -241,6 +290,14 @@ impl Sm {
         ));
         self.regs_in_use += regs_needed;
         self.shared_in_use += shared_needed;
+        // Age keys are assigned as one contiguous block per CTA (base + 1
+        // + warp-in-cta), not by incrementing the counter once per warp:
+        // the keys a CTA's warps receive depend only on the counter value
+        // at launch, never on how the interleaving of per-warp increments
+        // with other bookkeeping happens to be ordered. GTO age priorities
+        // therefore come out identical however CTA retirements were
+        // discovered (serial or parallel SM cycling).
+        let base = *age_counter;
         for (wic, &ws) in free_slots.iter().enumerate() {
             let lanes = (threads - wic * 32).min(32);
             let mask = if lanes == 32 {
@@ -248,12 +305,12 @@ impl Sm {
             } else {
                 (1u32 << lanes) - 1
             };
-            *age_counter += 1;
-            self.warps[ws].launch(slot, wic, mask, *age_counter);
+            self.warps[ws].launch(slot, wic, mask, base + 1 + wic as u64);
             self.progress[ws] = WarpProgress::default();
             self.units[ws % self.num_units].on_warp_launch(ws, lctx.kernel.static_len());
             self.detector.warp_reset(ws);
         }
+        *age_counter = base + num_warps as u64;
         self.resident_version += 1;
         true
     }
@@ -320,6 +377,11 @@ impl Sm {
 
     /// Advance one cycle: writebacks, then one issue attempt per unit.
     ///
+    /// Touches no shared state: global-memory effects are staged on the SM
+    /// (see [`StagedOp`]) and applied by the caller via
+    /// [`Sm::replay_stage`] in SM-id order — which is what makes cycling
+    /// SMs on worker threads bit-identical to serial execution.
+    ///
     /// # Errors
     ///
     /// [`SimError::InternalInvariant`] when execution hits a state the
@@ -329,7 +391,6 @@ impl Sm {
         &mut self,
         now: u64,
         lctx: &LaunchCtx<'_>,
-        mem: &mut MemorySystem,
         stats: &mut SimStats,
     ) -> Result<SmCycle, SimError> {
         let mut result = SmCycle::default();
@@ -428,7 +489,7 @@ impl Sm {
             );
             stats.issued_cycles += 1;
             stats.stall_arbitration += (self.eligible_scratch.len() - 1) as u64;
-            let outcome = self.execute(w, now, lctx, mem, stats)?;
+            let outcome = self.execute(w, now, lctx, stats)?;
             result.issued += 1;
             self.issued_scratch[u] = Some(w);
             self.progress[w].on_issue(now, &outcome.info);
@@ -500,6 +561,70 @@ impl Sm {
             }
         }
         Ok(result)
+    }
+
+    /// Apply this SM's staged global-memory work to the shared memory
+    /// system, in issue order: for each staged op, perform its functional
+    /// part (a load's reads + register writes, a store's writes, an
+    /// atomic's address validation), then absorb the op's coalesced
+    /// requests. The GPU loop calls this in fixed SM-id order after every
+    /// cycle round, so memory observes exactly the access order serial
+    /// execution would have produced — including chaos-engine RNG draws,
+    /// which happen per absorbed request.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceFault`] on a wild access, from the first faulting
+    /// lane in issue order; that op's requests (and everything staged
+    /// after it) are dropped, leaving global memory exactly as at-issue
+    /// execution would have (earlier lanes of a faulting store are
+    /// already written).
+    pub fn replay_stage(&mut self, mem: &mut MemorySystem, now: u64) -> Result<(), SimError> {
+        let sm_id = self.id;
+        for op in self.staged.drain(..) {
+            match op {
+                StagedOp::Load {
+                    warp,
+                    pc,
+                    dst,
+                    lanes,
+                    n_reqs,
+                } => {
+                    let cta_slot = self.warps[warp].cta_slot;
+                    let Some(cta) = self.ctas[cta_slot].as_mut() else {
+                        return Err(invariant(format!(
+                            "sm {sm_id}: staged load for retired CTA slot {cta_slot}"
+                        )));
+                    };
+                    for (t, addr) in lanes {
+                        let v = mem
+                            .gmem()
+                            .try_read_u32(addr)
+                            .map_err(|fault| device_fault(sm_id, pc, fault))?;
+                        cta.set_reg(t, dst, v);
+                    }
+                    mem.absorb(sm_id, &mut self.stage, n_reqs as usize, now);
+                }
+                StagedOp::Store { pc, writes, n_reqs } => {
+                    for (addr, v) in writes {
+                        mem.gmem_mut()
+                            .try_write_u32(addr, v)
+                            .map_err(|fault| device_fault(sm_id, pc, fault))?;
+                    }
+                    mem.absorb(sm_id, &mut self.stage, n_reqs as usize, now);
+                }
+                StagedOp::Atomic { pc, addrs, n_reqs } => {
+                    for addr in addrs {
+                        mem.gmem()
+                            .check_addr(addr)
+                            .map_err(|fault| device_fault(sm_id, pc, fault))?;
+                    }
+                    mem.absorb(sm_id, &mut self.stage, n_reqs as usize, now);
+                }
+            }
+        }
+        debug_assert!(self.stage.is_empty(), "staged requests left unabsorbed");
+        Ok(())
     }
 
     /// Earliest future cycle (strictly after `now`) at which this SM can
@@ -602,13 +727,13 @@ impl Sm {
         }
     }
 
-    /// Functionally execute the instruction at the warp's PC.
+    /// Functionally execute the instruction at the warp's PC, staging any
+    /// global-memory effects for [`Sm::replay_stage`].
     fn execute(
         &mut self,
         w_idx: usize,
         now: u64,
         lctx: &LaunchCtx<'_>,
-        mem: &mut MemorySystem,
         stats: &mut SimStats,
     ) -> Result<ExecOutcome, SimError> {
         let (lat_int, lat_fp, lat_sfu, lat_shared) =
@@ -902,14 +1027,11 @@ impl Sm {
                     Space::Global => {
                         stats.load_inst += 1;
                         let mut accesses = Vec::with_capacity(lanes as usize);
+                        let mut stage_lanes = Vec::with_capacity(lanes as usize);
                         for lane in BitIter(exec) {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
-                            let v = mem
-                                .gmem()
-                                .try_read_u32(addr)
-                                .map_err(|fault| device_fault(sm_id, pc, fault))?;
-                            cta.set_reg(t, dst, v);
+                            stage_lanes.push((t, addr));
                             accesses.push(simt_mem::LaneAccess {
                                 lane: lane as u8,
                                 addr,
@@ -932,6 +1054,7 @@ impl Sm {
                             },
                         );
                         warp.outstanding_mem += 1;
+                        let mut n_reqs = 0u32;
                         for tx in txs {
                             let mut req = MemRequest::new(
                                 ReqKind::Load {
@@ -943,8 +1066,16 @@ impl Sm {
                             if inst.ann.sync {
                                 req = req.sync();
                             }
-                            mem.enqueue(self.id, req, now);
+                            self.stage.push(req);
+                            n_reqs += 1;
                         }
+                        self.staged.push(StagedOp::Load {
+                            warp: w_idx,
+                            pc,
+                            dst,
+                            lanes: stage_lanes,
+                            n_reqs,
+                        });
                     }
                 }
                 warp.stack.advance(pc + 1);
@@ -976,13 +1107,12 @@ impl Sm {
                     Space::Global => {
                         stats.store_inst += 1;
                         let mut accesses = Vec::with_capacity(lanes as usize);
+                        let mut writes = Vec::with_capacity(lanes as usize);
                         for lane in BitIter(exec) {
                             let t = warp.thread_of(lane);
                             let addr = mem_addr(inst, cta, t);
                             let v = val!(&inst.srcs[0], lane, t);
-                            mem.gmem_mut()
-                                .try_write_u32(addr, v)
-                                .map_err(|fault| device_fault(sm_id, pc, fault))?;
+                            writes.push((addr, v));
                             accesses.push(simt_mem::LaneAccess {
                                 lane: lane as u8,
                                 addr,
@@ -1001,13 +1131,16 @@ impl Sm {
                                 },
                             );
                             warp.outstanding_mem += 1;
+                            let mut n_reqs = 0u32;
                             for tx in txs {
                                 let mut req = MemRequest::new(ReqKind::Store, tx.line, tag);
                                 if inst.ann.sync {
                                     req = req.sync();
                                 }
-                                mem.enqueue(self.id, req, now);
+                                self.stage.push(req);
+                                n_reqs += 1;
                             }
+                            self.staged.push(StagedOp::Store { pc, writes, n_reqs });
                         }
                     }
                 }
@@ -1024,17 +1157,16 @@ impl Sm {
                     LockRole::None
                 };
                 let holder = ((self.id as u64) << 32) | w_idx as u64;
-                // Group lane ops by line, preserving lane order.
+                // Group lane ops by line, preserving lane order. Address
+                // validation is staged for replay: the lane ops are applied
+                // later inside the partition's atomic unit, which has no
+                // error path back to the warp.
                 let mut groups: Vec<(u64, Vec<LaneAtomic>)> = Vec::new();
+                let mut addrs = Vec::with_capacity(lanes as usize);
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
                     let addr = mem_addr(inst, cta, t);
-                    // Validate here, at issue: the lane ops are applied
-                    // later inside the partition's atomic unit, which has
-                    // no error path back to the warp.
-                    mem.gmem()
-                        .check_addr(addr)
-                        .map_err(|fault| device_fault(sm_id, pc, fault))?;
+                    addrs.push(addr);
                     let a = val!(&inst.srcs[0], lane, t);
                     let b = inst.srcs.get(1).map(|s| val!(s, lane, t)).unwrap_or(0);
                     let op = LaneAtomic {
@@ -1066,14 +1198,17 @@ impl Sm {
                     );
                     warp.outstanding_mem += 1;
                     let sole = groups.len() == 1;
+                    let mut n_reqs = 0u32;
                     for (line, ops) in groups {
                         let mut req = MemRequest::new(ReqKind::Atomic { ops }, line, tag);
                         req.sole = sole;
                         if inst.ann.sync {
                             req = req.sync();
                         }
-                        mem.enqueue(self.id, req, now);
+                        self.stage.push(req);
+                        n_reqs += 1;
                     }
+                    self.staged.push(StagedOp::Atomic { pc, addrs, n_reqs });
                 }
                 warp.stack.advance(pc + 1);
             }
@@ -1114,14 +1249,18 @@ impl Sm {
                 scan.spinning_or_blocked += 1;
             }
             let idle = p.idle_for(now);
+            // The reported victim is the explicit minimum warp index (the
+            // GPU-level scan then takes the lexicographic minimum over
+            // `(sm, warp)`), so attribution is a property of the machine
+            // state, not of traversal order.
             if backoff_bound > 0
                 && idle >= backoff_bound
                 && self.units[i % self.num_units].is_backed_off(i)
-                && scan.backoff_starved.is_none()
+                && scan.backoff_starved.is_none_or(|b| i < b)
             {
                 scan.backoff_starved = Some(i);
             }
-            if !blocked && idle >= starvation_bound && scan.starved.is_none() {
+            if !blocked && idle >= starvation_bound && scan.starved.is_none_or(|b| i < b) {
                 scan.starved = Some(i);
             }
         }

@@ -56,7 +56,9 @@ pub use config::MemConfig;
 pub use gmem::{GlobalMem, MemFault};
 pub use mshr::Mshr;
 pub use stats::MemStats;
-pub use system::{LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind};
+pub use system::{
+    LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind, RequestStage,
+};
 
 /// Cache line size in bytes (both L1 and L2), as in the paper's Table II.
 pub const LINE_BYTES: u64 = 128;

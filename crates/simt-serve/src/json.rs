@@ -415,6 +415,7 @@ pub fn sim_error_json(e: &SimError) -> Json {
         SimError::InternalInvariant { .. } => "internal_invariant",
         SimError::DeviceFault { .. } => "device_fault",
         SimError::Cancelled { .. } => "cancelled",
+        SimError::InvalidConfig { .. } => "invalid_config",
         _ => "sim_error",
     };
     let mut fields = vec![

@@ -23,7 +23,7 @@
 //! returned as structured errors instead.
 
 use crate::chaos::{splitmix64, ServiceChaos};
-use crate::request::{run_request, RunOutcome, SimRequest};
+use crate::request::{run_request_with, RunOutcome, SimRequest};
 use simt_core::CancelToken;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +43,12 @@ pub struct PoolConfig {
     pub attempt_deadline_ms: u64,
     /// Extra wait past the deadline before abandoning the attempt thread.
     pub reap_grace_ms: u64,
+    /// In-run SM worker threads per attempt (`0` = config default:
+    /// `BOWS_SM_THREADS`, else serial). Results are bit-identical at any
+    /// value, so this is capacity policy only — it never enters the
+    /// request's cache key. Keep `pool workers × sm_threads` within the
+    /// host's cores.
+    pub sm_threads: usize,
 }
 
 impl Default for PoolConfig {
@@ -53,6 +59,7 @@ impl Default for PoolConfig {
             backoff_cap_ms: 500,
             attempt_deadline_ms: 10_000,
             reap_grace_ms: 500,
+            sm_threads: 0,
         }
     }
 }
@@ -128,6 +135,7 @@ pub fn execute_supervised(
         let attempt_token = token.clone();
         let attempt_req = req.clone();
         let attempt_chaos = *chaos;
+        let sm_threads = cfg.sm_threads;
         std::thread::spawn(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if attempt_chaos.slow_attempt(job_id, attempt) {
@@ -136,7 +144,7 @@ pub fn execute_supervised(
                 if attempt_chaos.panic_attempt(job_id, attempt) {
                     panic!("{CHAOS_PANIC_PREFIX}injected worker panic (job {job_id})");
                 }
-                run_request(&attempt_req, Some(attempt_token))
+                run_request_with(&attempt_req, Some(attempt_token), sm_threads)
             }));
             // A dropped receiver (reaped attempt) makes this send fail;
             // the late result is deliberately discarded.
@@ -198,6 +206,7 @@ mod tests {
             backoff_cap_ms: 4,
             attempt_deadline_ms: 5_000,
             reap_grace_ms: 200,
+            sm_threads: 0,
         }
     }
 

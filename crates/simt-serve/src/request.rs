@@ -334,6 +334,19 @@ pub enum RunOutcome {
 /// right bytes" is checkable by construction. The optional `cancel` token
 /// bounds wall time.
 pub fn run_request(req: &SimRequest, cancel: Option<CancelToken>) -> RunOutcome {
+    run_request_with(req, cancel, 0)
+}
+
+/// [`run_request`] with an explicit in-run SM worker count (`0` = the
+/// config default: `BOWS_SM_THREADS`, else serial).
+///
+/// `sm_threads` is deliberately *not* part of [`SimRequest`] — simulation
+/// results are bit-identical at every worker count (enforced by the
+/// determinism suite), so it is host capacity policy, not request
+/// identity, and must not fragment the response cache. The pool sets it
+/// from [`crate::PoolConfig::sm_threads`]; the loadgen oracle runs
+/// serial and still expects byte-equal bodies.
+pub fn run_request_with(req: &SimRequest, cancel: Option<CancelToken>, sm_threads: usize) -> RunOutcome {
     // The simulator polls the token only at forward-progress scans, which a
     // short kernel never reaches — so honor an already-fired deadline here
     // (e.g. an attempt delayed past its deadline before it could start).
@@ -356,7 +369,8 @@ pub fn run_request(req: &SimRequest, cancel: Option<CancelToken>) -> RunOutcome 
             return RunOutcome::SimError(body);
         }
     };
-    let cfg = req.gpu_config();
+    let mut cfg = req.gpu_config();
+    cfg.sm_threads = sm_threads;
     let mut gpu = Gpu::new(cfg);
     if let Some(c) = cancel {
         gpu.set_cancel_token(c);

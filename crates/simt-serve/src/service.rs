@@ -441,6 +441,7 @@ mod tests {
                 backoff_cap_ms: 4,
                 attempt_deadline_ms: 10_000,
                 reap_grace_ms: 200,
+                sm_threads: 0,
             },
             cache_entries: 16,
             chaos,
@@ -506,6 +507,7 @@ mod tests {
                 backoff_cap_ms: 4,
                 attempt_deadline_ms: 10_000,
                 reap_grace_ms: 1_000,
+                sm_threads: 0,
             },
             cache_entries: 16,
             chaos: ServiceChaos {

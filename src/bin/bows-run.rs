@@ -31,6 +31,7 @@ struct Cli {
     timeout_cycles: Option<u64>,
     timeout_wall_s: Option<f64>,
     engine: Option<Engine>,
+    sm_threads: Option<usize>,
     lint: bool,
 }
 
@@ -46,11 +47,16 @@ fn usage() -> ! {
          \x20            [--gpu gtx480|gtx1080ti|tiny] [--dump I:LEN]...\n\
          \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
          \x20            [--timeout-cycles N] [--timeout-wall SECS]\n\
-         \x20            [--engine cycle|skip] [--lint]\n\
+         \x20            [--engine cycle|skip] [--sm-threads N] [--lint]\n\
          \n\
          --engine picks the main-loop time-advance strategy: `skip`\n\
          (default) fast-forwards over cycles in which nothing can issue,\n\
          `cycle` walks every cycle. Bit-identical results either way.\n\
+         \n\
+         --sm-threads runs the SMs of the simulated GPU on N host worker\n\
+         threads (default: BOWS_SM_THREADS, else 1; clamped to the SM\n\
+         count). Bit-identical results at any value — the knob trades\n\
+         host cores for wall time only.\n\
          \n\
          --chaos-seed seeds the deterministic memory fault injector\n\
          (same seed => bit-identical run); --chaos-level picks intensity\n\
@@ -90,6 +96,7 @@ fn parse_cli() -> Cli {
         timeout_cycles: None,
         timeout_wall_s: None,
         engine: None,
+        sm_threads: None,
         lint: false,
     };
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
@@ -182,6 +189,14 @@ fn parse_cli() -> Cli {
                     _ => usage(),
                 });
             }
+            "--sm-threads" => {
+                let n: usize =
+                    next(&mut args, "--sm-threads").parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                cli.sm_threads = Some(n);
+            }
             "--lint" => cli.lint = true,
             "--help" | "-h" => usage(),
             other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
@@ -204,6 +219,9 @@ fn parse_cli() -> Cli {
     }
     if let Some(e) = cli.engine {
         cli.gpu.engine = e;
+    }
+    if let Some(n) = cli.sm_threads {
+        cli.gpu.sm_threads = n;
     }
     cli
 }

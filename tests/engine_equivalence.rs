@@ -62,36 +62,54 @@ fn captured(cfg: &GpuConfig, w: &dyn Workload, cell: Cell) -> CapturedRun {
     res.unwrap_or_else(|e| panic!("{} under {}: {e:?}", w.name(), cell.label()))
 }
 
-/// Assert cycle- and skip-engine runs of one cell are indistinguishable.
+/// Assert every (engine × SM-worker-count) run of one cell is
+/// indistinguishable from the serial cycle-engine run: same cycle count,
+/// bit-equal statistics, byte-identical final memory. The worker count is
+/// a per-run `GpuConfig` knob, so the matrix needs no process-global
+/// state; 8 workers clamps to `num_sms` and exercises the
+/// one-SM-per-chunk extreme.
 fn check_cell(base_cfg: &GpuConfig, w: &dyn Workload, cell: Cell) {
     let mut cfg = base_cfg.clone();
     if let Some((seed, level)) = cell.chaos {
         cfg.mem.chaos = ChaosConfig::with_level(seed, level);
     }
     cfg.engine = Engine::Cycle;
-    let cycle = captured(&cfg, w, cell);
-    cfg.engine = Engine::Skip;
-    let skip = captured(&cfg, w, cell);
-
+    cfg.sm_threads = 1;
+    let reference = captured(&cfg, w, cell);
     let tag = format!("{} under {}", w.name(), cell.label());
-    assert_eq!(cycle.result.cycles, skip.result.cycles, "cycles diverge: {tag}");
-    assert_eq!(cycle.result.sim, skip.result.sim, "SimStats diverge: {tag}");
-    assert_eq!(cycle.result.mem, skip.result.mem, "MemStats diverge: {tag}");
-    if let Some(addr) = cycle.gmem.first_diff(&skip.gmem) {
-        panic!(
-            "final memory diverges at {addr:#x}: {tag} \
-             (cycle={:#x}, skip={:#x})",
-            cycle.gmem.read_u32(addr),
-            skip.gmem.read_u32(addr)
-        );
+    for threads in [1usize, 2, 8] {
+        for engine in [Engine::Cycle, Engine::Skip] {
+            if threads == 1 && engine == Engine::Cycle {
+                continue;
+            }
+            cfg.engine = engine;
+            cfg.sm_threads = threads;
+            let run = captured(&cfg, w, cell);
+            let at = format!("{tag} ({engine:?}, {threads} sm-threads)");
+            assert_eq!(run.result.cycles, reference.result.cycles, "cycles diverge: {at}");
+            assert_eq!(run.result.sim, reference.result.sim, "SimStats diverge: {at}");
+            assert_eq!(run.result.mem, reference.result.mem, "MemStats diverge: {at}");
+            if let Some(addr) = reference.gmem.first_diff(&run.gmem) {
+                panic!(
+                    "final memory diverges at {addr:#x}: {at} \
+                     (reference={:#x}, run={:#x})",
+                    reference.gmem.read_u32(addr),
+                    run.gmem.read_u32(addr)
+                );
+            }
+            assert_eq!(reference.gmem.image(), run.gmem.image(), "memory image: {at}");
+        }
     }
-    assert_eq!(cycle.gmem.image(), skip.gmem.image(), "memory image: {tag}");
 }
 
 /// Sweep every workload of `suite` through {BOWS off, adaptive} ×
-/// {chaos off, seeded} under one base policy.
+/// {chaos off, seeded} under one base policy. Four SMs (rather than
+/// `test_tiny`'s one) so CTAs actually spread across SMs and the
+/// multi-worker runs exercise cross-SM staging, replay order, and CTA
+/// refill.
 fn sweep(base: BasePolicy, suite: &[Box<dyn Workload>]) {
-    let cfg = GpuConfig::test_tiny();
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.num_sms = 4;
     for w in suite {
         for bows in [false, true] {
             for chaos in [None, Some((42u64, 2u8))] {
@@ -140,11 +158,23 @@ fn cawa_rodinia_suite_engines_agree() {
 // deadline, exercising the `idle_since + watchdog_cycles` clamp).
 // ---------------------------------------------------------------------
 
-/// Run a hang fixture under one engine and return its diagnosis.
-fn hang_under(engine: Engine, blocking_locks: bool, src: &str, flag_init: u32) -> (u64, HangReport) {
+/// Run a hang fixture under one engine at one SM worker count and return
+/// its diagnosis. Four CTAs on four SMs: every SM hosts a stuck warp, so
+/// hang attribution is contested and must resolve to the explicit
+/// lexicographically-least `(sm, warp)` pair regardless of engine or
+/// worker count.
+fn hang_under(
+    engine: Engine,
+    sm_threads: usize,
+    blocking_locks: bool,
+    src: &str,
+    flag_init: u32,
+) -> (u64, HangReport) {
     let kernel = assemble(src).unwrap();
     let mut cfg = GpuConfig::test_tiny();
+    cfg.num_sms = 4;
     cfg.engine = engine;
+    cfg.sm_threads = sm_threads;
     cfg.blocking_locks = blocking_locks;
     cfg.watchdog_cycles = 5_000;
     cfg.max_cycles = 100_000;
@@ -152,7 +182,7 @@ fn hang_under(engine: Engine, blocking_locks: bool, src: &str, flag_init: u32) -
     let flag = gpu.mem_mut().gmem_mut().alloc(1);
     gpu.mem_mut().gmem_mut().write_u32(flag, flag_init);
     let launch = LaunchSpec {
-        grid_ctas: 1,
+        grid_ctas: 4,
         threads_per_cta: 32,
         params: vec![flag as u32],
     };
@@ -162,9 +192,34 @@ fn hang_under(engine: Engine, blocking_locks: bool, src: &str, flag_init: u32) -
     }
 }
 
+/// Assert one hang fixture diagnoses identically — same class, same
+/// cycle, bit-equal report (including the starving `(sm, warp)` winner
+/// and the warp-snapshot order) — under both engines and every SM worker
+/// count.
+fn check_hang(blocking_locks: bool, src: &str, flag_init: u32, class: HangClass) {
+    let (ref_at, ref_report) = hang_under(Engine::Cycle, 1, blocking_locks, src, flag_init);
+    assert_eq!(ref_report.class, class);
+    for threads in [1usize, 2, 8] {
+        for engine in [Engine::Cycle, Engine::Skip] {
+            if threads == 1 && engine == Engine::Cycle {
+                continue;
+            }
+            let (at, report) = hang_under(engine, threads, blocking_locks, src, flag_init);
+            assert_eq!(
+                at, ref_at,
+                "{class:?} diagnosed at different cycles ({engine:?}, {threads} sm-threads)"
+            );
+            assert_eq!(
+                report, ref_report,
+                "{class:?} reports diverge ({engine:?}, {threads} sm-threads)"
+            );
+        }
+    }
+}
+
 #[test]
 fn spin_livelock_diagnosed_identically() {
-    // Thread 0's warp spins forever on a flag nobody sets.
+    // Every CTA's warp spins forever on a flag nobody sets.
     let src = r#"
         .kernel stuck
         .regs 8
@@ -176,19 +231,16 @@ fn spin_livelock_diagnosed_identically() {
         @p1 bra top
             exit
     "#;
-    let (cycle_at, cycle_report) = hang_under(Engine::Cycle, false, src, 0);
-    let (skip_at, skip_report) = hang_under(Engine::Skip, false, src, 0);
-    assert_eq!(cycle_report.class, HangClass::SpinLivelock);
-    assert_eq!(cycle_at, skip_at, "livelock diagnosed at different cycles");
-    assert_eq!(cycle_report, skip_report, "livelock reports diverge");
+    check_hang(false, src, 0, HangClass::SpinLivelock);
 }
 
 #[test]
 fn global_deadlock_diagnosed_identically() {
     // Every lane tries to acquire a lock that is pre-held and never
-    // released: under blocking locks the whole warp parks forever, the
+    // released: under blocking locks every warp parks forever, the
     // memory system goes quiescent, and the idle watchdog must fire at
-    // exactly `idle_since + watchdog_cycles` in both engines.
+    // exactly `idle_since + watchdog_cycles` in both engines at every
+    // worker count.
     let src = r#"
         .kernel dead
         .regs 8
@@ -197,9 +249,5 @@ fn global_deadlock_diagnosed_identically() {
             atom.global.cas r2, [r1], 0, 1 !acquire !sync
             exit
     "#;
-    let (cycle_at, cycle_report) = hang_under(Engine::Cycle, true, src, 1);
-    let (skip_at, skip_report) = hang_under(Engine::Skip, true, src, 1);
-    assert_eq!(cycle_report.class, HangClass::GlobalDeadlock);
-    assert_eq!(cycle_at, skip_at, "deadlock diagnosed at different cycles");
-    assert_eq!(cycle_report, skip_report, "deadlock reports diverge");
+    check_hang(true, src, 1, HangClass::GlobalDeadlock);
 }
