@@ -20,6 +20,7 @@ pub mod differ;
 pub mod fixture;
 pub mod fuzz;
 pub mod grid;
+pub mod mutants;
 pub mod oracle;
 
 use bows::{AdaptiveConfig, DdosConfig, DelayMode};

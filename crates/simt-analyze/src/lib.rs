@@ -20,7 +20,11 @@
 //!   dataflow with a virtual uninitialized definition at entry;
 //! * [`uniform::Uniformity`] — warp-uniformity with sync dependence;
 //! * [`sib::static_sibs`] — the spin oracle;
-//! * [`lint::lint`] — structured diagnostics (severity, pc, block, variable).
+//! * [`locks::LockAnalysis`] — lock identification and may-held locksets;
+//! * [`barrier::BarrierPhases`] — barrier intervals and separation;
+//! * [`race`] / [`lockgraph`] — race, lock-order, and deadlock lints;
+//! * [`lint::lint`] — structured diagnostics (severity, pc, block, variable,
+//!   machine-readable witness).
 //!
 //! # Example
 //!
@@ -46,16 +50,22 @@
 //! # Ok::<(), simt_isa::AsmError>(())
 //! ```
 
+pub mod barrier;
 pub mod cfgx;
 pub mod defs;
 pub mod lint;
+pub mod lockgraph;
+pub mod locks;
 pub mod loops;
+pub mod race;
 pub mod sib;
 pub mod uniform;
 
+pub use barrier::BarrierPhases;
 pub use cfgx::{BitSet, FlowGraph};
 pub use defs::{Liveness, ReachingDefs, Var};
-pub use lint::{has_errors, lint, Diagnostic, LintKind, Severity};
+pub use lint::{has_errors, lint, Diagnostic, LintKind, Severity, Witness};
+pub use locks::{Location, LockAnalysis};
 pub use loops::{natural_loops, NaturalLoop};
 pub use sib::{static_sibs, StaticSib};
 pub use uniform::Uniformity;

@@ -51,6 +51,25 @@ pub enum LintKind {
     BadTarget,
     /// The static spin oracle disagrees with the `!sib` annotation.
     SibMismatch,
+    /// Two accesses to the same shared/global word can execute concurrently
+    /// in different warps with no common lock and no separating barrier.
+    RaceUnlocked,
+    /// Like [`LintKind::RaceUnlocked`], but the accesses sit in different
+    /// barrier intervals — a barrier exists between them on *some* path yet
+    /// fails the dominance criterion, so the phases can still overlap.
+    RaceCrossPhase,
+    /// The only barrier between the racing accesses is under divergent
+    /// control, so it does not reliably separate them.
+    RaceDivergentBarrier,
+    /// A lock may still be held when the kernel exits.
+    MissingRelease,
+    /// The lock-order graph has a cycle (ABBA deadlock), or a lock may be
+    /// re-acquired while already held (self-deadlock for a spin lock).
+    LockCycle,
+    /// A divergent acquire spin loop whose release lies outside the loop:
+    /// on a reconvergence-stack machine the winning lane parks at the
+    /// reconvergence point while the losers spin — SIMT-induced deadlock.
+    SimtDeadlock,
 }
 
 impl LintKind {
@@ -63,8 +82,49 @@ impl LintKind {
             LintKind::DivergentBarrier => "divergent-barrier",
             LintKind::BadTarget => "bad-target",
             LintKind::SibMismatch => "sib-mismatch",
+            LintKind::RaceUnlocked => "data-race",
+            LintKind::RaceCrossPhase => "cross-phase-race",
+            LintKind::RaceDivergentBarrier => "divergent-barrier-race",
+            LintKind::MissingRelease => "missing-release",
+            LintKind::LockCycle => "lock-cycle",
+            LintKind::SimtDeadlock => "simt-deadlock",
         }
     }
+}
+
+/// Machine-readable evidence attached to synchronization diagnostics, for
+/// tooling (the JSON lint format, the service's 422 bodies, `race_oracle`'s
+/// static×dynamic join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// A racing access pair: the pcs, the word, and each side's may-held
+    /// lockset and barrier-interval index.
+    Race {
+        a_pc: usize,
+        b_pc: usize,
+        location: String,
+        lockset_a: Vec<String>,
+        lockset_b: Vec<String>,
+        phase_a: usize,
+        phase_b: usize,
+    },
+    /// A lock held on a path from `acquire_pc` to `exit_pc`; `path` lists
+    /// the entry pc of each block on one such path.
+    HeldAtExit {
+        lock: String,
+        acquire_pc: usize,
+        exit_pc: usize,
+        path: Vec<usize>,
+    },
+    /// A cycle in the lock-order graph as `(lock, acquire_pc)` steps; a
+    /// single entry is a self-cycle (re-acquire while held).
+    LockCycle { cycle: Vec<(String, usize)> },
+    /// An acquire spin loop that cannot release from inside itself.
+    SpinHold {
+        loop_branch_pc: usize,
+        acquire_pc: usize,
+        release_pc: Option<usize>,
+    },
 }
 
 /// One structured finding.
@@ -80,6 +140,8 @@ pub struct Diagnostic {
     pub var: Option<Var>,
     /// Human-readable explanation.
     pub message: String,
+    /// Machine-readable evidence (synchronization lints only).
+    pub witness: Option<Witness>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -123,6 +185,7 @@ pub fn lint(insts: &[Inst]) -> Vec<Diagnostic> {
                          the simulator CFG would silently treat it as fall-through",
                         insts.len()
                     ),
+                witness: None,
                 });
             }
         }
@@ -141,6 +204,7 @@ pub fn lint(insts: &[Inst]) -> Vec<Diagnostic> {
                     "block at pc {}..{} is unreachable from the kernel entry",
                     blk.start, blk.end
                 ),
+            witness: None,
             });
         }
     }
@@ -162,6 +226,7 @@ pub fn lint(insts: &[Inst]) -> Vec<Diagnostic> {
                     block: g.block_of(pc),
                     var: Some(v),
                     message: format!("{v} is read but never written on any path to here"),
+                witness: None,
                 });
             }
         }
@@ -188,6 +253,7 @@ pub fn lint(insts: &[Inst]) -> Vec<Diagnostic> {
                      every thread entering it hangs",
                     insts[l.branch_pc].target.unwrap_or(0)
                 ),
+            witness: None,
             });
         }
     }
@@ -222,6 +288,7 @@ pub fn lint(insts: &[Inst]) -> Vec<Diagnostic> {
                      lanes of one warp can disagree on reaching the barrier",
                     g.blocks[c].end - 1
                 ),
+            witness: None,
             });
         }
     }
@@ -247,11 +314,26 @@ pub fn lint(insts: &[Inst]) -> Vec<Diagnostic> {
                      but it is not annotated !sib"
                         .to_string()
                 },
+            witness: None,
             });
         }
     }
 
-    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.pc.cmp(&b.pc)));
+    // Synchronization lints: lockset/barrier-phase races, lock-order
+    // cycles, missing releases, SIMT-induced deadlock.
+    let la = crate::locks::LockAnalysis::solve(&g, insts, &rd);
+    let bp = crate::barrier::BarrierPhases::solve(&g, insts, &u);
+    out.extend(crate::race::race_lints(&g, insts, &rd, &u, &la, &bp));
+    out.extend(crate::lockgraph::lock_order_lints(&g, insts, &u, &la));
+
+    // Stable emission order: errors first, then pc, then lint name so the
+    // JSON output is byte-deterministic and cacheable.
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.pc.cmp(&b.pc))
+            .then(a.kind.name().cmp(b.kind.name()))
+    });
     out
 }
 

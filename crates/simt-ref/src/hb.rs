@@ -1,0 +1,343 @@
+//! Dynamic happens-before race checker (vector clocks).
+//!
+//! The reference interpreter is the repo's architectural ground truth, so
+//! it is also the right place to *observe* synchronization instead of
+//! guessing at it: this module maintains one vector clock per warp (the
+//! same concurrency granularity as the static race model in
+//! `simt-analyze`) and derives happens-before edges from what the kernel
+//! actually does:
+//!
+//! * any store or atomic to a word is a **release** of that word — its
+//!   clock joins into the word's sync clock (a plain store can carry a
+//!   signal: the wait-and-signal corpus kernels publish with plain `st`);
+//! * a volatile load or an atomic is an **acquire** — the word's sync
+//!   clock joins into the warp's (a spinning CAS that fails still reads
+//!   the word, which is exactly the edge that orders the winner's critical
+//!   section before the loser's);
+//! * a CTA barrier release joins the clocks of every participating warp.
+//!
+//! Races are only reported between **plain** (non-volatile, non-atomic)
+//! accesses: volatile and atomic accesses are synchronization by
+//! construction. Detection is order-independent — writes check prior
+//! reads and the prior write, reads check the prior write — so a race is
+//! caught no matter which side the fair round-robin happens to run first.
+
+use std::collections::HashMap;
+
+/// Identity of one memory word for the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WordKey {
+    /// Global memory, byte address.
+    Global(u64),
+    /// Shared memory: (CTA id, word slot).
+    Shared(usize, usize),
+}
+
+impl std::fmt::Display for WordKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WordKey::Global(a) => write!(f, "global:{a:#x}"),
+            WordKey::Shared(c, s) => write!(f, "shared:cta{c}:{s}"),
+        }
+    }
+}
+
+/// Which access pattern raced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    WriteWrite,
+    WriteRead,
+    ReadWrite,
+}
+
+/// One dynamic race observation: the earlier access `a`, the later access
+/// `b` (in observed execution order), and the word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceObs {
+    pub kind: RaceKind,
+    pub word: WordKey,
+    /// Instruction index and source line of the earlier access.
+    pub a_pc: usize,
+    pub a_line: u32,
+    /// Instruction index and source line of the later access.
+    pub b_pc: usize,
+    pub b_line: u32,
+}
+
+type Vc = Vec<u64>;
+
+/// A plain access epoch: who, at what clock value, from which instruction.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    warp: usize,
+    stamp: u64,
+    pc: usize,
+    line: u32,
+}
+
+#[derive(Default)]
+struct WordState {
+    /// Join of every releaser's clock.
+    sync: Vc,
+    /// Last plain write.
+    write: Option<Epoch>,
+    /// Last plain read per warp.
+    reads: HashMap<usize, Epoch>,
+}
+
+/// Cap on recorded observations; a hot racy loop would otherwise flood.
+const MAX_RACES: usize = 256;
+
+/// The happens-before checker for one launch.
+pub struct HbChecker {
+    warps_per_cta: usize,
+    /// Vector clocks, indexed by global warp id.
+    vc: Vec<Vc>,
+    words: HashMap<WordKey, WordState>,
+    /// Deduplicated race observations, in observation order.
+    pub races: Vec<RaceObs>,
+}
+
+fn join(into: &mut Vc, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (i, &v) in from.iter().enumerate() {
+        if into[i] < v {
+            into[i] = v;
+        }
+    }
+}
+
+impl HbChecker {
+    pub fn new(grid_ctas: usize, threads_per_cta: usize) -> HbChecker {
+        let warps_per_cta = threads_per_cta.div_ceil(32);
+        let n = grid_ctas * warps_per_cta;
+        // Each warp's own component starts at 1: epochs must compare above
+        // another warp's initial view (0) or the very first accesses would
+        // look ordered.
+        let vc = (0..n)
+            .map(|t| {
+                let mut v = vec![0; n];
+                v[t] = 1;
+                v
+            })
+            .collect();
+        HbChecker {
+            warps_per_cta,
+            vc,
+            words: HashMap::new(),
+            races: Vec::new(),
+        }
+    }
+
+    /// Global warp id of warp `w` of CTA `c`.
+    pub fn warp_id(&self, c: usize, w: usize) -> usize {
+        c * self.warps_per_cta + w
+    }
+
+    fn observe(&mut self, kind: RaceKind, word: WordKey, a: Epoch, b_pc: usize, b_line: u32) {
+        if self.races.len() >= MAX_RACES {
+            return;
+        }
+        let obs = RaceObs {
+            kind,
+            word,
+            a_pc: a.pc,
+            a_line: a.line,
+            b_pc,
+            b_line,
+        };
+        let dup = self
+            .races
+            .iter()
+            .any(|r| r.kind == obs.kind && r.a_pc == obs.a_pc && r.b_pc == obs.b_pc);
+        if !dup {
+            self.races.push(obs);
+        }
+    }
+
+    fn epoch(&self, warp: usize, pc: usize, line: u32) -> Epoch {
+        Epoch {
+            warp,
+            stamp: self.vc[warp][warp],
+            pc,
+            line,
+        }
+    }
+
+    /// Did epoch `e` happen before the current time of `warp`?
+    fn ordered(&self, e: Epoch, warp: usize) -> bool {
+        e.warp == warp || e.stamp <= self.vc[warp][e.warp]
+    }
+
+    /// A plain (non-volatile) load.
+    pub fn plain_read(&mut self, c: usize, w: usize, word: WordKey, pc: usize, line: u32) {
+        let t = self.warp_id(c, w);
+        let e = self.epoch(t, pc, line);
+        let prior = self.words.entry(word).or_default().write;
+        if let Some(pw) = prior {
+            if !self.ordered(pw, t) {
+                self.observe(RaceKind::WriteRead, word, pw, pc, line);
+            }
+        }
+        self.words.entry(word).or_default().reads.insert(t, e);
+    }
+
+    /// A plain (non-volatile) store: race-check, then release.
+    pub fn plain_write(&mut self, c: usize, w: usize, word: WordKey, pc: usize, line: u32) {
+        let t = self.warp_id(c, w);
+        let e = self.epoch(t, pc, line);
+        let st = self.words.entry(word).or_default();
+        let prior_write = st.write;
+        let prior_reads: Vec<Epoch> = st.reads.values().copied().collect();
+        if let Some(pw) = prior_write {
+            if !self.ordered(pw, t) {
+                self.observe(RaceKind::WriteWrite, word, pw, pc, line);
+            }
+        }
+        for pr in prior_reads {
+            if !self.ordered(pr, t) {
+                self.observe(RaceKind::ReadWrite, word, pr, pc, line);
+            }
+        }
+        let st = self.words.entry(word).or_default();
+        st.write = Some(e);
+        st.reads.clear();
+        self.release(c, w, word);
+    }
+
+    /// A synchronization read (volatile load, or the read half of an
+    /// atomic): the word's sync clock joins into the warp's.
+    pub fn acquire(&mut self, c: usize, w: usize, word: WordKey) {
+        let t = self.warp_id(c, w);
+        if let Some(st) = self.words.get(&word) {
+            let sync = st.sync.clone();
+            join(&mut self.vc[t], &sync);
+        }
+    }
+
+    /// A synchronization write (any store or atomic): the warp's clock
+    /// joins into the word's sync clock, then the warp's own component
+    /// advances so later events are strictly after the release.
+    pub fn release(&mut self, c: usize, w: usize, word: WordKey) {
+        let t = self.warp_id(c, w);
+        let vc = self.vc[t].clone();
+        join(&mut self.words.entry(word).or_default().sync, &vc);
+        self.vc[t][t] += 1;
+    }
+
+    /// A CTA barrier released: all participating warps join to a common
+    /// clock and each advances.
+    pub fn barrier(&mut self, c: usize, participants: &[usize]) {
+        let mut all: Vc = Vec::new();
+        for &w in participants {
+            let t = self.warp_id(c, w);
+            let vc = self.vc[t].clone();
+            join(&mut all, &vc);
+        }
+        for &w in participants {
+            let t = self.warp_id(c, w);
+            self.vc[t] = all.clone();
+            self.vc[t][t] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: WordKey = WordKey::Global(0x40);
+
+    #[test]
+    fn unordered_writes_race() {
+        let mut hb = HbChecker::new(1, 64); // two warps
+        hb.plain_write(0, 0, W, 5, 1);
+        hb.plain_write(0, 1, W, 5, 1);
+        assert_eq!(hb.races.len(), 1);
+        assert_eq!(hb.races[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn acquire_release_orders_accesses() {
+        let mut hb = HbChecker::new(1, 64);
+        let lock = WordKey::Global(0x0);
+        // Warp 0: write data, release lock. Warp 1: acquire lock, read data.
+        hb.plain_write(0, 0, W, 5, 1);
+        hb.release(0, 0, lock);
+        hb.acquire(0, 1, lock);
+        hb.plain_read(0, 1, W, 9, 2);
+        assert!(hb.races.is_empty(), "{:?}", hb.races);
+    }
+
+    #[test]
+    fn plain_store_carries_signal() {
+        // The wait-and-signal idiom: producer stores plainly, consumer
+        // volatile-loads (acquire) then reads other data.
+        let mut hb = HbChecker::new(1, 64);
+        let flag = WordKey::Global(0x0);
+        hb.plain_write(0, 0, W, 3, 1); // data
+        hb.plain_write(0, 0, flag, 4, 2); // signal (plain store = release)
+        hb.acquire(0, 1, flag); // volatile wait loop sees it
+        hb.plain_read(0, 1, W, 8, 3);
+        assert!(hb.races.is_empty(), "{:?}", hb.races);
+    }
+
+    #[test]
+    fn unsynchronized_read_races_with_write() {
+        let mut hb = HbChecker::new(1, 64);
+        hb.plain_write(0, 0, W, 5, 1);
+        hb.plain_read(0, 1, W, 9, 2);
+        assert_eq!(hb.races.len(), 1);
+        assert_eq!(hb.races[0].kind, RaceKind::WriteRead);
+        assert_eq!((hb.races[0].a_pc, hb.races[0].b_pc), (5, 9));
+    }
+
+    #[test]
+    fn read_then_unordered_write_races() {
+        let mut hb = HbChecker::new(1, 64);
+        hb.plain_read(0, 0, W, 2, 1);
+        hb.plain_write(0, 1, W, 7, 2);
+        assert_eq!(hb.races.len(), 1);
+        assert_eq!(hb.races[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let mut hb = HbChecker::new(1, 64);
+        hb.plain_write(0, 0, W, 3, 1);
+        hb.barrier(0, &[0, 1]);
+        hb.plain_read(0, 1, W, 8, 2);
+        assert!(hb.races.is_empty(), "{:?}", hb.races);
+    }
+
+    #[test]
+    fn barrier_is_cta_scoped() {
+        let mut hb = HbChecker::new(2, 32); // one warp per CTA
+        hb.plain_write(0, 0, W, 3, 1);
+        hb.barrier(0, &[0]);
+        hb.barrier(1, &[0]);
+        hb.plain_read(1, 0, W, 8, 2);
+        assert_eq!(hb.races.len(), 1, "different CTAs: no edge");
+    }
+
+    #[test]
+    fn same_warp_never_races_with_itself() {
+        let mut hb = HbChecker::new(1, 32);
+        hb.plain_write(0, 0, W, 3, 1);
+        hb.plain_read(0, 0, W, 4, 2);
+        hb.plain_write(0, 0, W, 5, 3);
+        assert!(hb.races.is_empty(), "{:?}", hb.races);
+    }
+
+    #[test]
+    fn duplicate_observations_dedup() {
+        let mut hb = HbChecker::new(1, 64);
+        for _ in 0..10 {
+            hb.plain_write(0, 0, W, 5, 1);
+            hb.plain_write(0, 1, W, 5, 1);
+        }
+        assert_eq!(hb.races.len(), 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! The functional execution loop.
 
+use crate::hb::{HbChecker, RaceObs, WordKey};
 use crate::stack::RefStack;
 use simt_isa::{Inst, Kernel, Op, Operand, Space, Special, Ty};
 use simt_mem::GlobalMem;
@@ -183,11 +184,52 @@ pub fn run_ref(
     gmem: GlobalMem,
     fuel: u64,
 ) -> Result<RefOutcome, RefError> {
+    run_ref_inner(kernel, launch, gmem, fuel, None).outcome
+}
+
+/// A reference run with the happens-before race checker attached.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The run result, exactly as [`run_ref`] would report it.
+    pub outcome: Result<RefOutcome, RefError>,
+    /// Dynamic race observations, in observation order (also populated for
+    /// failed runs — a racy kernel may race before it hangs).
+    pub races: Vec<RaceObs>,
+}
+
+/// Like [`run_ref`], but observing every shared/global access through the
+/// vector-clock happens-before checker ([`crate::hb`]).
+pub fn run_ref_traced(
+    kernel: &Kernel,
+    launch: &RefLaunch<'_>,
+    gmem: GlobalMem,
+    fuel: u64,
+) -> TracedRun {
+    run_ref_inner(
+        kernel,
+        launch,
+        gmem,
+        fuel,
+        Some(HbChecker::new(launch.grid_ctas, launch.threads_per_cta)),
+    )
+}
+
+fn run_ref_inner(
+    kernel: &Kernel,
+    launch: &RefLaunch<'_>,
+    gmem: GlobalMem,
+    fuel: u64,
+    hb: Option<HbChecker>,
+) -> TracedRun {
+    let fail = |e: RefError| TracedRun {
+        outcome: Err(e),
+        races: Vec::new(),
+    };
     if launch.grid_ctas == 0 || launch.threads_per_cta == 0 {
-        return Err(RefError::Invariant("empty grid".to_string()));
+        return fail(RefError::Invariant("empty grid".to_string()));
     }
     if launch.threads_per_cta > 1024 {
-        return Err(RefError::Invariant(format!(
+        return fail(RefError::Invariant(format!(
             "{} threads per CTA exceeds the 1024 architectural limit",
             launch.threads_per_cta
         )));
@@ -210,6 +252,7 @@ pub fn run_ref(
             .collect(),
         writers: HashMap::new(),
         steps: 0,
+        hb,
     };
 
     loop {
@@ -227,13 +270,21 @@ pub fn run_ref(
                         continue;
                     }
                 }
-                m.step(c, w)?;
+                if let Err(e) = m.step(c, w) {
+                    return TracedRun {
+                        outcome: Err(e),
+                        races: m.hb.map(|h| h.races).unwrap_or_default(),
+                    };
+                }
                 stepped = true;
                 if m.steps >= fuel {
-                    return Err(RefError::Fuel {
-                        steps: m.steps,
-                        stuck: m.stuck(),
-                    });
+                    return TracedRun {
+                        outcome: Err(RefError::Fuel {
+                            steps: m.steps,
+                            stuck: m.stuck(),
+                        }),
+                        races: m.hb.map(|h| h.races).unwrap_or_default(),
+                    };
                 }
             }
         }
@@ -241,10 +292,13 @@ pub fn run_ref(
             break;
         }
         if !stepped {
-            return Err(RefError::Invariant(format!(
-                "barrier deadlock: no warp can step, stuck at {:?}",
-                m.stuck()
-            )));
+            return TracedRun {
+                outcome: Err(RefError::Invariant(format!(
+                    "barrier deadlock: no warp can step, stuck at {:?}",
+                    m.stuck()
+                ))),
+                races: m.hb.map(|h| h.races).unwrap_or_default(),
+            };
         }
     }
 
@@ -260,12 +314,15 @@ pub fn run_ref(
             shared: c.shared.clone(),
         })
         .collect();
-    Ok(RefOutcome {
-        gmem: m.gmem,
-        ctas,
-        steps: m.steps,
-        writers: m.writers,
-    })
+    TracedRun {
+        outcome: Ok(RefOutcome {
+            gmem: m.gmem,
+            ctas,
+            steps: m.steps,
+            writers: m.writers,
+        }),
+        races: m.hb.map(|h| h.races).unwrap_or_default(),
+    }
 }
 
 struct Machine<'a> {
@@ -277,6 +334,7 @@ struct Machine<'a> {
     ctas: Vec<CtaState>,
     writers: HashMap<u64, Writer>,
     steps: u64,
+    hb: Option<HbChecker>,
 }
 
 impl Machine<'_> {
@@ -469,7 +527,7 @@ impl Machine<'_> {
                     self.ctas[c].warps_done += 1;
                     // The CTA barrier counts live warps; a warp exiting can
                     // therefore release it.
-                    self.ctas[c].release_barrier_if_full();
+                    self.release_barrier(c);
                 } else if warp.stack.pc() == pc {
                     // Guarded exit: surviving lanes fall through.
                     warp.stack.advance(pc + 1);
@@ -489,46 +547,55 @@ impl Machine<'_> {
                 warp.at_barrier = true;
                 warp.stack.advance(pc + 1);
                 self.ctas[c].barrier_arrived += 1;
-                self.ctas[c].release_barrier_if_full();
+                self.release_barrier(c);
             }
             Op::Membar => {
                 // Memory is sequentially consistent: every prior store is
                 // already visible.
                 self.ctas[c].warps[w].stack.advance(pc + 1);
             }
-            Op::Ld(space, _volatile) => {
+            Op::Ld(space, volatile) => {
                 let dst = inst.dst.expect("load dst");
                 for lane in bits(exec) {
                     let t = warp_base + lane;
                     let addr = self.addr_of(&inst, c, t);
-                    let v = match space {
+                    let (v, word) = match space {
                         Space::Param => {
                             let slot = (addr / 4) as usize;
-                            *self.params.get(slot).ok_or_else(|| {
+                            let v = *self.params.get(slot).ok_or_else(|| {
                                 self.invariant(c, pc, &format!("ld.param slot {slot} out of range"))
-                            })?
+                            })?;
+                            (v, None)
                         }
                         Space::Shared => {
                             let slot = (addr / 4) as usize;
-                            *self.ctas[c].shared.get(slot).ok_or_else(|| {
+                            let v = *self.ctas[c].shared.get(slot).ok_or_else(|| {
                                 self.invariant(c, pc, &format!("ld.shared out of bounds at {addr:#x}"))
-                            })?
+                            })?;
+                            (v, Some(WordKey::Shared(c, slot)))
                         }
                         Space::Global => {
                             self.check_global(c, pc, addr)?;
-                            self.gmem.read_u32(addr)
+                            (self.gmem.read_u32(addr), Some(WordKey::Global(addr)))
                         }
                     };
+                    if let (Some(hb), Some(word)) = (self.hb.as_mut(), word) {
+                        if volatile {
+                            hb.acquire(c, w, word);
+                        } else {
+                            hb.plain_read(c, w, word, pc, inst.line);
+                        }
+                    }
                     self.set_reg(c, t, dst, v);
                 }
                 self.ctas[c].warps[w].stack.advance(pc + 1);
             }
-            Op::St(space, _volatile) => {
+            Op::St(space, volatile) => {
                 for lane in bits(exec) {
                     let t = warp_base + lane;
                     let addr = self.addr_of(&inst, c, t);
                     let v = self.value(&inst.srcs[0], c, w, t, lane);
-                    match space {
+                    let word = match space {
                         Space::Param => {
                             return Err(self.invariant(c, pc, "store to param space"));
                         }
@@ -543,11 +610,22 @@ impl Machine<'_> {
                                 ));
                             };
                             *s = v;
+                            WordKey::Shared(c, slot)
                         }
                         Space::Global => {
                             self.check_global(c, pc, addr)?;
                             self.gmem.write_u32(addr, v);
                             self.note_writer(addr, c, w, pc, inst.line);
+                            WordKey::Global(addr)
+                        }
+                    };
+                    if let Some(hb) = self.hb.as_mut() {
+                        if volatile {
+                            // A sync store is a pure release: not a race
+                            // candidate itself.
+                            hb.release(c, w, word);
+                        } else {
+                            hb.plain_write(c, w, word, pc, inst.line);
                         }
                     }
                 }
@@ -569,12 +647,39 @@ impl Machine<'_> {
                         self.gmem.write_u32(addr, new);
                         self.note_writer(addr, c, w, pc, inst.line);
                     }
+                    if let Some(hb) = self.hb.as_mut() {
+                        // An atomic RMW is both halves of a sync edge, even
+                        // when the CAS fails: the read alone carries the
+                        // winner's release to the spinning loser.
+                        hb.acquire(c, w, WordKey::Global(addr));
+                        hb.release(c, w, WordKey::Global(addr));
+                    }
                     self.set_reg(c, t, dst, old);
                 }
                 self.ctas[c].warps[w].stack.advance(pc + 1);
             }
         }
         Ok(())
+    }
+
+    /// Release the CTA barrier if everyone arrived, recording the
+    /// happens-before join across the participating warps first.
+    fn release_barrier(&mut self, c: usize) {
+        let cta = &self.ctas[c];
+        let releasing = cta.live_warps() > 0 && cta.barrier_arrived >= cta.live_warps();
+        if releasing {
+            if let Some(hb) = self.hb.as_mut() {
+                let participants: Vec<usize> = cta
+                    .warps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, warp)| !warp.done)
+                    .map(|(i, _)| i)
+                    .collect();
+                hb.barrier(c, &participants);
+            }
+        }
+        self.ctas[c].release_barrier_if_full();
     }
 
     fn note_writer(&mut self, addr: u64, c: usize, w: usize, pc: usize, line: u32) {
@@ -865,6 +970,93 @@ mod tests {
             let expect = if t < 16 { 7 } else { 0 };
             assert_eq!(out.gmem.read_u32(buf + t * 4), expect);
         }
+    }
+
+    #[test]
+    fn traced_run_detects_unsynchronized_race() {
+        // Two warps increment the same word with plain accesses: the
+        // happens-before checker must observe the race even though the
+        // fair interleaving produces *some* final value.
+        let k = assemble(
+            r#"
+            .kernel racy
+            .regs 6
+                ld.param r1, [0]
+                ld.global r2, [r1]
+                add r2, r2, 1
+                st.global [r1], r2
+                exit
+            "#,
+        )
+        .unwrap();
+        let mut g = GlobalMem::new();
+        let ctr = g.alloc(1);
+        let (l, _) = launch(1, 64, vec![ctr as u32]);
+        let traced = run_ref_traced(&k, &l, g, 1 << 16);
+        traced.outcome.unwrap();
+        assert!(!traced.races.is_empty(), "race observed");
+    }
+
+    #[test]
+    fn traced_run_clean_on_lock_protected_counter() {
+        let k = assemble(
+            r#"
+            .kernel locked
+            .regs 10
+                ld.param r1, [0]
+                ld.param r2, [4]
+                mov r9, 0
+            SPIN:
+                atom.global.cas r3, [r1], 0, 1 !acquire
+                setp.eq.s32 p1, r3, 0
+            @!p1 bra TEST
+                ld.global r4, [r2]
+                add r4, r4, 1
+                st.global [r2], r4
+                membar
+                atom.global.exch r5, [r1], 0 !release
+                mov r9, 1
+            TEST:
+                setp.eq.s32 p2, r9, 0
+            @p2 bra SPIN !sib
+                exit
+            "#,
+        )
+        .unwrap();
+        let mut g = GlobalMem::new();
+        let lock = g.alloc(1);
+        let ctr = g.alloc(1);
+        let (l, _) = launch(1, 128, vec![lock as u32, ctr as u32]);
+        let traced = run_ref_traced(&k, &l, g, 1 << 22);
+        let out = traced.outcome.unwrap();
+        assert_eq!(out.gmem.read_u32(ctr), 128);
+        assert!(traced.races.is_empty(), "{:?}", traced.races);
+    }
+
+    #[test]
+    fn traced_run_barrier_separates_publish() {
+        // tid 0 publishes before the barrier; every warp reads after.
+        let k = assemble(
+            r#"
+            .kernel publish
+            .regs 8
+                ld.param r1, [0]
+                mov r2, %tid
+                setp.ne.s32 p0, r2, 0
+            @!p0 st.global [r1], 42
+                bar.sync
+                ld.global r3, [r1]
+                exit
+            "#,
+        )
+        .unwrap();
+        let mut g = GlobalMem::new();
+        let flag = g.alloc(1);
+        let (l, _) = launch(1, 128, vec![flag as u32]);
+        let traced = run_ref_traced(&k, &l, g, 1 << 16);
+        let out = traced.outcome.unwrap();
+        assert_eq!(out.ctas[0].reg(100, 3), 42, "read the published value");
+        assert!(traced.races.is_empty(), "{:?}", traced.races);
     }
 
     #[test]

@@ -64,8 +64,10 @@
 //! # Ok::<(), simt_isa::AsmError>(())
 //! ```
 
+pub mod hb;
 mod interp;
 mod stack;
 
-pub use interp::{run_ref, RefCta, RefError, RefLaunch, RefOutcome, Writer};
+pub use hb::{HbChecker, RaceKind, RaceObs, WordKey};
+pub use interp::{run_ref, run_ref_traced, RefCta, RefError, RefLaunch, RefOutcome, TracedRun, Writer};
 pub use stack::RefStack;

@@ -428,6 +428,120 @@ pub fn sim_error_json(e: &SimError) -> Json {
     obj(fields)
 }
 
+/// A lint [`Witness`](simt_analyze::Witness) as a tagged JSON object: the
+/// machine-readable evidence behind a diagnostic (the racing instruction
+/// pair and its locksets, the leaked lock and a path to the exit, the
+/// lock cycle, or the spin/acquire structure of a SIMT deadlock).
+pub fn witness_json(w: &simt_analyze::Witness) -> Json {
+    use simt_analyze::Witness;
+    match w {
+        Witness::Race {
+            a_pc,
+            b_pc,
+            location,
+            lockset_a,
+            lockset_b,
+            phase_a,
+            phase_b,
+        } => obj(vec![
+            ("type", Json::Str("race".into())),
+            ("a_pc", Json::UInt(*a_pc as u64)),
+            ("b_pc", Json::UInt(*b_pc as u64)),
+            ("location", Json::Str(location.clone())),
+            (
+                "lockset_a",
+                Json::Arr(lockset_a.iter().map(|l| Json::Str(l.clone())).collect()),
+            ),
+            (
+                "lockset_b",
+                Json::Arr(lockset_b.iter().map(|l| Json::Str(l.clone())).collect()),
+            ),
+            ("phase_a", Json::UInt(*phase_a as u64)),
+            ("phase_b", Json::UInt(*phase_b as u64)),
+        ]),
+        Witness::HeldAtExit {
+            lock,
+            acquire_pc,
+            exit_pc,
+            path,
+        } => obj(vec![
+            ("type", Json::Str("held-at-exit".into())),
+            ("lock", Json::Str(lock.clone())),
+            ("acquire_pc", Json::UInt(*acquire_pc as u64)),
+            ("exit_pc", Json::UInt(*exit_pc as u64)),
+            (
+                "path",
+                Json::Arr(path.iter().map(|&pc| Json::UInt(pc as u64)).collect()),
+            ),
+        ]),
+        Witness::LockCycle { cycle } => obj(vec![
+            ("type", Json::Str("lock-cycle".into())),
+            (
+                "cycle",
+                Json::Arr(
+                    cycle
+                        .iter()
+                        .map(|(lock, pc)| {
+                            obj(vec![
+                                ("lock", Json::Str(lock.clone())),
+                                ("acquire_pc", Json::UInt(*pc as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Witness::SpinHold {
+            loop_branch_pc,
+            acquire_pc,
+            release_pc,
+        } => obj(vec![
+            ("type", Json::Str("spin-hold".into())),
+            ("loop_branch_pc", Json::UInt(*loop_branch_pc as u64)),
+            ("acquire_pc", Json::UInt(*acquire_pc as u64)),
+            (
+                "release_pc",
+                match release_pc {
+                    Some(pc) => Json::UInt(*pc as u64),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    }
+}
+
+/// One lint [`Diagnostic`](simt_analyze::Diagnostic) as a JSON object.
+/// `line` is the kernel source line of the flagged instruction (0 when
+/// unknown). This is the one wire format for diagnostics: `bows-run
+/// --lint --format json`, the service's pre-admission 422 body, and CI all
+/// consume it.
+pub fn diagnostic_json(d: &simt_analyze::Diagnostic, line: u32) -> Json {
+    let mut fields = vec![
+        ("severity", Json::Str(d.severity.to_string())),
+        ("lint", Json::Str(d.kind.name().to_string())),
+        ("pc", Json::UInt(d.pc as u64)),
+        ("block", Json::UInt(d.block as u64)),
+        ("line", Json::UInt(u64::from(line))),
+        ("message", Json::Str(d.message.clone())),
+    ];
+    if let Some(w) = &d.witness {
+        fields.push(("witness", witness_json(w)));
+    }
+    obj(fields)
+}
+
+/// All diagnostics of an analysis, with source lines resolved from the
+/// instruction stream. Order is the analyzer's deterministic
+/// (severity, pc, lint) order, so the rendered array is byte-stable.
+pub fn diagnostics_json(insts: &[simt_isa::Inst], diags: &[simt_analyze::Diagnostic]) -> Json {
+    Json::Arr(
+        diags
+            .iter()
+            .map(|d| diagnostic_json(d, insts.get(d.pc).map_or(0, |i| i.line)))
+            .collect(),
+    )
+}
+
 /// A successful [`KernelReport`] as a JSON object. `dumps` carries the
 /// requested post-run buffer dumps keyed by parameter slot.
 pub fn kernel_report_json(r: &KernelReport, dumps: &[(usize, Vec<u32>)]) -> Json {

@@ -83,6 +83,7 @@ struct Shared {
     pool_counters: PoolCounters,
     requests: AtomicU64,
     ok_responses: AtomicU64,
+    lint_rejections: AtomicU64,
     sim_errors: AtomicU64,
     terminal_timeouts: AtomicU64,
     terminal_crashes: AtomicU64,
@@ -109,6 +110,7 @@ impl Service {
             pool_counters: PoolCounters::default(),
             requests: AtomicU64::new(0),
             ok_responses: AtomicU64::new(0),
+            lint_rejections: AtomicU64::new(0),
             sim_errors: AtomicU64::new(0),
             terminal_timeouts: AtomicU64::new(0),
             terminal_crashes: AtomicU64::new(0),
@@ -144,6 +146,23 @@ impl Service {
                 };
             }
             Lookup::Miss | Lookup::Corrupt => {}
+        }
+        // Pre-admission lint: a kernel the static analyzer proves wrong —
+        // racy, deadlocking, or reading garbage — is refused before it can
+        // occupy a queue slot or a worker. Only assemblable kernels are
+        // linted; an unassemblable one falls through to the worker's
+        // structured `asm_error` 422 path unchanged.
+        if let Ok(raw) = simt_isa::asm::assemble_raw(&req.kernel) {
+            let analysis = simt_analyze::analyze_insts(&raw.insts);
+            if analysis.has_errors() {
+                s.lint_rejections.fetch_add(1, Ordering::Relaxed);
+                return Response {
+                    status: 422,
+                    body: lint_reject_body(&raw.insts, &analysis.diagnostics),
+                    cached: false,
+                    retry_after: None,
+                };
+            }
         }
         let id = s.job_seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -235,6 +254,10 @@ impl Service {
                 Json::UInt(s.sim_errors.load(Ordering::Relaxed)),
             ),
             (
+                "lint_rejections".into(),
+                Json::UInt(s.lint_rejections.load(Ordering::Relaxed)),
+            ),
+            (
                 "terminal_timeouts".into(),
                 Json::UInt(s.terminal_timeouts.load(Ordering::Relaxed)),
             ),
@@ -294,6 +317,30 @@ impl Service {
     pub fn draining(&self) -> bool {
         self.shared.admission.lock().unwrap().draining()
     }
+}
+
+/// The 422 body for a statically-rejected kernel: the standard error
+/// envelope plus the full diagnostic list (with machine-readable
+/// witnesses) in the same wire format as `bows-run --lint --format json`.
+fn lint_reject_body(insts: &[simt_isa::Inst], diags: &[simt_analyze::Diagnostic]) -> String {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("lint_rejected".into())),
+            (
+                "message".into(),
+                Json::Str(
+                    "kernel rejected by static analysis: it provably races or cannot terminate"
+                        .into(),
+                ),
+            ),
+            (
+                "diagnostics".into(),
+                crate::json::diagnostics_json(insts, diags),
+            ),
+        ]),
+    )])
+    .render()
 }
 
 fn error_body(kind: &str, message: &str) -> String {

@@ -121,3 +121,77 @@ fn hostile_inputs_are_refused_without_killing_the_service() {
     assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
     server.stop();
 }
+
+/// The pre-admission lint: a kernel the static analyzer proves racy or
+/// deadlocking is refused with a structured 422 carrying the full
+/// diagnostic list and its machine-readable witness, before any worker
+/// or queue slot is spent. Clean fixtures pass through untouched.
+#[test]
+fn racy_kernels_are_rejected_with_a_structured_422() {
+    let service = Arc::new(Service::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut rejected = 0u64;
+    for f in workloads::racy::RACY_FIXTURES.iter().filter(|f| f.is_bad()) {
+        let body = Json::Obj(vec![
+            ("kernel".into(), Json::Str(f.source.into())),
+            ("tpc".into(), Json::UInt(32)),
+        ])
+        .render();
+        let resp = client::post(&addr, "/simulate", &body).unwrap();
+        assert_eq!(resp.status, 422, "{}: body {}", f.name, resp.body);
+        let parsed = Json::parse(&resp.body).unwrap();
+        let err = parsed.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").unwrap().as_str("kind").unwrap(),
+            "lint_rejected",
+            "{}",
+            f.name
+        );
+        let diags = err.get("diagnostics").unwrap().as_array("diagnostics").unwrap();
+        let mut names: Vec<&str> = diags
+            .iter()
+            .map(|d| d.get("lint").unwrap().as_str("lint").unwrap())
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, f.expected_lints, "{}: exact diagnostic set", f.name);
+        // Every race/deadlock-class diagnostic carries a machine-readable
+        // witness (pre-existing structural lints like divergent-barrier
+        // don't have one).
+        let witnessed = [
+            "data-race",
+            "cross-phase-race",
+            "divergent-barrier-race",
+            "missing-release",
+            "lock-cycle",
+            "simt-deadlock",
+        ];
+        for d in diags {
+            let lint = d.get("lint").unwrap().as_str("lint").unwrap();
+            if witnessed.contains(&lint) {
+                assert!(
+                    d.get("witness").is_ok(),
+                    "{}: {lint} diagnostic lacks a witness\nbody: {}",
+                    f.name,
+                    resp.body
+                );
+            }
+        }
+        rejected += 1;
+    }
+
+    // The rejections are counted, and none of them reached a worker.
+    let stats = client::get(&addr, "/stats").unwrap();
+    let s = Json::parse(&stats.body).unwrap();
+    assert_eq!(
+        s.get("lint_rejections").unwrap().as_u64("lint_rejections").unwrap(),
+        rejected
+    );
+    assert_eq!(s.get("admitted").unwrap().as_u64("admitted").unwrap(), 0);
+
+    server.stop();
+}

@@ -17,6 +17,7 @@
 //! scheduler/detector bugs that break mutual exclusion are caught, not
 //! averaged away.
 
+pub mod racy;
 pub mod rodinia;
 pub mod sync;
 mod util;

@@ -1,0 +1,65 @@
+//! Annotated racy/deadlocking fixtures: the committed `.s` sources under
+//! `tests/fixtures/race/` paired with the exact diagnostic set the static
+//! analyzer must report for each. One index, three consumers — the
+//! `race_lint` end-to-end tests, the service's pre-admission-rejection
+//! test, and anyone who needs a known-bad kernel with a known verdict.
+
+/// One annotated fixture.
+pub struct RacyFixture {
+    /// Kernel name (matches the `.kernel` directive and the file stem).
+    pub name: &'static str,
+    /// Full assembler source.
+    pub source: &'static str,
+    /// Exact expected lint-name set (sorted), all error severity. Empty
+    /// means the fixture must lint clean — the false-positive guards.
+    pub expected_lints: &'static [&'static str],
+}
+
+impl RacyFixture {
+    /// Does the analyzer have to reject this kernel?
+    pub fn is_bad(&self) -> bool {
+        !self.expected_lints.is_empty()
+    }
+}
+
+/// The committed corpus, clean guards first.
+pub const RACY_FIXTURES: &[RacyFixture] = &[
+    RacyFixture {
+        name: "clean_two_locks",
+        source: include_str!("../../../tests/fixtures/race/clean_two_locks.s"),
+        expected_lints: &[],
+    },
+    RacyFixture {
+        name: "benign_same_lock",
+        source: include_str!("../../../tests/fixtures/race/benign_same_lock.s"),
+        expected_lints: &[],
+    },
+    RacyFixture {
+        name: "abba",
+        source: include_str!("../../../tests/fixtures/race/abba.s"),
+        expected_lints: &["lock-cycle"],
+    },
+    RacyFixture {
+        name: "missing_release",
+        source: include_str!("../../../tests/fixtures/race/missing_release.s"),
+        expected_lints: &["lock-cycle", "missing-release", "simt-deadlock"],
+    },
+    RacyFixture {
+        name: "divergent_barrier_race",
+        source: include_str!("../../../tests/fixtures/race/divergent_barrier_race.s"),
+        expected_lints: &["divergent-barrier", "divergent-barrier-race"],
+    },
+    RacyFixture {
+        name: "cross_phase_race",
+        source: include_str!("../../../tests/fixtures/race/cross_phase_race.s"),
+        expected_lints: &["cross-phase-race"],
+    },
+];
+
+/// Look one up by name.
+pub fn fixture(name: &str) -> &'static RacyFixture {
+    RACY_FIXTURES
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("no racy fixture named {name}"))
+}

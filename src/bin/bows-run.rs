@@ -33,6 +33,7 @@ struct Cli {
     engine: Option<Engine>,
     sm_threads: Option<usize>,
     lint: bool,
+    format_json: bool,
 }
 
 enum ParamSpec {
@@ -48,6 +49,7 @@ fn usage() -> ! {
          \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
          \x20            [--timeout-cycles N] [--timeout-wall SECS]\n\
          \x20            [--engine cycle|skip] [--sm-threads N] [--lint]\n\
+         \x20            [--format human|json]\n\
          \n\
          --engine picks the main-loop time-advance strategy: `skip`\n\
          (default) fast-forwards over cycles in which nothing can issue,\n\
@@ -74,7 +76,11 @@ fn usage() -> ! {
          \n\
          --lint runs the static analyzer instead of simulating: prints\n\
          correctness diagnostics and the statically-classified spin\n\
-         branches, exits 2 when any error-severity diagnostic fires."
+         branches, exits 2 when any error-severity diagnostic fires.\n\
+         --format json emits the diagnostics as one structured JSON\n\
+         object (severity, lint name, pc/line span, machine-readable\n\
+         witness) — the same payload the service's pre-admission lint\n\
+         returns in its 422 bodies."
     );
     std::process::exit(2);
 }
@@ -98,6 +104,7 @@ fn parse_cli() -> Cli {
         engine: None,
         sm_threads: None,
         lint: false,
+        format_json: false,
     };
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -198,6 +205,11 @@ fn parse_cli() -> Cli {
                 cli.sm_threads = Some(n);
             }
             "--lint" => cli.lint = true,
+            "--format" => match next(&mut args, "--format").as_str() {
+                "human" => cli.format_json = false,
+                "json" => cli.format_json = true,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other if cli.kernel_path.is_empty() && !other.starts_with('-') => {
                 cli.kernel_path = other.to_string();
@@ -234,7 +246,7 @@ fn parse_cli() -> Cli {
 /// the static spin-branch classification; exits 2 when any error-severity
 /// diagnostic fires (mirroring the usage exit so scripts can distinguish
 /// "kernel is broken" from "simulation failed").
-fn lint_file(path: &str, src: &str) -> ExitCode {
+fn lint_file(path: &str, src: &str, as_json: bool) -> ExitCode {
     let raw = match simt_isa::asm::assemble_raw(src) {
         Ok(r) => r,
         Err(e) => {
@@ -243,6 +255,33 @@ fn lint_file(path: &str, src: &str) -> ExitCode {
         }
     };
     let analysis = simt_analyze::analyze_insts(&raw.insts);
+    if as_json {
+        use simt_serve::json::{diagnostics_json, Json};
+        let doc = Json::Obj(vec![
+            ("kernel".into(), Json::Str(raw.name.clone())),
+            ("instructions".into(), Json::UInt(raw.insts.len() as u64)),
+            (
+                "sibs".into(),
+                Json::Arr(
+                    analysis
+                        .sibs
+                        .iter()
+                        .map(|s| Json::UInt(s.branch_pc as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "diagnostics".into(),
+                diagnostics_json(&raw.insts, &analysis.diagnostics),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return if analysis.has_errors() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     println!("kernel      : {} ({} instructions)", raw.name, raw.insts.len());
     if analysis.sibs.is_empty() {
         println!("spin loops  : none");
@@ -275,7 +314,7 @@ fn main() -> ExitCode {
         }
     };
     if cli.lint {
-        return lint_file(&cli.kernel_path, &src);
+        return lint_file(&cli.kernel_path, &src, cli.format_json);
     }
     let kernel = match assemble(&src) {
         Ok(k) => k,

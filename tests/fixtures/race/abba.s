@@ -1,0 +1,53 @@
+; ABBA deadlock: the first critical section nests A then B, the second
+; nests B then A. Consistent within each section, so it runs fine in most
+; schedules — but two warps in different sections can each hold one lock
+; and wait for the other. Expected: lock-cycle (error).
+; params: [0]=lock A, [4]=lock B, [8]=data word
+.kernel abba
+.regs 12
+    ld.param r1, [0]
+    ld.param r2, [4]
+    ld.param r3, [8]
+    mov r9, 0
+CS1:
+    atom.global.cas r4, [r1], 0, 1 !acquire
+    setp.eq.s32 p1, r4, 0
+@!p1 bra RET1
+    atom.global.cas r5, [r2], 0, 1 !acquire
+    setp.eq.s32 p2, r5, 0
+@!p2 bra REL1
+    ld.global r6, [r3]
+    add r6, r6, 1
+    st.global [r3], r6
+    membar
+    atom.global.exch r7, [r2], 0 !release
+    atom.global.exch r8, [r1], 0 !release
+    mov r9, 1
+    bra RET1
+REL1:
+    atom.global.exch r8, [r1], 0 !release
+RET1:
+    setp.eq.s32 p3, r9, 0
+@p3 bra CS1 !sib
+    mov r9, 0
+CS2:
+    atom.global.cas r4, [r2], 0, 1 !acquire
+    setp.eq.s32 p1, r4, 0
+@!p1 bra RET2
+    atom.global.cas r5, [r1], 0, 1 !acquire
+    setp.eq.s32 p2, r5, 0
+@!p2 bra REL2
+    ld.global r6, [r3]
+    add r6, r6, 2
+    st.global [r3], r6
+    membar
+    atom.global.exch r7, [r1], 0 !release
+    atom.global.exch r8, [r2], 0 !release
+    mov r9, 1
+    bra RET2
+REL2:
+    atom.global.exch r8, [r2], 0 !release
+RET2:
+    setp.eq.s32 p3, r9, 0
+@p3 bra CS2 !sib
+    exit

@@ -1,0 +1,37 @@
+; Benign contention: two separate critical sections touch the same data
+; word, but both hold the same lock, so every cross-warp interleaving is
+; ordered by the lock. Lints clean.
+; params: [0]=lock, [4]=data word
+.kernel benign_same_lock
+.regs 10
+    ld.param r1, [0]
+    ld.param r2, [4]
+    mov r9, 0
+CS1:
+    atom.global.cas r3, [r1], 0, 1 !acquire
+    setp.eq.s32 p1, r3, 0
+@!p1 bra RET1
+    ld.global r4, [r2]
+    add r4, r4, 1
+    st.global [r2], r4
+    membar
+    atom.global.exch r5, [r1], 0 !release
+    mov r9, 1
+RET1:
+    setp.eq.s32 p2, r9, 0
+@p2 bra CS1 !sib
+    mov r9, 0
+CS2:
+    atom.global.cas r3, [r1], 0, 1 !acquire
+    setp.eq.s32 p1, r3, 0
+@!p1 bra RET2
+    ld.global r4, [r2]
+    add r4, r4, 2
+    st.global [r2], r4
+    membar
+    atom.global.exch r5, [r1], 0 !release
+    mov r9, 1
+RET2:
+    setp.eq.s32 p2, r9, 0
+@p2 bra CS2 !sib
+    exit

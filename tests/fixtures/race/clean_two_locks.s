@@ -1,0 +1,58 @@
+; Correct two-lock kernel: both critical sections take A then B, release
+; in reverse order on every path, and the tid==0 publish is separated
+; from the consumer loads by a uniform bar.sync. Lints clean.
+; params: [0]=lock A, [4]=lock B, [8]=data word, [12]=flag word
+.kernel clean_two_locks
+.regs 12
+    ld.param r1, [0]
+    ld.param r2, [4]
+    ld.param r3, [8]
+    ld.param r10, [12]
+    mov r9, 0
+CS1:
+    atom.global.cas r4, [r1], 0, 1 !acquire
+    setp.eq.s32 p1, r4, 0
+@!p1 bra RET1
+    atom.global.cas r5, [r2], 0, 1 !acquire
+    setp.eq.s32 p2, r5, 0
+@!p2 bra REL1
+    ld.global r6, [r3]
+    add r6, r6, 1
+    st.global [r3], r6
+    membar
+    atom.global.exch r7, [r2], 0 !release
+    atom.global.exch r8, [r1], 0 !release
+    mov r9, 1
+    bra RET1
+REL1:
+    atom.global.exch r8, [r1], 0 !release
+RET1:
+    setp.eq.s32 p3, r9, 0
+@p3 bra CS1 !sib
+    mov r11, %tid
+    setp.ne.s32 p4, r11, 0
+@!p4 st.global [r10], 7
+    bar.sync
+    ld.global r6, [r10]
+    mov r9, 0
+CS2:
+    atom.global.cas r4, [r1], 0, 1 !acquire
+    setp.eq.s32 p1, r4, 0
+@!p1 bra RET2
+    atom.global.cas r5, [r2], 0, 1 !acquire
+    setp.eq.s32 p2, r5, 0
+@!p2 bra REL2
+    ld.global r6, [r3]
+    add r6, r6, 1
+    st.global [r3], r6
+    membar
+    atom.global.exch r7, [r2], 0 !release
+    atom.global.exch r8, [r1], 0 !release
+    mov r9, 1
+    bra RET2
+REL2:
+    atom.global.exch r8, [r1], 0 !release
+RET2:
+    setp.eq.s32 p3, r9, 0
+@p3 bra CS2 !sib
+    exit

@@ -1,0 +1,18 @@
+; The barrier that should order the tid==0 publish against the consumer
+; load is skipped on a uniform (per-CTA) fast path: the accesses sit in
+; different barrier phases, but no barrier separates them on every path.
+; Expected: cross-phase-race (error).
+; params: [0]=flag word
+.kernel cross_phase_race
+.regs 8
+    ld.param r1, [0]
+    mov r2, %ctaid
+    setp.eq.s32 p0, r2, 0
+    mov r3, %tid
+    setp.ne.s32 p1, r3, 0
+@!p1 st.global [r1], 1
+@p0 bra DONE
+    bar.sync
+    ld.global r4, [r1]
+DONE:
+    exit

@@ -1,0 +1,17 @@
+; The publish/consume pair is "separated" only by a barrier that sits
+; under divergent control: tid 0 publishes and is also the only lane that
+; reaches the bar.sync, so the barrier orders nothing. Expected:
+; divergent-barrier (the structural lint) and divergent-barrier-race (the
+; race it fails to prevent). Both errors.
+; params: [0]=flag word
+.kernel divergent_barrier_race
+.regs 8
+    ld.param r1, [0]
+    mov r2, %tid
+    setp.ne.s32 p0, r2, 0
+@!p0 st.global [r1], 1
+@p0 bra SKIP
+    bar.sync
+SKIP:
+    ld.global r3, [r1]
+    exit

@@ -1,0 +1,24 @@
+; A spin-acquired lock that is never released: the winner leaks the lock
+; at exit, every later acquirer spins forever. Expected: missing-release,
+; plus the two ways the same leak reads in the lock graph — lock-cycle
+; (the loop back edge re-acquires a held lock) and simt-deadlock (a
+; divergent spin loop with no release inside it). All errors.
+; params: [0]=lock, [4]=data word
+.kernel missing_release
+.regs 10
+    ld.param r1, [0]
+    ld.param r2, [4]
+    mov r9, 0
+SPIN:
+    atom.global.cas r3, [r1], 0, 1 !acquire
+    setp.eq.s32 p1, r3, 0
+@!p1 bra TEST
+    ld.global r4, [r2]
+    add r4, r4, 1
+    st.global [r2], r4
+    membar
+    mov r9, 1
+TEST:
+    setp.eq.s32 p2, r9, 0
+@p2 bra SPIN !sib
+    exit
