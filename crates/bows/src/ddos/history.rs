@@ -112,6 +112,62 @@ impl WarpHistory {
         self.insert(rec);
     }
 
+    /// Serialize the dynamic detector state — records newest-first, the
+    /// match pointer, confirmation countdown, and spinning flag (checkpoint
+    /// support). Hash scheme and register geometry are construction-time.
+    pub fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.records.len());
+        for r in &self.records {
+            w.u16(r.path);
+            w.u16(r.vals[0]);
+            w.u16(r.vals[1]);
+        }
+        w.usize(self.match_pointer);
+        match self.remaining {
+            Some(n) => {
+                w.bool(true);
+                w.u32(n);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.spinning);
+    }
+
+    /// Restore state written by [`WarpHistory::save_snap`] into a history
+    /// with the same construction parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`simt_snap::SnapshotError`] on truncated/corrupt bytes or a record
+    /// count exceeding this history's register length.
+    pub fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let n = r.len(6)?;
+        if n > self.capacity {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "warp history holds {n} records, registers hold {}",
+                self.capacity
+            )));
+        }
+        let mut records = VecDeque::with_capacity(self.capacity);
+        for _ in 0..n {
+            records.push_back(Record {
+                path: r.u16()?,
+                vals: [r.u16()?, r.u16()?],
+            });
+        }
+        let match_pointer = r.usize()?;
+        let remaining = if r.bool()? { Some(r.u32()?) } else { None };
+        let spinning = r.bool()?;
+        self.records = records;
+        self.match_pointer = match_pointer;
+        self.remaining = remaining;
+        self.spinning = spinning;
+        Ok(())
+    }
+
     fn insert(&mut self, rec: Record) {
         match self.remaining {
             Some(rem) => {

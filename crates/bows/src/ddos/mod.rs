@@ -203,6 +203,56 @@ impl SpinDetector for Ddos {
     fn name(&self) -> &'static str {
         "ddos"
     }
+
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.hists.len());
+        for h in &self.hists {
+            h.save_snap(w);
+        }
+        w.usize(self.spinning.len());
+        for &s in &self.spinning {
+            w.bool(s);
+        }
+        self.sibpt.save_snap(w);
+        w.usize(self.owner);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        use simt_snap::SnapshotError;
+        let nh = r.len(4)?;
+        if nh != self.hists.len() {
+            return Err(SnapshotError::malformed(format!(
+                "ddos: snapshot has {nh} history sets, this unit has {}",
+                self.hists.len()
+            )));
+        }
+        for h in &mut self.hists {
+            h.load_snap(r)?;
+        }
+        let ns = r.len(1)?;
+        if ns != self.spinning.len() {
+            return Err(SnapshotError::malformed(format!(
+                "ddos: snapshot tracks {ns} warps, this unit has {}",
+                self.spinning.len()
+            )));
+        }
+        for s in &mut self.spinning {
+            *s = r.bool()?;
+        }
+        self.sibpt.load_snap(r)?;
+        let owner = r.usize()?;
+        if owner >= self.num_warps.max(1) {
+            return Err(SnapshotError::malformed(format!(
+                "ddos: owner {owner} out of range for {} warps",
+                self.num_warps
+            )));
+        }
+        self.owner = owner;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,54 @@ impl SibPt {
     pub fn occupancy(&self) -> usize {
         self.entries.len()
     }
+
+    /// Serialize entries verbatim — slot order matters: lookup, decrement,
+    /// and `swap_remove` eviction all walk the table in insertion order, so
+    /// a resumed table must be position-identical (checkpoint support).
+    pub fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.usize(e.pc);
+            w.u32(e.confidence);
+            match e.confirmed_at {
+                Some(c) => {
+                    w.bool(true);
+                    w.u64(c);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Restore a table written by [`SibPt::save_snap`] into a table with
+    /// the same capacity and threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`simt_snap::SnapshotError`] on truncated/corrupt bytes or an entry
+    /// count exceeding this table's capacity.
+    pub fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let n = r.len(13)?;
+        if n > self.capacity {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "SIB-PT holds {n} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        let mut entries = Vec::with_capacity(self.capacity);
+        for _ in 0..n {
+            entries.push(SibEntry {
+                pc: r.usize()?,
+                confidence: r.u32()?,
+                confirmed_at: if r.bool()? { Some(r.u64()?) } else { None },
+            });
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -328,6 +328,87 @@ impl SchedulerPolicy for Bows {
         // gets its idle bookkeeping.
         self.inner.on_idle_span(ctx, unit_warps, span);
     }
+
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        // The wrapped baseline's state rides along as a length-prefixed
+        // blob, mirroring how the SM frames each unit.
+        let mut inner = simt_snap::SnapWriter::new();
+        self.inner.save_state(&mut inner);
+        w.bytes(&inner.into_bytes());
+        w.usize(self.warps.len());
+        for s in &self.warps {
+            w.bool(s.backed_off);
+            w.u64(s.delay_zero_at);
+        }
+        w.usize(self.queue.len());
+        for &warp in &self.queue {
+            w.usize(warp);
+        }
+        w.u64(self.delay_limit);
+        match &self.adaptive {
+            Some(a) => {
+                w.bool(true);
+                w.u64(a.window_total);
+                w.u64(a.window_sib);
+                match a.prev_ratio {
+                    Some(p) => {
+                        w.bool(true);
+                        w.f64(p);
+                    }
+                    None => w.bool(false),
+                }
+                w.u64(a.next_update);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        use simt_snap::SnapshotError;
+        let blob = r.bytes()?.to_vec();
+        let mut ir = simt_snap::SnapReader::new(&blob);
+        self.inner.load_state(&mut ir)?;
+        ir.expect_exhausted()?;
+        let nw = r.len(9)?;
+        let mut warps = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            warps.push(BowsWarp {
+                backed_off: r.bool()?,
+                delay_zero_at: r.u64()?,
+            });
+        }
+        let nq = r.len(8)?;
+        let mut queue = VecDeque::with_capacity(nq);
+        for _ in 0..nq {
+            let warp = r.usize()?;
+            if warp >= nw {
+                return Err(SnapshotError::malformed(format!(
+                    "bows: backed-off queue names warp {warp} of {nw}"
+                )));
+            }
+            queue.push_back(warp);
+        }
+        let delay_limit = r.u64()?;
+        let has_adaptive = r.bool()?;
+        if has_adaptive != self.adaptive.is_some() {
+            return Err(SnapshotError::malformed(
+                "bows: snapshot delay mode (fixed/adaptive) does not match this unit",
+            ));
+        }
+        if let Some(a) = &mut self.adaptive {
+            a.window_total = r.u64()?;
+            a.window_sib = r.u64()?;
+            a.prev_ratio = if r.bool()? { Some(r.f64()?) } else { None };
+            a.next_update = r.u64()?;
+        }
+        self.warps = warps;
+        self.queue = queue;
+        self.delay_limit = delay_limit;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,364 @@
+//! `crash_drill` — kill-drill recovery for the durable simulation service.
+//!
+//! The drill SIGKILLs a real `bows-serve` process mid-load at seeded
+//! points, restarts it on the same `--state-dir`, and checks the two
+//! durability invariants end to end, over real HTTP:
+//!
+//! 1. **zero wrong bodies** — every 200 the service ever returns is
+//!    byte-identical to the local serial oracle ([`simt_serve::run_request`]
+//!    on the same request), before and after every crash;
+//! 2. **zero committed-entry loss** — a result whose response was received
+//!    is committed (the store fsyncs before the worker replies), so after
+//!    a SIGKILL + restart the same request must be a cache *hit* with the
+//!    same bytes, not a re-simulation.
+//!
+//! A final round arms the persistence-path chaos injector (torn, short,
+//! and bit-flipped appends) and demands graceful degradation: every
+//! response still correct, the server never crashes, and the next restart
+//! recovers a consistent prefix.
+//!
+//! ```sh
+//! cargo build --release -p simt-serve -p experiments
+//! target/release/crash_drill --seed 7
+//! ```
+//!
+//! Exits 0 only if every invariant held; prints a JSON summary either way.
+
+use simt_serve::chaos::splitmix64;
+use simt_serve::http::client;
+use simt_serve::{run_request, RunOutcome, SimRequest};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const VEC_KERNEL: &str = ".kernel inc\n.regs 8\n.params 1\n    ld.param r1, [0]\n    mov r2, %gtid\n    shl r2, r2, 2\n    add r1, r1, r2\n    ld.global r3, [r1]\n    add r3, r3, 1\n    st.global [r1], r3\n    exit\n";
+
+const LOCK_KERNEL: &str = ".kernel locked_inc\n.regs 10\n.params 2\n    ld.param r1, [0]\n    ld.param r2, [4]\n    mov r9, 0\nSPIN:\n    atom.global.cas r3, [r1], 0, 1 !acquire !sync\n    setp.eq.s32 p1, r3, 0\n@!p1 bra TEST\n    ld.global.volatile r4, [r2]\n    add r4, r4, 1\n    st.global [r2], r4\n    membar\n    atom.global.exch r5, [r1], 0 !release !sync\n    mov r9, 1\nTEST:\n    setp.eq.s32 p2, r9, 0 !sync\n@p2 bra SPIN !sib !sync\n    exit\n";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crash_drill [--seed N] [--requests N] [--serve-bin PATH] [--state-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Drill {
+    seed: u64,
+    serve_bin: PathBuf,
+    state_dir: PathBuf,
+    /// (request JSON, oracle body) per distinct request.
+    corpus: Vec<(String, String)>,
+    violations: Vec<String>,
+    kills: u32,
+}
+
+fn json_string(s: &str) -> String {
+    simt_serve::Json::Str(s.to_string()).render()
+}
+
+fn build_corpus(n: usize) -> Vec<(String, String)> {
+    let mut corpus = Vec::new();
+    for i in 0..n {
+        let body = if i % 4 == 3 {
+            // Every 4th request is a contended spin lock under adaptive
+            // BOWS — long enough to be mid-run when the SIGKILL lands.
+            format!(
+                "{{\"kernel\":{},\"ctas\":2,\"tpc\":32,\"bows\":\"adaptive\",\
+                 \"params\":[{{\"buf\":1,\"fill\":0}},{{\"buf\":{},\"fill\":0}}],\
+                 \"dumps\":[[1,1]]}}",
+                json_string(LOCK_KERNEL),
+                1 + i / 4
+            )
+        } else {
+            format!(
+                "{{\"kernel\":{},\"tpc\":32,\"params\":[{{\"buf\":32,\"fill\":{}}}],\
+                 \"dumps\":[[0,4]]}}",
+                json_string(VEC_KERNEL),
+                i + 1
+            )
+        };
+        let req = SimRequest::from_json(&body).expect("corpus request must parse");
+        let oracle = match run_request(&req, None) {
+            RunOutcome::Ok(b) => b,
+            other => panic!("oracle run failed for request {i}: {other:?}"),
+        };
+        corpus.push((body, oracle));
+    }
+    corpus
+}
+
+/// Spawn `bows-serve` on an OS-assigned port and parse the bound address
+/// from its startup line. Stderr keeps draining on a background thread so
+/// the child can never block on a full pipe.
+fn spawn_server(drill: &Drill, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(&drill.serve_bin);
+    cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--state-dir",
+        drill.state_dir.to_str().expect("utf-8 state dir"),
+        "--checkpoint-every-cycles",
+        "4096",
+    ])
+    .args(extra)
+    .stdin(Stdio::null())
+    .stdout(Stdio::null())
+    .stderr(Stdio::piped());
+    let mut child = cmd.spawn().unwrap_or_else(|e| {
+        eprintln!("cannot spawn {}: {e}", drill.serve_bin.display());
+        std::process::exit(2);
+    });
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let mut addr = None;
+    for line in lines.by_ref() {
+        let line = line.unwrap_or_default();
+        if let Some(rest) = line.strip_prefix("bows-serve listening on ") {
+            addr = rest.split_whitespace().next().map(str::to_string);
+            break;
+        }
+    }
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        eprintln!("server never reported its address");
+        std::process::exit(2);
+    };
+    // The listener is up before the line prints, but give the pool a beat.
+    wait_healthy(&addr);
+    (child, addr)
+}
+
+fn wait_healthy(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if client::get(addr, "/healthz").map(|r| r.status) == Ok(200) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    eprintln!("server at {addr} never became healthy");
+    std::process::exit(2);
+}
+
+fn stat_u64(addr: &str, field: &str) -> u64 {
+    let stats = client::get(addr, "/stats").map(|r| r.body).unwrap_or_default();
+    simt_serve::Json::parse(&stats)
+        .ok()
+        .and_then(|j| j.get(field).ok().cloned())
+        .and_then(|v| v.as_u64(field).ok())
+        .unwrap_or(0)
+}
+
+impl Drill {
+    fn check(&mut self, ok: bool, what: String) {
+        if !ok {
+            eprintln!("VIOLATION: {what}");
+            self.violations.push(what);
+        }
+    }
+
+    /// One kill-restart round: submit the corpus in a seeded order,
+    /// SIGKILL after a seeded number of responses (leaving one request
+    /// deliberately in flight), restart, then verify nothing responded-to
+    /// was lost and nothing served is wrong.
+    fn round(&mut self, round: u64, chaos: &[&str]) {
+        let corpus = self.corpus.clone();
+        let n = corpus.len();
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..n).collect();
+            // Seeded Fisher–Yates: the drill replays exactly per seed.
+            for i in (1..n).rev() {
+                let j = (splitmix64(self.seed ^ (round << 32) ^ i as u64) % (i as u64 + 1))
+                    as usize;
+                idx.swap(i, j);
+            }
+            idx
+        };
+        let kill_after = 1 + (splitmix64(self.seed ^ round ^ 0xdead) % (n as u64 - 1)) as usize;
+
+        let (mut child, addr) = spawn_server(self, chaos);
+        let mut responded: Vec<usize> = Vec::new();
+        for (done, &i) in order.iter().enumerate() {
+            if done == kill_after {
+                break;
+            }
+            let (body, oracle) = &corpus[i];
+            match client::post(&addr, "/simulate", body) {
+                Ok(resp) => {
+                    self.check(
+                        resp.status == 200,
+                        format!("round {round}: request {i} returned {}", resp.status),
+                    );
+                    self.check(
+                        resp.body == *oracle,
+                        format!("round {round}: WRONG BODY for request {i} pre-kill"),
+                    );
+                    responded.push(i);
+                }
+                Err(e) => {
+                    // Transport failure against a live server is a drill
+                    // bug, not a durability finding.
+                    self.check(false, format!("round {round}: transport error pre-kill: {e}"));
+                }
+            }
+        }
+        // Leave one request in flight so the SIGKILL lands mid-simulation,
+        // then kill without ceremony. The in-flight client must see a
+        // transport error — never a wrong body.
+        let in_flight = order[kill_after % n];
+        let flight_body = corpus[in_flight].0.clone();
+        let flight_oracle = corpus[in_flight].1.clone();
+        let flight_addr = addr.clone();
+        let flight = std::thread::spawn(move || {
+            client::post(&flight_addr, "/simulate", &flight_body)
+                .map(|r| (r.status, r.body == flight_oracle))
+        });
+        std::thread::sleep(Duration::from_millis(
+            splitmix64(self.seed ^ round ^ 0xbeef) % 20,
+        ));
+        let _ = child.kill();
+        let _ = child.wait();
+        self.kills += 1;
+        if let Ok(Ok((status, body_matches))) = flight.join() {
+            self.check(
+                status != 200 || body_matches,
+                format!("round {round}: WRONG BODY on the in-flight request"),
+            );
+        }
+
+        // Restart on the same state dir: everything responded-to must be
+        // a warm hit with the oracle's exact bytes. Under store chaos a
+        // response may ride a faulted append, so only the no-chaos rounds
+        // may demand the hit; correct bytes are demanded always.
+        let (mut child, addr) = spawn_server(self, chaos);
+        let recovered = stat_u64(&addr, "store_recovered_entries");
+        if chaos.is_empty() {
+            self.check(
+                recovered >= responded.len() as u64,
+                format!(
+                    "round {round}: only {recovered} entries recovered after kill, \
+                     {} were committed (responses received)",
+                    responded.len()
+                ),
+            );
+        }
+        for &i in &responded {
+            let (body, oracle) = &corpus[i];
+            match client::post(&addr, "/simulate", body) {
+                Ok(resp) => {
+                    self.check(
+                        resp.status == 200 && resp.body == *oracle,
+                        format!("round {round}: request {i} wrong after restart"),
+                    );
+                    if chaos.is_empty() {
+                        self.check(
+                            resp.x_cache.as_deref() == Some("HIT"),
+                            format!(
+                                "round {round}: COMMITTED ENTRY LOST — request {i} \
+                                 re-simulated after restart (X-Cache {:?})",
+                                resp.x_cache
+                            ),
+                        );
+                    }
+                }
+                Err(e) => self.check(false, format!("round {round}: post-restart error: {e}")),
+            }
+        }
+        // The rest of the corpus must also serve correctly (cold or warm).
+        for &i in &order {
+            let (body, oracle) = &corpus[i];
+            match client::post(&addr, "/simulate", body) {
+                Ok(resp) => self.check(
+                    resp.status == 200 && resp.body == *oracle,
+                    format!("round {round}: request {i} wrong on full sweep"),
+                ),
+                Err(e) => self.check(false, format!("round {round}: sweep error: {e}")),
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        self.kills += 1;
+    }
+}
+
+fn main() {
+    let mut seed = 1u64;
+    let mut requests = 12usize;
+    let mut serve_bin = None;
+    let mut state_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {what}");
+            usage()
+        });
+        match a.as_str() {
+            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--requests" => requests = val("--requests").parse().unwrap_or_else(|_| usage()),
+            "--serve-bin" => serve_bin = Some(PathBuf::from(val("--serve-bin"))),
+            "--state-dir" => state_dir = Some(PathBuf::from(val("--state-dir"))),
+            _ => usage(),
+        }
+    }
+    if requests < 2 {
+        eprintln!("--requests must be at least 2");
+        usage();
+    }
+    let serve_bin = serve_bin.unwrap_or_else(|| {
+        // Sibling binary in the same target profile directory.
+        std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("bows-serve")))
+            .filter(|p| p.exists())
+            .unwrap_or_else(|| {
+                eprintln!("bows-serve not found next to crash_drill; pass --serve-bin");
+                std::process::exit(2);
+            })
+    });
+    let state_dir = state_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("bows-crash-drill-{seed}-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    eprintln!("crash drill: seed {seed}, {requests} requests, state dir {}", state_dir.display());
+    let mut drill = Drill {
+        seed,
+        serve_bin,
+        state_dir,
+        corpus: build_corpus(requests),
+        violations: Vec::new(),
+        kills: 0,
+    };
+
+    // Two clean kill-restart rounds at seed-dependent points, then one
+    // round with every persistence fault armed at a high rate.
+    drill.round(0, &[]);
+    drill.round(1, &[]);
+    drill.round(
+        2,
+        &[
+            "--chaos-seed",
+            "9",
+            "--chaos-store-torn-ppm",
+            "300000",
+            "--chaos-store-short-ppm",
+            "300000",
+            "--chaos-store-flip-ppm",
+            "300000",
+        ],
+    );
+
+    let passed = drill.violations.is_empty();
+    println!(
+        "{{\"drill\":\"crash\",\"seed\":{seed},\"requests\":{requests},\"kills\":{},\
+         \"violations\":{},\"passed\":{passed}}}",
+        drill.kills,
+        drill.violations.len()
+    );
+    let _ = std::fs::remove_dir_all(&drill.state_dir);
+    std::process::exit(i32::from(!passed));
+}

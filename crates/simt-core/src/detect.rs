@@ -33,6 +33,25 @@ pub trait SpinDetector: Send {
 
     /// Detector name, for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize dynamic detector state into a checkpoint. Detectors whose
+    /// classification is a pure function of construction (the static
+    /// oracle, the null detector) keep the default no-op; stateful
+    /// detectors (DDOS) must write everything a resumed run needs to
+    /// classify identically.
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore state written by [`SpinDetector::save_state`] into a
+    /// freshly constructed detector of the same kind.
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Oracle detector: knows the ground-truth SIBs from `!sib` annotations.
@@ -149,6 +168,40 @@ impl BranchLog {
                 })
                 .or_insert(t);
         }
+    }
+
+    /// Serialize timelines in sorted-PC order (checkpoint support).
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        let mut pcs: Vec<usize> = self.timelines.keys().copied().collect();
+        pcs.sort_unstable();
+        w.usize(pcs.len());
+        for pc in pcs {
+            let t = self.timelines[&pc];
+            w.usize(pc);
+            w.u64(t.first);
+            w.u64(t.last);
+            w.u64(t.count);
+        }
+    }
+
+    /// Restore a log written by [`BranchLog::save_snap`].
+    pub(crate) fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<BranchLog, simt_snap::SnapshotError> {
+        let n = r.len(32)?;
+        let mut timelines = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = r.usize()?;
+            timelines.insert(
+                pc,
+                BranchTimeline {
+                    first: r.u64()?,
+                    last: r.u64()?,
+                    count: r.u64()?,
+                },
+            );
+        }
+        Ok(BranchLog { timelines })
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::cancel::{CancelCause, CancelToken};
 use crate::detect::{BranchLog, NullDetector, SpinDetector, StaticSibDetector};
 use crate::sched::{BasePolicy, SchedulerPolicy};
-use crate::sm::{LaunchCtx, Sm};
+use crate::sm::{LaunchCtx, Sm, SnapLimits};
 use crate::watchdog::{HangClass, HangReport, ProgressScan};
 use crate::{EnergyBreakdown, EnergyModel, Engine, GpuConfig, SimStats};
 use simt_isa::Kernel;
@@ -33,6 +33,39 @@ pub struct LaunchSpec {
     pub threads_per_cta: usize,
     /// 32-bit parameter slots, read by `ld.param`.
     pub params: Vec<u32>,
+}
+
+/// Checkpoint control for [`Gpu::run_with_checkpoints`].
+///
+/// The GPU produces and consumes raw snapshot *bodies*: framing them in the
+/// `simt-snap` envelope, writing them atomically, and naming files is the
+/// caller's concern (see `bows-run --checkpoint-every` / `--resume`).
+/// Snapshot boundaries are the tops of run-loop iterations at cycles that
+/// are multiples of `every`, where the machine is between cycles: no staged
+/// memory work, no in-flight worker rounds.
+///
+/// Snapshots are `sm_threads`-invariant — a snapshot taken at one worker
+/// count restores bit-exactly at any other — and engine-specific only
+/// through the config fingerprint (resuming under a different
+/// [`Engine`](crate::Engine) is rejected, not silently wrong).
+pub struct CheckpointCtl<'a> {
+    /// Snapshot cadence in cycles; `0` disables periodic snapshots
+    /// (resume-only use).
+    pub every: u64,
+    /// Receives each snapshot as `(cycle, body)`.
+    pub sink: &'a mut dyn FnMut(u64, &[u8]),
+    /// Snapshot body to restore instead of performing the initial CTA
+    /// dispatch (bytes a previous `sink` call received).
+    pub resume: Option<&'a [u8]>,
+}
+
+impl std::fmt::Debug for CheckpointCtl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointCtl")
+            .field("every", &self.every)
+            .field("resume", &self.resume.map(<[u8]>::len))
+            .finish()
+    }
 }
 
 /// Why a run stopped abnormally.
@@ -95,6 +128,13 @@ pub enum SimError {
         /// Why the token fired.
         cause: CancelCause,
     },
+    /// A checkpoint snapshot could not be restored: corrupt bytes, or a
+    /// snapshot taken under a different configuration, kernel, launch,
+    /// scheduler, or detector than this run's.
+    Snapshot {
+        /// What failed.
+        what: String,
+    },
 }
 
 impl SimError {
@@ -129,6 +169,7 @@ impl fmt::Display for SimError {
             SimError::Cancelled { cycle, cause } => {
                 write!(f, "run cancelled at cycle {cycle}: {cause}")
             }
+            SimError::Snapshot { what } => write!(f, "snapshot error: {what}"),
         }
     }
 }
@@ -268,6 +309,36 @@ impl Gpu {
         policy_factory: &PolicyFactory<'_>,
         detector_factory: &DetectorFactory<'_>,
     ) -> Result<KernelReport, SimError> {
+        self.run_with_checkpoints(kernel, launch, policy_factory, detector_factory, None)
+    }
+
+    /// [`Gpu::run`], with optional checkpoint/restore.
+    ///
+    /// With `ctl.every > 0`, the run-loop pauses at every cycle that is a
+    /// multiple of `every` and hands a full-machine snapshot body to
+    /// `ctl.sink`. With `ctl.resume`, the initial CTA dispatch is replaced
+    /// by restoring that body, and the run continues to completion exactly
+    /// as the uninterrupted run would have: final stats, memory image, and
+    /// any hang report are bit-identical. Checkpointing itself is
+    /// observation-free — a checkpointing run and a plain run of the same
+    /// kernel produce identical reports (under the Skip engine, boundaries
+    /// only add explicit dead cycles that the engine-equivalence invariant
+    /// already guarantees change nothing).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Gpu::run`] returns, plus [`SimError::Snapshot`] when a
+    /// resume body is corrupt or belongs to a different run (config,
+    /// kernel, launch, scheduler, or detector mismatch). A failed resume
+    /// leaves device memory untouched.
+    pub fn run_with_checkpoints(
+        &mut self,
+        kernel: &Kernel,
+        launch: &LaunchSpec,
+        policy_factory: &PolicyFactory<'_>,
+        detector_factory: &DetectorFactory<'_>,
+        mut ctl: Option<CheckpointCtl<'_>>,
+    ) -> Result<KernelReport, SimError> {
         self.cfg
             .validate()
             .map_err(|what| SimError::InvalidConfig { what })?;
@@ -317,28 +388,74 @@ impl Gpu {
         let scheduler_name = chunks[0].sms[0].units()[0].name();
         let detector_name = chunks[0].sms[0].detector.name().to_string();
 
-        // Initial CTA dispatch: round-robin over SMs while anything fits.
-        let mut pending: VecDeque<usize> = (0..launch.grid_ctas).collect();
-        let mut age_counter = 0u64;
-        dispatch_pending(&mut chunks, threads, &mut pending, &lctx, &mut age_counter);
-        if pending.len() == launch.grid_ctas {
-            return Err(SimError::LaunchTooLarge {
-                reason: "no CTA could be dispatched".to_string(),
-            });
-        }
+        // Snapshot identity: (config minus thread count) + kernel + launch.
+        // Computed only when checkpointing is in play.
+        let fingerprint = if ctl.is_some() {
+            snapshot_fingerprint(&self.cfg, kernel, launch)
+        } else {
+            0
+        };
 
-        let mem_before = *self.mem.stats();
-        // Run-level statistics. Per-SM counters accrue into each chunk's
-        // own `SimStats` (workers cannot share one) and are merged at the
-        // end — every field is a sum, so the merge is order-independent.
-        let mut stats = SimStats::default();
-        let mut idle_since = 0u64;
-        let mut remaining = launch.grid_ctas;
-        // Spin-livelock persistence: the first cycle at which every live warp
-        // was spinning-or-blocked with zero lock progress, or `None` while
-        // the machine is making progress.
-        let mut livelock_since: Option<u64> = None;
-        let mut locks_at_scan = mem_before.lock_success;
+        let rs = if let Some(body) = ctl.as_ref().and_then(|c| c.resume) {
+            // Resume replaces the initial dispatch wholesale: warp slots,
+            // CTA residency, the pending-CTA queue, and every run-loop
+            // local come from the snapshot. Device memory is restored last
+            // and atomically, so a failed resume leaves the GPU usable.
+            restore_snapshot(
+                body,
+                fingerprint,
+                (scheduler_name.as_str(), detector_name.as_str()),
+                &mut chunks,
+                threads,
+                &mut self.mem,
+                kernel,
+                launch,
+            )
+            .map_err(|e| SimError::Snapshot {
+                what: e.to_string(),
+            })?
+        } else {
+            // Initial CTA dispatch: round-robin over SMs while anything fits.
+            let mut pending: VecDeque<usize> = (0..launch.grid_ctas).collect();
+            let mut age_counter = 0u64;
+            dispatch_pending(&mut chunks, threads, &mut pending, &lctx, &mut age_counter);
+            if pending.len() == launch.grid_ctas {
+                return Err(SimError::LaunchTooLarge {
+                    reason: "no CTA could be dispatched".to_string(),
+                });
+            }
+            let mem_before = *self.mem.stats();
+            RunState {
+                now: 0,
+                pending,
+                age_counter,
+                // Run-level statistics. Per-SM counters accrue into each
+                // chunk's own `SimStats` (workers cannot share one) and are
+                // merged at the end — every field is a sum, so the merge is
+                // order-independent.
+                stats: SimStats::default(),
+                idle_since: 0,
+                remaining: launch.grid_ctas,
+                // Spin-livelock persistence: the first cycle at which every
+                // live warp was spinning-or-blocked with zero lock progress,
+                // or `None` while the machine is making progress.
+                livelock_since: None,
+                locks_at_scan: mem_before.lock_success,
+                mem_before,
+            }
+        };
+        let start_cycle = rs.now;
+        let RunState {
+            now: _,
+            mut pending,
+            mut age_counter,
+            mut stats,
+            mut idle_since,
+            mut remaining,
+            mut livelock_since,
+            mut locks_at_scan,
+            mem_before,
+        } = rs;
         // Reusable completion sink: the cycle loop never allocates for the
         // common zero-or-few-completions case.
         let mut completions = Vec::new();
@@ -358,8 +475,43 @@ impl Gpu {
                 scope.spawn(move || worker(slot, lctx));
             }
             let mut round = 0u64;
-            let mut now = 0u64;
+            let mut now = start_cycle;
             while remaining > 0 {
+                // Checkpoint boundary: the machine is between cycles (no
+                // staged work, no outstanding rounds), so the snapshot is
+                // simply "about to simulate cycle `now`". Per-chunk stats
+                // are folded into the run accumulator first — the fold is a
+                // sum the end-of-run merge would have performed anyway, so
+                // totals are unchanged — making the body independent of the
+                // worker count.
+                if let Some(c) = ctl.as_mut() {
+                    if c.every > 0 && now > start_cycle && now.is_multiple_of(c.every) {
+                        for ch in &mut chunks {
+                            stats.add(&ch.stats);
+                            ch.stats = SimStats::default();
+                        }
+                        let state = RunState {
+                            now,
+                            pending: pending.clone(),
+                            age_counter,
+                            stats: stats.clone(),
+                            idle_since,
+                            remaining,
+                            livelock_since,
+                            locks_at_scan,
+                            mem_before,
+                        };
+                        let body = snapshot_body(
+                            fingerprint,
+                            (scheduler_name.as_str(), detector_name.as_str()),
+                            &state,
+                            &chunks,
+                            threads,
+                            &self.mem,
+                        );
+                        (c.sink)(now, &body);
+                    }
+                }
                 // Memory completions first so unblocked warps can issue
                 // today. Chunks are always resident on this thread between
                 // rounds, so completions, dispatch, scans, and replay all
@@ -546,6 +698,18 @@ impl Gpu {
                     horizon = horizon.min((now / SCAN_PERIOD + 1) * SCAN_PERIOD);
                     let rotate = self.cfg.gto_rotate_period.max(1);
                     horizon = horizon.min((now / rotate + 1) * rotate);
+                    // Checkpoint boundaries are kept as explicit cycles.
+                    // Safe by the engine-equivalence invariant: a span is
+                    // only skippable when every cycle in it changes nothing,
+                    // so landing on the boundary and continuing is
+                    // bit-identical to jumping over it.
+                    if let Some(c) = &ctl {
+                        // checked_div: None when checkpointing is off
+                        // (every == 0), so no boundary clamps the horizon.
+                        if let Some(q) = now.checked_div(c.every) {
+                            horizon = horizon.min((q + 1) * c.every);
+                        }
+                    }
                     if self.mem.quiescent() {
                         // Quiescence cannot end inside a dead span, so the
                         // deadlock deadline is a hard horizon bound.
@@ -621,6 +785,191 @@ impl Gpu {
             final_state,
         })
     }
+}
+
+/// The run loop's own locals — everything outside the SMs and the memory
+/// system that a checkpoint must carry. `now` is the cycle about to be
+/// simulated.
+struct RunState {
+    now: u64,
+    pending: VecDeque<usize>,
+    age_counter: u64,
+    stats: SimStats,
+    idle_since: u64,
+    remaining: usize,
+    livelock_since: Option<u64>,
+    locks_at_scan: u64,
+    mem_before: MemStats,
+}
+
+/// Stable identity of (config, kernel, launch): a snapshot resumes only
+/// into the run that produced it. `sm_threads` is zeroed first because
+/// snapshots are worker-count-invariant by construction — per-chunk stats
+/// are folded before serializing and SMs are written in id order — so a
+/// snapshot taken at one thread count restores at any other.
+fn snapshot_fingerprint(cfg: &GpuConfig, kernel: &Kernel, launch: &LaunchSpec) -> u64 {
+    let mut c = cfg.clone();
+    c.sm_threads = 0;
+    // The kernel must be encoded canonically — its `labels` map has
+    // process- and instance-dependent iteration order, so `{kernel:?}`
+    // would make the fingerprint differ between two assemblies of the
+    // same source and spuriously reject cross-process resumes.
+    let mut labels: Vec<(&str, usize)> =
+        kernel.labels.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+    labels.sort_unstable();
+    simt_snap::fnv1a(
+        format!(
+            "{c:?}|{}|{:?}|{labels:?}|{}|{}|{}|{:?}|{:?}|{}|{}|{:?}",
+            kernel.name,
+            kernel.insts,
+            kernel.num_regs,
+            kernel.num_params,
+            kernel.shared_words,
+            kernel.reconv,
+            kernel.true_sibs,
+            launch.grid_ctas,
+            launch.threads_per_cta,
+            launch.params
+        )
+        .as_bytes(),
+    )
+}
+
+/// Serialize the whole machine into a snapshot body: identity header,
+/// run-loop locals, SMs in id order, memory system last.
+fn snapshot_body(
+    fingerprint: u64,
+    names: (&str, &str),
+    state: &RunState,
+    chunks: &[Chunk],
+    threads: usize,
+    mem: &MemorySystem,
+) -> Vec<u8> {
+    let num_sms: usize = chunks.iter().map(|c| c.sms.len()).sum();
+    let mut w = simt_snap::SnapWriter::new();
+    w.u64(fingerprint);
+    w.str(names.0);
+    w.str(names.1);
+    w.u64(state.now);
+    w.usize(state.pending.len());
+    for &cta in &state.pending {
+        w.usize(cta);
+    }
+    w.u64(state.age_counter);
+    state.stats.save_snap(&mut w);
+    w.u64(state.idle_since);
+    w.usize(state.remaining);
+    match state.livelock_since {
+        Some(c) => {
+            w.bool(true);
+            w.u64(c);
+        }
+        None => w.bool(false),
+    }
+    w.u64(state.locks_at_scan);
+    state.mem_before.save_snap(&mut w);
+    w.usize(num_sms);
+    for id in 0..num_sms {
+        sm_at(chunks, threads, id).save_snap(&mut w);
+    }
+    mem.save_snap(&mut w);
+    w.into_bytes()
+}
+
+/// Parse and restore a snapshot body into freshly constructed chunks and
+/// the device memory system. Identity (fingerprint, scheduler, detector)
+/// is checked before anything mutates; the memory system is restored last
+/// and atomically, so on any error the GPU's device memory is untouched.
+#[allow(clippy::too_many_arguments)]
+fn restore_snapshot(
+    body: &[u8],
+    fingerprint: u64,
+    names: (&str, &str),
+    chunks: &mut [Chunk],
+    threads: usize,
+    mem: &mut MemorySystem,
+    kernel: &Kernel,
+    launch: &LaunchSpec,
+) -> Result<RunState, simt_snap::SnapshotError> {
+    use simt_snap::SnapshotError;
+    let num_sms: usize = chunks.iter().map(|c| c.sms.len()).sum();
+    let mut r = simt_snap::SnapReader::new(body);
+    let fp = r.u64()?;
+    if fp != fingerprint {
+        return Err(SnapshotError::malformed(
+            "fingerprint mismatch: snapshot was taken under a different \
+             GPU config, kernel, or launch",
+        ));
+    }
+    let sched = r.str()?;
+    if sched != names.0 {
+        return Err(SnapshotError::malformed(format!(
+            "scheduler mismatch: snapshot has {sched:?}, this run has {:?}",
+            names.0
+        )));
+    }
+    let det = r.str()?;
+    if det != names.1 {
+        return Err(SnapshotError::malformed(format!(
+            "detector mismatch: snapshot has {det:?}, this run has {:?}",
+            names.1
+        )));
+    }
+    let limits = SnapLimits {
+        insts: kernel.insts.len(),
+        regs_per_thread: kernel.num_regs as usize,
+        threads_per_cta: launch.threads_per_cta,
+        shared_words: kernel.shared_words as usize,
+        grid_ctas: launch.grid_ctas,
+    };
+    let now = r.u64()?;
+    let npending = r.len(8)?;
+    if npending > launch.grid_ctas {
+        return Err(SnapshotError::malformed(format!(
+            "{npending} pending CTAs for a {}-CTA grid",
+            launch.grid_ctas
+        )));
+    }
+    let mut pending = VecDeque::with_capacity(npending);
+    for _ in 0..npending {
+        let cta = r.usize()?;
+        if cta >= launch.grid_ctas {
+            return Err(SnapshotError::malformed(format!(
+                "pending CTA {cta} outside the {}-CTA grid",
+                launch.grid_ctas
+            )));
+        }
+        pending.push_back(cta);
+    }
+    let age_counter = r.u64()?;
+    let stats = SimStats::load_snap(&mut r)?;
+    let idle_since = r.u64()?;
+    let remaining = r.usize()?;
+    let livelock_since = if r.bool()? { Some(r.u64()?) } else { None };
+    let locks_at_scan = r.u64()?;
+    let mem_before = MemStats::load_snap(&mut r)?;
+    let nsms = r.len(64)?;
+    if nsms != num_sms {
+        return Err(SnapshotError::malformed(format!(
+            "snapshot has {nsms} SMs, this machine has {num_sms}"
+        )));
+    }
+    for id in 0..num_sms {
+        sm_at_mut(chunks, threads, id).load_snap(&mut r, &limits)?;
+    }
+    mem.load_snap(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(RunState {
+        now,
+        pending,
+        age_counter,
+        stats,
+        idle_since,
+        remaining,
+        livelock_since,
+        locks_at_scan,
+        mem_before,
+    })
 }
 
 /// One worker's share of the machine: its SMs (strided by SM id) plus its
@@ -1356,6 +1705,125 @@ mod tests {
         gpu.run_baseline(&kernel, &launch, BasePolicy::Gto).unwrap();
         for i in 0..n {
             assert_eq!(gpu.mem().gmem().read_u32(out + i * 4), 1 + i as u32);
+        }
+    }
+
+    /// Checkpoint/restore oracle at unit scope: a run that snapshots
+    /// periodically matches a plain run bit-for-bit, and resuming from any
+    /// captured snapshot reproduces the plain run's report and memory.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let setup = |cfg: GpuConfig| {
+            let mut gpu = Gpu::new(cfg);
+            let n = 1024u64;
+            let a = gpu.mem_mut().gmem_mut().alloc(n);
+            let b = gpu.mem_mut().gmem_mut().alloc(n);
+            let out = gpu.mem_mut().gmem_mut().alloc(n);
+            for i in 0..n {
+                gpu.mem_mut().gmem_mut().write_u32(a + i * 4, i as u32);
+                gpu.mem_mut().gmem_mut().write_u32(b + i * 4, 2 * i as u32);
+            }
+            let params = vec![a as u32, b as u32, out as u32];
+            (gpu, out, params)
+        };
+        let kernel = vec_add_kernel();
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.num_sms = 2;
+        let (mut plain, out, params) = setup(cfg.clone());
+        let launch = LaunchSpec {
+            grid_ctas: 8,
+            threads_per_cta: 128,
+            params,
+        };
+        // Plain run (params match the allocation order in `setup`).
+        let plain_report = plain
+            .run_baseline(&kernel, &launch, BasePolicy::Gto)
+            .unwrap();
+        let plain_mem: Vec<u32> =
+            (0..1024).map(|i| plain.mem().gmem().read_u32(out + i * 4)).collect();
+
+        // Checkpointing run: capture every 64 cycles.
+        let mut bodies: Vec<(u64, Vec<u8>)> = Vec::new();
+        let (mut ck, _, _) = setup(cfg.clone());
+        let mut sink = |cycle: u64, body: &[u8]| bodies.push((cycle, body.to_vec()));
+        let rotate = cfg.gto_rotate_period;
+        let ck_report = ck
+            .run_with_checkpoints(
+                &kernel,
+                &launch,
+                &move || BasePolicy::Gto.build(rotate),
+                &|k: &Kernel| {
+                    if k.true_sibs.is_empty() {
+                        Box::new(NullDetector)
+                    } else {
+                        Box::new(StaticSibDetector::new(k.true_sibs.clone()))
+                    }
+                },
+                Some(CheckpointCtl {
+                    every: 64,
+                    sink: &mut sink,
+                    resume: None,
+                }),
+            )
+            .unwrap();
+        assert_eq!(ck_report.cycles, plain_report.cycles, "checkpointing perturbed the run");
+        assert_eq!(ck_report.sim, plain_report.sim);
+        assert_eq!(ck_report.mem, plain_report.mem);
+        assert!(!bodies.is_empty(), "run too short to checkpoint");
+
+        // Resume from a mid-run snapshot on a fresh GPU.
+        let (cycle, body) = bodies[bodies.len() / 2].clone();
+        assert!(cycle > 0 && cycle < plain_report.cycles);
+        let (mut res, _, _) = setup(cfg.clone());
+        let mut sink2 = |_: u64, _: &[u8]| {};
+        let res_report = res
+            .run_with_checkpoints(
+                &kernel,
+                &launch,
+                &move || BasePolicy::Gto.build(rotate),
+                &|k: &Kernel| {
+                    if k.true_sibs.is_empty() {
+                        Box::new(NullDetector)
+                    } else {
+                        Box::new(StaticSibDetector::new(k.true_sibs.clone()))
+                    }
+                },
+                Some(CheckpointCtl {
+                    every: 0,
+                    sink: &mut sink2,
+                    resume: Some(&body),
+                }),
+            )
+            .unwrap();
+        assert_eq!(res_report.cycles, plain_report.cycles, "resume diverged");
+        assert_eq!(res_report.sim, plain_report.sim);
+        assert_eq!(res_report.mem, plain_report.mem);
+        let res_mem: Vec<u32> =
+            (0..1024).map(|i| res.mem().gmem().read_u32(out + i * 4)).collect();
+        assert_eq!(res_mem, plain_mem, "memory image diverged");
+
+        // A snapshot from a different launch is rejected, memory untouched.
+        let (mut other, _, _) = setup(cfg);
+        let wrong = LaunchSpec {
+            grid_ctas: 4,
+            ..launch.clone()
+        };
+        let mut sink3 = |_: u64, _: &[u8]| {};
+        match other.run_with_checkpoints(
+            &kernel,
+            &wrong,
+            &move || BasePolicy::Gto.build(rotate),
+            &|_: &Kernel| Box::new(NullDetector),
+            Some(CheckpointCtl {
+                every: 0,
+                sink: &mut sink3,
+                resume: Some(&body),
+            }),
+        ) {
+            Err(SimError::Snapshot { what }) => {
+                assert!(what.contains("mismatch"), "unhelpful message: {what}");
+            }
+            other => panic!("expected Snapshot error, got {other:?}"),
         }
     }
 

@@ -59,7 +59,9 @@ pub use cancel::{CancelCause, CancelToken};
 pub use config::{Engine, GpuConfig, Latencies};
 pub use detect::{BranchLog, BranchTimeline, NullDetector, SpinDetector, StaticSibDetector};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use gpu::{DetectorFactory, Gpu, KernelReport, LaunchSpec, PolicyFactory, SimError};
+pub use gpu::{
+    CheckpointCtl, DetectorFactory, Gpu, KernelReport, LaunchSpec, PolicyFactory, SimError,
+};
 pub use sched::{BasePolicy, IssueInfo, SchedCtx, SchedulerPolicy, WarpMeta};
 pub use scoreboard::Scoreboard;
 pub use sm::{LaunchCtx, Sm, SmCycle};

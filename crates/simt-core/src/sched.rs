@@ -128,6 +128,25 @@ pub trait SchedulerPolicy: Send {
             self.end_cycle(ctx, unit_warps, None);
         }
     }
+
+    /// Serialize the unit's dynamic state into a checkpoint. A policy whose
+    /// next decision depends on anything beyond the per-cycle `SchedCtx`
+    /// (LRR's last-issued slot, CAWA's criticality counters, BOWS's queue
+    /// and delay state) must write it all; a resumed run must pick the same
+    /// warps the uninterrupted run would have.
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore state written by [`SchedulerPolicy::save_state`] into a
+    /// freshly constructed unit of the same policy.
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Which baseline policy to build (convenience for experiment configs).
@@ -200,6 +219,18 @@ impl SchedulerPolicy for Lrr {
 
     // Idle cycles touch no LRR state.
     fn on_idle_span(&mut self, _ctx: &SchedCtx<'_>, _unit_warps: &[usize], _span: u64) {}
+
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.last);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        self.last = r.usize()?;
+        Ok(())
+    }
 }
 
 /// Greedy-then-oldest. Strict GTO can livelock under busy-wait
@@ -270,6 +301,28 @@ impl SchedulerPolicy for Gto {
     // `pick`, and the fast-forward engine never skips past a rotation
     // boundary).
     fn on_idle_span(&mut self, _ctx: &SchedCtx<'_>, _unit_warps: &[usize], _span: u64) {}
+
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        // The rank cache is a pure function of (resident_version, now) and
+        // refreshes lazily, so only the greedy pointer persists.
+        match self.last_issued {
+            Some(warp) => {
+                w.bool(true);
+                w.usize(warp);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        self.last_issued = if r.bool()? { Some(r.usize()?) } else { None };
+        self.cache_key = (u64::MAX, u64::MAX);
+        self.ranks.clear();
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -379,6 +432,34 @@ impl SchedulerPolicy for Cawa {
                 self.warps[w].stalls += span;
             }
         }
+    }
+
+    fn save_state(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.warps.len());
+        for cw in &self.warps {
+            w.f64(cw.n_inst);
+            w.u64(cw.issued);
+            w.u64(cw.cycles);
+            w.u64(cw.stalls);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let n = r.len(32)?;
+        let mut warps = Vec::with_capacity(n);
+        for _ in 0..n {
+            warps.push(CawaWarp {
+                n_inst: r.f64()?,
+                issued: r.u64()?,
+                cycles: r.u64()?,
+                stalls: r.u64()?,
+            });
+        }
+        self.warps = warps;
+        Ok(())
     }
 }
 

@@ -105,6 +105,24 @@ impl Scoreboard {
     pub fn pending_preds(&self) -> Vec<u8> {
         (0..8).filter(|p| self.preds & (1 << p) != 0).collect()
     }
+
+    /// Serialize the outstanding-write bitmasks (checkpoint support).
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        for word in self.regs {
+            w.u64(word);
+        }
+        w.u8(self.preds);
+    }
+
+    /// Restore bitmasks written by [`Scoreboard::save_snap`].
+    pub(crate) fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<Scoreboard, simt_snap::SnapshotError> {
+        Ok(Scoreboard {
+            regs: [r.u64()?, r.u64()?, r.u64()?, r.u64()?],
+            preds: r.u8()?,
+        })
+    }
 }
 
 #[cfg(test)]

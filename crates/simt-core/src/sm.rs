@@ -120,6 +120,21 @@ struct ExecOutcome {
     cta_event: Option<CtaEvent>,
 }
 
+/// Kernel/launch-derived bounds that every restored snapshot index is
+/// validated against in [`Sm::load_snap`] before a single cycle runs.
+pub struct SnapLimits {
+    /// Instructions in the kernel (bounds every pc/rpc).
+    pub insts: usize,
+    /// Registers per thread (bounds every restored register index).
+    pub regs_per_thread: usize,
+    /// Threads per CTA in the launch.
+    pub threads_per_cta: usize,
+    /// Shared-memory words per CTA.
+    pub shared_words: usize,
+    /// CTAs in the grid (bounds every CTA id).
+    pub grid_ctas: usize,
+}
+
 /// Result of one SM cycle.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SmCycle {
@@ -444,7 +459,18 @@ impl Sm {
                     stats.stall_membar += 1;
                 } else if now >= w.next_issue && !w.stack.is_empty() {
                     let pc = w.stack.pc();
-                    let inst = &lctx.kernel.insts[pc];
+                    // A well-formed kernel ends in an unconditional `exit`,
+                    // but a guarded exit on the last instruction (or a
+                    // resumed snapshot that passed shape validation with a
+                    // semantically twisted stack) can run a warp off the
+                    // end of the program. Fail structured, not by index.
+                    let Some(inst) = lctx.kernel.insts.get(pc) else {
+                        return Err(invariant(format!(
+                            "sm {}: warp {i} pc {pc} past program end ({} insts)",
+                            self.id,
+                            lctx.kernel.insts.len()
+                        )));
+                    };
                     if w.sb.has_hazard(inst) {
                         stats.stall_data += 1;
                     } else {
@@ -747,7 +773,13 @@ impl Sm {
         };
         let warp = &mut self.warps[w_idx];
         let pc = warp.stack.pc();
-        let inst = &lctx.kernel.insts[pc];
+        let Some(inst) = lctx.kernel.insts.get(pc) else {
+            return Err(invariant(format!(
+                "sm {}: warp {w_idx} pc {pc} past program end ({} insts)",
+                self.id,
+                lctx.kernel.insts.len()
+            )));
+        };
         let active = warp.stack.active_mask();
         let cta_slot = warp.cta_slot;
         let sm_id = self.id;
@@ -1309,6 +1341,422 @@ impl Sm {
     /// Any CTA slots occupied?
     pub fn has_work(&self) -> bool {
         self.ctas.iter().any(Option::is_some)
+    }
+
+    /// Serialize the SM's full dynamic state at a checkpoint boundary (top
+    /// of a run-loop iteration, before any cycle work).
+    ///
+    /// Construction-derived members (latencies, capacities, `unit_warps`
+    /// striding, scratch buffers) are rebuilt from the config on restore and
+    /// not written. `staged`/`stage` must be empty at the boundary — every
+    /// cycle drains them through [`Sm::replay_stage`] before the loop
+    /// re-enters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-cycle (staged memory ops not yet replayed).
+    pub fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        assert!(
+            self.staged.is_empty() && self.stage.is_empty(),
+            "checkpoint taken mid-cycle: staged ops not replayed"
+        );
+        w.usize(self.warps.len());
+        for warp in &self.warps {
+            warp.save_snap(w);
+        }
+        w.usize(self.ctas.len());
+        for cta in &self.ctas {
+            match cta {
+                Some(c) => {
+                    w.bool(true);
+                    c.save_snap(w);
+                }
+                None => w.bool(false),
+            }
+        }
+        // Policy/detector state goes in nested length-prefixed blobs so a
+        // unit that misreads its own encoding cannot desynchronize the rest
+        // of the snapshot.
+        w.usize(self.units.len());
+        for unit in &self.units {
+            let mut inner = simt_snap::SnapWriter::new();
+            unit.save_state(&mut inner);
+            w.bytes(&inner.into_bytes());
+        }
+        {
+            let mut inner = simt_snap::SnapWriter::new();
+            self.detector.save_state(&mut inner);
+            w.bytes(&inner.into_bytes());
+        }
+        self.branch_log.save_snap(w);
+        let mut tags: Vec<u64> = self.pending.keys().copied().collect();
+        tags.sort_unstable();
+        w.usize(tags.len());
+        for tag in tags {
+            let p = self.pending[&tag];
+            w.u64(tag);
+            w.usize(p.warp);
+            w.u32(p.remaining);
+            match p.kind {
+                PendKind::Load { dst } => {
+                    w.u8(0);
+                    w.u8(dst.0);
+                }
+                PendKind::Store => w.u8(1),
+                PendKind::Atomic { dst } => {
+                    w.u8(2);
+                    w.u8(dst.0);
+                }
+            }
+        }
+        w.u64(self.next_tag);
+        w.usize(self.wheel.len());
+        for slot in &self.wheel {
+            w.usize(slot.len());
+            for e in slot {
+                w.usize(e.warp);
+                match e.reg {
+                    Some(r) => {
+                        w.bool(true);
+                        w.u8(r.0);
+                    }
+                    None => w.bool(false),
+                }
+                match e.pred {
+                    Some(p) => {
+                        w.bool(true);
+                        w.u8(p.0);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+        w.usize(self.progress.len());
+        for p in &self.progress {
+            p.save_snap(w);
+        }
+        w.u64(self.resident_version);
+        w.usize(self.regs_in_use);
+        w.usize(self.shared_in_use);
+        w.usize(self.meta.len());
+        for m in &self.meta {
+            w.bool(m.resident);
+            w.bool(m.done);
+            w.u64(m.age_key);
+            w.bool(m.eligible);
+        }
+        w.usize(self.captured.len());
+        for c in &self.captured {
+            w.usize(c.cta_id);
+            w.usize(c.threads);
+            w.usize(c.regs_per_thread);
+            w.usize(c.regs.len());
+            for &v in &c.regs {
+                w.u32(v);
+            }
+            w.usize(c.preds.len());
+            for &v in &c.preds {
+                w.u8(v);
+            }
+            w.usize(c.shared.len());
+            for &v in &c.shared {
+                w.u32(v);
+            }
+        }
+    }
+
+    /// Restore state written by [`Sm::save_snap`] into this freshly
+    /// constructed SM (same config, same policy/detector kinds).
+    ///
+    /// Validates every structural count against this SM's construction and
+    /// every restored index against `limits` before mutating, and restores
+    /// member-by-member; on error the SM must be discarded (the caller
+    /// rebuilds the whole chunk set).
+    pub fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+        limits: &SnapLimits,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        use simt_snap::SnapshotError;
+        let nwarps = r.len(12)?;
+        if nwarps != self.warps.len() {
+            return Err(SnapshotError::malformed(format!(
+                "sm {}: snapshot has {nwarps} warp slots, config has {}",
+                self.id,
+                self.warps.len()
+            )));
+        }
+        let mut warps = Vec::with_capacity(nwarps);
+        for _ in 0..nwarps {
+            warps.push(Warp::load_snap(r)?);
+        }
+        let nctas = r.len(1)?;
+        if nctas != self.ctas.len() {
+            return Err(SnapshotError::malformed(format!(
+                "sm {}: snapshot has {nctas} CTA slots, config has {}",
+                self.id,
+                self.ctas.len()
+            )));
+        }
+        let mut ctas = Vec::with_capacity(nctas);
+        for _ in 0..nctas {
+            ctas.push(if r.bool()? {
+                Some(Cta::load_snap(r)?)
+            } else {
+                None
+            });
+        }
+        let nunits = r.len(8)?;
+        if nunits != self.units.len() {
+            return Err(SnapshotError::malformed(format!(
+                "sm {}: snapshot has {nunits} scheduler units, config has {}",
+                self.id,
+                self.units.len()
+            )));
+        }
+        let mut unit_blobs = Vec::with_capacity(nunits);
+        for _ in 0..nunits {
+            unit_blobs.push(r.bytes()?.to_vec());
+        }
+        let detector_blob = r.bytes()?.to_vec();
+        let branch_log = BranchLog::load_snap(r)?;
+        let npending = r.len(21)?;
+        let mut pending = HashMap::with_capacity(npending);
+        for _ in 0..npending {
+            let tag = r.u64()?;
+            let warp = r.usize()?;
+            if warp >= nwarps {
+                return Err(SnapshotError::malformed(format!(
+                    "sm {}: pending tag {tag} names warp {warp} of {nwarps}",
+                    self.id
+                )));
+            }
+            let remaining = r.u32()?;
+            let kind = match r.u8()? {
+                0 => PendKind::Load { dst: Reg(r.u8()?) },
+                1 => PendKind::Store,
+                2 => PendKind::Atomic { dst: Reg(r.u8()?) },
+                k => {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: unknown pending-mem kind {k}",
+                        self.id
+                    )))
+                }
+            };
+            if let PendKind::Load { dst } | PendKind::Atomic { dst } = kind {
+                if dst.index() >= limits.regs_per_thread {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: pending tag {tag} writes r{} of {} kernel registers",
+                        self.id, dst.0, limits.regs_per_thread
+                    )));
+                }
+            }
+            if pending
+                .insert(
+                    tag,
+                    PendingMem {
+                        warp,
+                        remaining,
+                        kind,
+                    },
+                )
+                .is_some()
+            {
+                return Err(SnapshotError::malformed(format!(
+                    "sm {}: duplicate pending tag {tag}",
+                    self.id
+                )));
+            }
+        }
+        let next_tag = r.u64()?;
+        let nwheel = r.len(8)?;
+        if nwheel != WHEEL {
+            return Err(SnapshotError::malformed(format!(
+                "sm {}: snapshot wheel has {nwheel} slots, expected {WHEEL}",
+                self.id
+            )));
+        }
+        let mut wheel: Vec<Vec<WbEntry>> = Vec::with_capacity(WHEEL);
+        for _ in 0..WHEEL {
+            let n = r.len(4)?;
+            let mut slot = Vec::with_capacity(n);
+            for _ in 0..n {
+                let warp = r.usize()?;
+                if warp >= nwarps {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: writeback entry names warp {warp} of {nwarps}",
+                        self.id
+                    )));
+                }
+                let reg = if r.bool()? { Some(Reg(r.u8()?)) } else { None };
+                if reg.is_some_and(|rg| rg.index() >= limits.regs_per_thread) {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: writeback register out of kernel range",
+                        self.id
+                    )));
+                }
+                let pred = if r.bool()? {
+                    Some(simt_isa::Pred(r.u8()?))
+                } else {
+                    None
+                };
+                if pred.is_some_and(|p| p.0 >= 8) {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: writeback predicate p{} out of range",
+                        self.id,
+                        pred.unwrap().0
+                    )));
+                }
+                slot.push(WbEntry {
+                    warp,
+                    reg,
+                    pred,
+                    _pad: (),
+                });
+            }
+            wheel.push(slot);
+        }
+        let nprogress = r.len(48)?;
+        if nprogress != nwarps {
+            return Err(SnapshotError::malformed(format!(
+                "sm {}: {nprogress} progress entries for {nwarps} warps",
+                self.id
+            )));
+        }
+        let mut progress = Vec::with_capacity(nprogress);
+        for _ in 0..nprogress {
+            progress.push(WarpProgress::load_snap(r)?);
+        }
+        let resident_version = r.u64()?;
+        let regs_in_use = r.usize()?;
+        let shared_in_use = r.usize()?;
+        let nmeta = r.len(11)?;
+        if nmeta != nwarps {
+            return Err(SnapshotError::malformed(format!(
+                "sm {}: {nmeta} meta entries for {nwarps} warps",
+                self.id
+            )));
+        }
+        let mut meta = Vec::with_capacity(nmeta);
+        for _ in 0..nmeta {
+            meta.push(WarpMeta {
+                resident: r.bool()?,
+                done: r.bool()?,
+                age_key: r.u64()?,
+                eligible: r.bool()?,
+            });
+        }
+        let ncaptured = r.len(28)?;
+        let mut captured = Vec::with_capacity(ncaptured);
+        for _ in 0..ncaptured {
+            let cta_id = r.usize()?;
+            let threads = r.usize()?;
+            let regs_per_thread = r.usize()?;
+            let nregs = r.len(4)?;
+            let mut regs = Vec::with_capacity(nregs);
+            for _ in 0..nregs {
+                regs.push(r.u32()?);
+            }
+            let npreds = r.len(1)?;
+            let mut preds = Vec::with_capacity(npreds);
+            for _ in 0..npreds {
+                preds.push(r.u8()?);
+            }
+            let nshared = r.len(4)?;
+            let mut shared = Vec::with_capacity(nshared);
+            for _ in 0..nshared {
+                shared.push(r.u32()?);
+            }
+            captured.push(crate::warp::CtaState {
+                cta_id,
+                threads,
+                regs_per_thread,
+                regs,
+                preds,
+                shared,
+            });
+        }
+        // Semantic bounds. Parsing proved the bytes are well-formed; these
+        // checks prove the *values* can run: every index the cycle loop
+        // will touch — program counters, CTA slots, lane→thread mappings —
+        // is validated against the kernel and launch before anything
+        // mutates. A snapshot that reaches the machine with a damaged body
+        // (its envelope checksum bypassed or its bytes flipped in memory)
+        // must die here with a structured error, not panic mid-cycle.
+        for (i, warp) in warps.iter().enumerate() {
+            for e in warp.stack.entries() {
+                if e.pc >= limits.insts
+                    || (e.rpc != simt_isa::RECONV_EXIT && e.rpc >= limits.insts)
+                {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: warp {i} stack pc {} / rpc {} outside the \
+                         kernel's {} instructions",
+                        self.id, e.pc, e.rpc, limits.insts
+                    )));
+                }
+            }
+            if warp.resident {
+                let Some(Some(cta)) = ctas.get(warp.cta_slot) else {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: resident warp {i} names empty CTA slot {}",
+                        self.id, warp.cta_slot
+                    )));
+                };
+                if warp.warp_in_cta >= cta.num_warps {
+                    return Err(SnapshotError::malformed(format!(
+                        "sm {}: warp {i} is warp {} of a {}-warp CTA",
+                        self.id, warp.warp_in_cta, cta.num_warps
+                    )));
+                }
+                for e in warp.stack.entries() {
+                    let top_lane = (31 - e.mask.leading_zeros()) as usize;
+                    if e.mask != 0 && warp.thread_of(top_lane) >= cta.threads {
+                        return Err(SnapshotError::malformed(format!(
+                            "sm {}: warp {i} mask {:#010x} activates a lane \
+                             past the CTA's {} threads",
+                            self.id, e.mask, cta.threads
+                        )));
+                    }
+                }
+            }
+        }
+        for cta in ctas.iter().flatten() {
+            if cta.id >= limits.grid_ctas
+                || cta.threads != limits.threads_per_cta
+                || cta.regs_per_thread != limits.regs_per_thread
+                || cta.shared.len() != limits.shared_words
+            {
+                return Err(SnapshotError::malformed(format!(
+                    "sm {}: CTA {} geometry does not match the launch",
+                    self.id, cta.id
+                )));
+            }
+        }
+        // All bytes parsed and bounded; now restore. The per-unit and
+        // detector blobs go last so their own load errors still leave
+        // counts consistent — the caller discards the SM on any error
+        // either way.
+        self.warps = warps;
+        self.ctas = ctas;
+        self.branch_log = branch_log;
+        self.pending = pending;
+        self.next_tag = next_tag;
+        self.wheel = wheel;
+        self.progress = progress;
+        self.resident_version = resident_version;
+        self.regs_in_use = regs_in_use;
+        self.shared_in_use = shared_in_use;
+        self.meta = meta;
+        self.captured = captured;
+        for (unit, blob) in self.units.iter_mut().zip(&unit_blobs) {
+            let mut ir = simt_snap::SnapReader::new(blob);
+            unit.load_state(&mut ir)?;
+            ir.expect_exhausted()?;
+        }
+        let mut ir = simt_snap::SnapReader::new(&detector_blob);
+        self.detector.load_state(&mut ir)?;
+        ir.expect_exhausted()?;
+        Ok(())
     }
 }
 

@@ -146,6 +146,32 @@ impl SimtStack {
     pub fn entries(&self) -> &[StackEntry] {
         &self.entries
     }
+
+    /// Serialize every stack entry, bottom to top (checkpoint support).
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.usize(e.pc);
+            w.usize(e.rpc);
+            w.u32(e.mask);
+        }
+    }
+
+    /// Restore a stack written by [`SimtStack::save_snap`].
+    pub(crate) fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<SimtStack, simt_snap::SnapshotError> {
+        let n = r.len(20)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(StackEntry {
+                pc: r.usize()?,
+                rpc: r.usize()?,
+                mask: r.u32()?,
+            });
+        }
+        Ok(SimtStack { entries })
+    }
 }
 
 #[cfg(test)]

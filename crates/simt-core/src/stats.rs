@@ -99,6 +99,64 @@ impl SimStats {
         ]
     }
 
+    /// Serialize every counter in declaration order (checkpoint support).
+    pub fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        for v in [
+            self.cycles,
+            self.issued_inst,
+            self.thread_inst,
+            self.sync_thread_inst,
+            self.sib_inst,
+            self.wait_exit_success,
+            self.wait_exit_fail,
+            self.backed_off_warp_samples,
+            self.resident_warp_samples,
+            self.busy_cycles,
+            self.barriers,
+            self.atomic_inst,
+            self.load_inst,
+            self.store_inst,
+            self.ctas_completed,
+            self.stall_barrier,
+            self.stall_membar,
+            self.stall_data,
+            self.stall_backoff,
+            self.stall_arbitration,
+            self.issued_cycles,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restore counters written by [`SimStats::save_snap`].
+    pub fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<SimStats, simt_snap::SnapshotError> {
+        Ok(SimStats {
+            cycles: r.u64()?,
+            issued_inst: r.u64()?,
+            thread_inst: r.u64()?,
+            sync_thread_inst: r.u64()?,
+            sib_inst: r.u64()?,
+            wait_exit_success: r.u64()?,
+            wait_exit_fail: r.u64()?,
+            backed_off_warp_samples: r.u64()?,
+            resident_warp_samples: r.u64()?,
+            busy_cycles: r.u64()?,
+            barriers: r.u64()?,
+            atomic_inst: r.u64()?,
+            load_inst: r.u64()?,
+            store_inst: r.u64()?,
+            ctas_completed: r.u64()?,
+            stall_barrier: r.u64()?,
+            stall_membar: r.u64()?,
+            stall_data: r.u64()?,
+            stall_backoff: r.u64()?,
+            stall_arbitration: r.u64()?,
+            issued_cycles: r.u64()?,
+        })
+    }
+
     /// Element-wise accumulate (across kernels in one experiment).
     pub fn add(&mut self, o: &SimStats) {
         self.cycles += o.cycles;

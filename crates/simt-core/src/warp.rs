@@ -88,6 +88,85 @@ impl Cta {
             shared: self.shared.clone(),
         }
     }
+
+    /// Serialize the full CTA — geometry, barrier bookkeeping, and all
+    /// architectural state (checkpoint support).
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.id);
+        w.usize(self.threads);
+        w.usize(self.regs_per_thread);
+        w.usize(self.num_warps);
+        w.usize(self.warps_done);
+        w.usize(self.barrier_arrived);
+        w.usize(self.regs.len());
+        for &v in &self.regs {
+            w.u32(v);
+        }
+        w.usize(self.preds.len());
+        for &v in &self.preds {
+            w.u8(v);
+        }
+        w.usize(self.shared.len());
+        for &v in &self.shared {
+            w.u32(v);
+        }
+    }
+
+    /// Restore a CTA written by [`Cta::save_snap`].
+    pub(crate) fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<Cta, simt_snap::SnapshotError> {
+        let id = r.usize()?;
+        let threads = r.usize()?;
+        let regs_per_thread = r.usize()?;
+        let num_warps = r.usize()?;
+        let warps_done = r.usize()?;
+        let barrier_arrived = r.usize()?;
+        if num_warps != threads.div_ceil(32) || warps_done > num_warps || barrier_arrived > num_warps
+        {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "cta {id}: inconsistent warp bookkeeping \
+                 ({num_warps} warps for {threads} threads, \
+                 {warps_done} done, {barrier_arrived} at barrier)"
+            )));
+        }
+        let nregs = r.len(4)?;
+        if nregs != threads.saturating_mul(regs_per_thread) {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "cta {id}: {nregs} regs for {threads} threads x {regs_per_thread}"
+            )));
+        }
+        let mut regs = Vec::with_capacity(nregs);
+        for _ in 0..nregs {
+            regs.push(r.u32()?);
+        }
+        let npreds = r.len(1)?;
+        if npreds != threads {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "cta {id}: {npreds} predicate bytes for {threads} threads"
+            )));
+        }
+        let mut preds = Vec::with_capacity(npreds);
+        for _ in 0..npreds {
+            preds.push(r.u8()?);
+        }
+        let nshared = r.len(4)?;
+        let mut shared = Vec::with_capacity(nshared);
+        for _ in 0..nshared {
+            shared.push(r.u32()?);
+        }
+        Ok(Cta {
+            id,
+            threads,
+            regs_per_thread,
+            num_warps,
+            warps_done,
+            barrier_arrived,
+            regs,
+            preds,
+            shared,
+        })
+    }
 }
 
 /// Architectural state of one CTA at retirement: what the differential
@@ -181,6 +260,40 @@ impl Warp {
     #[inline]
     pub fn thread_of(&self, lane: usize) -> usize {
         self.warp_in_cta * 32 + lane
+    }
+
+    /// Serialize the full warp slot (checkpoint support).
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.bool(self.resident);
+        w.bool(self.done);
+        w.usize(self.cta_slot);
+        w.usize(self.warp_in_cta);
+        self.stack.save_snap(w);
+        self.sb.save_snap(w);
+        w.u64(self.next_issue);
+        w.u32(self.outstanding_mem);
+        w.bool(self.waiting_membar);
+        w.bool(self.at_barrier);
+        w.u64(self.age_key);
+    }
+
+    /// Restore a slot written by [`Warp::save_snap`].
+    pub(crate) fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<Warp, simt_snap::SnapshotError> {
+        Ok(Warp {
+            resident: r.bool()?,
+            done: r.bool()?,
+            cta_slot: r.usize()?,
+            warp_in_cta: r.usize()?,
+            stack: SimtStack::load_snap(r)?,
+            sb: Scoreboard::load_snap(r)?,
+            next_issue: r.u64()?,
+            outstanding_mem: r.u32()?,
+            waiting_membar: r.bool()?,
+            at_barrier: r.bool()?,
+            age_key: r.u64()?,
+        })
     }
 }
 

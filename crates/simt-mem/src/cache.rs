@@ -154,6 +154,43 @@ impl Cache {
     pub fn occupancy(&self) -> usize {
         self.lines.iter().filter(|e| e.valid).count()
     }
+
+    /// Serialize directory state (tags, validity, LRU clock) for a
+    /// checkpoint. Geometry (`sets`/`ways`) comes from construction and is
+    /// written only to be cross-checked on restore.
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.usize(self.sets);
+        w.usize(self.ways);
+        w.u64(self.tick);
+        for e in &self.lines {
+            w.u64(e.tag);
+            w.bool(e.valid);
+            w.u64(e.last_use);
+        }
+    }
+
+    /// Restore directory state written by [`Cache::save_snap`] into a
+    /// cache of identical geometry.
+    pub(crate) fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let sets = r.usize()?;
+        let ways = r.usize()?;
+        if sets != self.sets || ways != self.ways {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "cache geometry mismatch: snapshot {sets}x{ways}, config {}x{}",
+                self.sets, self.ways
+            )));
+        }
+        self.tick = r.u64()?;
+        for e in &mut self.lines {
+            e.tag = r.u64()?;
+            e.valid = r.bool()?;
+            e.last_use = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -236,6 +236,41 @@ impl ChaosEngine {
     pub fn squeeze_possible(&self) -> bool {
         self.enabled && self.cfg.mshr_squeeze_ppm != 0
     }
+
+    /// Serialize the RNG stream position and injection counters. The
+    /// config (and therefore `enabled`) comes from construction — resuming
+    /// under a different chaos config would silently change the fault
+    /// schedule, so the seed is written for a cross-check.
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.u64(self.cfg.seed);
+        w.u64(self.state);
+        w.u64(self.stats.latency_injections);
+        w.u64(self.stats.extra_latency_cycles);
+        w.u64(self.stats.nacks);
+        w.u64(self.stats.atomic_delays);
+        w.u64(self.stats.mshr_squeezes);
+    }
+
+    /// Restore the stream position written by [`ChaosEngine::save_snap`].
+    pub(crate) fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let seed = r.u64()?;
+        if seed != self.cfg.seed {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "chaos seed mismatch: snapshot {seed}, config {}",
+                self.cfg.seed
+            )));
+        }
+        self.state = r.u64()?;
+        self.stats.latency_injections = r.u64()?;
+        self.stats.extra_latency_cycles = r.u64()?;
+        self.stats.nacks = r.u64()?;
+        self.stats.atomic_delays = r.u64()?;
+        self.stats.mshr_squeezes = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

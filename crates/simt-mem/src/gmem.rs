@@ -193,6 +193,36 @@ impl GlobalMem {
         }
         None
     }
+
+    /// Serialize the full memory image and allocation cursor.
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        w.u64(self.next);
+        w.usize(self.data.len());
+        for &word in &self.data {
+            w.u32(word);
+        }
+    }
+
+    /// Restore an image written by [`GlobalMem::save_snap`].
+    pub(crate) fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        self.next = r.u64()?;
+        let n = r.len(4)?;
+        if n as u64 * 4 != self.next {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "global memory image is {n} words but allocation cursor is {:#x} bytes",
+                self.next
+            )));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.u32()?);
+        }
+        self.data = data;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,54 @@ impl Mshr {
     pub fn in_flight(&self) -> usize {
         self.entries.len()
     }
+
+    /// Serialize in-flight entries, keys sorted so the encoding is
+    /// independent of hash-map iteration order; waiter lists keep their
+    /// arrival order verbatim (fills release waiters in that order).
+    pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        let mut lines: Vec<Addr> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        w.usize(lines.len());
+        for line in lines {
+            w.u64(line);
+            let waiters = &self.entries[&line];
+            w.usize(waiters.len());
+            for &tag in waiters {
+                w.u64(tag);
+            }
+        }
+    }
+
+    /// Restore entries written by [`Mshr::save_snap`]; capacity comes from
+    /// construction and bounds the restored entry count.
+    pub(crate) fn load_snap(
+        &mut self,
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<(), simt_snap::SnapshotError> {
+        let n = r.len(16)?;
+        if n > self.capacity {
+            return Err(simt_snap::SnapshotError::malformed(format!(
+                "mshr snapshot has {n} entries, capacity {}",
+                self.capacity
+            )));
+        }
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = r.u64()?;
+            let m = r.len(8)?;
+            let mut waiters = Vec::with_capacity(m);
+            for _ in 0..m {
+                waiters.push(r.u64()?);
+            }
+            if entries.insert(line, waiters).is_some() {
+                return Err(simt_snap::SnapshotError::malformed(format!(
+                    "duplicate mshr line {line:#x}"
+                )));
+            }
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

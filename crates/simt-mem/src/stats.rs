@@ -78,6 +78,53 @@ impl MemStats {
         self.lock_intra_fail += o.lock_intra_fail;
         self.lock_inter_fail += o.lock_inter_fail;
     }
+
+    /// Serialize every counter (checkpoint support). Public because the
+    /// GPU loop also checkpoints its own `MemStats` deltas.
+    pub fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
+        for v in [
+            self.l1_accesses,
+            self.l1_hits,
+            self.l1_misses,
+            self.l2_accesses,
+            self.l2_hits,
+            self.l2_misses,
+            self.dram_reads,
+            self.dram_writes,
+            self.atomic_transactions,
+            self.atomic_lane_ops,
+            self.total_transactions,
+            self.sync_transactions,
+            self.lock_success,
+            self.lock_intra_fail,
+            self.lock_inter_fail,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restore counters written by [`MemStats::save_snap`].
+    pub fn load_snap(
+        r: &mut simt_snap::SnapReader<'_>,
+    ) -> Result<MemStats, simt_snap::SnapshotError> {
+        Ok(MemStats {
+            l1_accesses: r.u64()?,
+            l1_hits: r.u64()?,
+            l1_misses: r.u64()?,
+            l2_accesses: r.u64()?,
+            l2_hits: r.u64()?,
+            l2_misses: r.u64()?,
+            dram_reads: r.u64()?,
+            dram_writes: r.u64()?,
+            atomic_transactions: r.u64()?,
+            atomic_lane_ops: r.u64()?,
+            total_transactions: r.u64()?,
+            sync_transactions: r.u64()?,
+            lock_success: r.u64()?,
+            lock_intra_fail: r.u64()?,
+            lock_inter_fail: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

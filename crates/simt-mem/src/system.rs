@@ -846,6 +846,357 @@ impl MemorySystem {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint serialization.
+//
+// Everything below encodes the memory system's complete dynamic state —
+// functional memory, cache directories, MSHRs, every queued request, the
+// event heap, lock/parking bookkeeping, stats, and the chaos RNG stream —
+// so a restored system is bit-indistinguishable from one that never
+// stopped. Hash maps are written in sorted-key order; queue contents keep
+// their order verbatim; the event heap is written as sorted (time, key)
+// pairs plus the slot-addressed bodies and the free-slot stack (LIFO order
+// matters: slot reuse feeds the `seq`-keyed heap ordering).
+// ---------------------------------------------------------------------------
+
+use simt_snap::{SnapReader, SnapWriter, SnapshotError};
+
+fn save_req(w: &mut SnapWriter, req: &MemRequest) {
+    match &req.kind {
+        ReqKind::Load { bypass_l1 } => {
+            w.u8(0);
+            w.bool(*bypass_l1);
+        }
+        ReqKind::Store => w.u8(1),
+        ReqKind::Atomic { ops } => {
+            w.u8(2);
+            w.usize(ops.len());
+            for op in ops {
+                w.u8(op.lane);
+                w.u64(op.addr);
+                w.u8(match op.op {
+                    AtomOp::Cas => 0,
+                    AtomOp::Exch => 1,
+                    AtomOp::Add => 2,
+                    AtomOp::Max => 3,
+                    AtomOp::Min => 4,
+                    AtomOp::And => 5,
+                    AtomOp::Or => 6,
+                });
+                w.u32(op.a);
+                w.u32(op.b);
+                w.u8(match op.role {
+                    LockRole::None => 0,
+                    LockRole::Acquire => 1,
+                    LockRole::Release => 2,
+                });
+                w.u64(op.holder);
+            }
+        }
+    }
+    w.u64(req.line);
+    w.u64(req.tag);
+    w.bool(req.sync);
+    w.bool(req.sole);
+}
+
+fn load_req(
+    r: &mut SnapReader<'_>,
+    gmem: &crate::GlobalMem,
+) -> Result<MemRequest, SnapshotError> {
+    let kind = match r.u8()? {
+        0 => ReqKind::Load { bypass_l1: r.bool()? },
+        1 => ReqKind::Store,
+        2 => {
+            let n = r.len(24)?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lane = r.u8()?;
+                let addr = r.u64()?;
+                let op = match r.u8()? {
+                    0 => AtomOp::Cas,
+                    1 => AtomOp::Exch,
+                    2 => AtomOp::Add,
+                    3 => AtomOp::Max,
+                    4 => AtomOp::Min,
+                    5 => AtomOp::And,
+                    6 => AtomOp::Or,
+                    b => return Err(SnapshotError::malformed(format!("atomic op byte {b}"))),
+                };
+                let a = r.u32()?;
+                let b = r.u32()?;
+                let role = match r.u8()? {
+                    0 => LockRole::None,
+                    1 => LockRole::Acquire,
+                    2 => LockRole::Release,
+                    b => return Err(SnapshotError::malformed(format!("lock role byte {b}"))),
+                };
+                let holder = r.u64()?;
+                // Atomics execute against global memory with unchecked
+                // accesses (a live run can only produce valid addresses),
+                // so a restored address must be re-validated here or a
+                // corrupted snapshot would panic mid-simulation later.
+                if gmem.check_addr(addr).is_err() {
+                    return Err(SnapshotError::malformed(format!(
+                        "atomic address {addr:#x} outside restored memory"
+                    )));
+                }
+                ops.push(LaneAtomic { lane, addr, op, a, b, role, holder });
+            }
+            ReqKind::Atomic { ops }
+        }
+        b => return Err(SnapshotError::malformed(format!("request kind byte {b}"))),
+    };
+    Ok(MemRequest {
+        kind,
+        line: r.u64()?,
+        tag: r.u64()?,
+        sync: r.bool()?,
+        sole: r.bool()?,
+    })
+}
+
+fn save_partreq(w: &mut SnapWriter, p: &PartReq) {
+    w.usize(p.sm);
+    save_req(w, &p.req);
+    w.bool(p.l1_fill);
+    w.u32(p.retries);
+}
+
+fn load_partreq(
+    r: &mut SnapReader<'_>,
+    num_sms: usize,
+    gmem: &crate::GlobalMem,
+) -> Result<PartReq, SnapshotError> {
+    let sm = r.usize()?;
+    if sm >= num_sms {
+        return Err(SnapshotError::malformed(format!("partition request sm {sm}")));
+    }
+    let req = load_req(r, gmem)?;
+    Ok(PartReq { sm, req, l1_fill: r.bool()?, retries: r.u32()? })
+}
+
+impl MemorySystem {
+    /// Serialize complete dynamic state for a checkpoint.
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        self.gmem.save_snap(w);
+        w.usize(self.l1s.len());
+        for l1 in &self.l1s {
+            l1.cache.save_snap(w);
+            l1.mshr.save_snap(w);
+            w.usize(l1.inq.len());
+            for (at, req) in &l1.inq {
+                w.u64(*at);
+                save_req(w, req);
+            }
+        }
+        w.usize(self.parts.len());
+        for p in &self.parts {
+            p.cache.save_snap(w);
+            w.usize(p.inq.len());
+            for (at, preq) in &p.inq {
+                w.u64(*at);
+                save_partreq(w, preq);
+            }
+            w.usize(p.dramq.len());
+            for (at, opt) in &p.dramq {
+                w.u64(*at);
+                match opt {
+                    Some(preq) => {
+                        w.bool(true);
+                        save_partreq(w, preq);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            w.u64(p.dram_next_free);
+            w.u64(p.port_free);
+        }
+        // Event heap: unique (time, seq|slot) keys make pop order a pure
+        // function of the key set, so a sorted encoding restores exactly.
+        let mut keys: Vec<(u64, u64)> = self.events.iter().map(|&Reverse(k)| k).collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for (at, key) in keys {
+            w.u64(at);
+            w.u64(key);
+        }
+        w.usize(self.event_bodies.len());
+        for body in &self.event_bodies {
+            match body {
+                None => w.u8(0),
+                Some(Event::L1Fill { sm, line }) => {
+                    w.u8(1);
+                    w.usize(*sm);
+                    w.u64(*line);
+                }
+                Some(Event::Complete(c)) => {
+                    w.u8(2);
+                    w.usize(c.sm);
+                    w.u64(c.tag);
+                    w.usize(c.atomic_results.len());
+                    for (lane, old) in &c.atomic_results {
+                        w.u8(*lane);
+                        w.u32(*old);
+                    }
+                }
+            }
+        }
+        w.usize(self.free_slots.len());
+        for &slot in &self.free_slots {
+            w.usize(slot);
+        }
+        w.u64(self.seq);
+        self.stats.save_snap(w);
+        let mut locks: Vec<Addr> = self.lock_owners.keys().copied().collect();
+        locks.sort_unstable();
+        w.usize(locks.len());
+        for addr in locks {
+            w.u64(addr);
+            w.u64(self.lock_owners[&addr]);
+        }
+        let mut parked: Vec<Addr> = self.parked.keys().copied().collect();
+        parked.sort_unstable();
+        w.usize(parked.len());
+        for addr in parked {
+            w.u64(addr);
+            let q = &self.parked[&addr];
+            w.usize(q.len());
+            for preq in q {
+                save_partreq(w, preq);
+            }
+        }
+        w.bool(self.blocking_locks);
+        self.chaos.save_snap(w);
+    }
+
+    /// Restore state written by [`MemorySystem::save_snap`].
+    ///
+    /// Decodes into a freshly constructed system (same config, same SM
+    /// count) and replaces `self` only on success, so a malformed body can
+    /// never leave partially mutated state behind.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let num_sms = self.l1s.len();
+        let mut fresh = MemorySystem::new(self.cfg.clone(), num_sms);
+        fresh.blocking_locks = self.blocking_locks;
+        fresh.gmem.load_snap(r)?;
+        let nl1 = r.len(1)?;
+        if nl1 != num_sms {
+            return Err(SnapshotError::malformed(format!(
+                "snapshot has {nl1} L1s, config has {num_sms}"
+            )));
+        }
+        let gmem = &fresh.gmem;
+        for l1 in &mut fresh.l1s {
+            l1.cache.load_snap(r)?;
+            l1.mshr.load_snap(r)?;
+            let n = r.len(8)?;
+            for _ in 0..n {
+                let at = r.u64()?;
+                l1.inq.push_back((at, load_req(r, gmem)?));
+            }
+        }
+        let nparts = r.len(1)?;
+        if nparts != fresh.parts.len() {
+            return Err(SnapshotError::malformed(format!(
+                "snapshot has {nparts} partitions, config has {}",
+                fresh.parts.len()
+            )));
+        }
+        for p in &mut fresh.parts {
+            p.cache.load_snap(r)?;
+            let n = r.len(8)?;
+            for _ in 0..n {
+                let at = r.u64()?;
+                p.inq.push_back((at, load_partreq(r, num_sms, gmem)?));
+            }
+            let n = r.len(8)?;
+            for _ in 0..n {
+                let at = r.u64()?;
+                let preq =
+                    if r.bool()? { Some(load_partreq(r, num_sms, gmem)?) } else { None };
+                p.dramq.push_back((at, preq));
+            }
+            p.dram_next_free = r.u64()?;
+            p.port_free = r.u64()?;
+        }
+        let nev = r.len(16)?;
+        let mut keys = Vec::with_capacity(nev);
+        for _ in 0..nev {
+            let at = r.u64()?;
+            let key = r.u64()?;
+            keys.push((at, key));
+        }
+        let nbodies = r.len(1)?;
+        for _ in 0..nbodies {
+            fresh.event_bodies.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let sm = r.usize()?;
+                    if sm >= num_sms {
+                        return Err(SnapshotError::malformed(format!("fill event sm {sm}")));
+                    }
+                    Some(Event::L1Fill { sm, line: r.u64()? })
+                }
+                2 => {
+                    let sm = r.usize()?;
+                    if sm >= num_sms {
+                        return Err(SnapshotError::malformed(format!("completion sm {sm}")));
+                    }
+                    let tag = r.u64()?;
+                    let n = r.len(5)?;
+                    let mut atomic_results = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let lane = r.u8()?;
+                        atomic_results.push((lane, r.u32()?));
+                    }
+                    Some(Event::Complete(MemCompletion { sm, tag, atomic_results }))
+                }
+                b => return Err(SnapshotError::malformed(format!("event body byte {b}"))),
+            });
+        }
+        for &(at, key) in &keys {
+            let slot = (key & 0xffff_ffff) as usize;
+            if !fresh.event_bodies.get(slot).is_some_and(Option::is_some) {
+                return Err(SnapshotError::malformed(format!(
+                    "event key {key:#x} (slot {slot}) has no live body"
+                )));
+            }
+            fresh.events.push(Reverse((at, key)));
+        }
+        let nfree = r.len(8)?;
+        for _ in 0..nfree {
+            let slot = r.usize()?;
+            if slot >= fresh.event_bodies.len() || fresh.event_bodies[slot].is_some() {
+                return Err(SnapshotError::malformed(format!("free slot {slot} is live")));
+            }
+            fresh.free_slots.push(slot);
+        }
+        fresh.seq = r.u64()?;
+        fresh.stats = MemStats::load_snap(r)?;
+        let nlocks = r.len(16)?;
+        for _ in 0..nlocks {
+            let addr = r.u64()?;
+            let owner = r.u64()?;
+            fresh.lock_owners.insert(addr, owner);
+        }
+        let nparked = r.len(16)?;
+        for _ in 0..nparked {
+            let addr = r.u64()?;
+            let n = r.len(8)?;
+            let mut q = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                q.push_back(load_partreq(r, num_sms, &fresh.gmem)?);
+            }
+            fresh.parked.insert(addr, q);
+        }
+        fresh.blocking_locks = r.bool()?;
+        fresh.chaos.load_snap(r)?;
+        *self = fresh;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1364,5 +1715,96 @@ mod tests {
             now += 1;
         }
         assert!(mem.quiescent());
+    }
+
+    /// Snapshot a system with requests in flight (queues, MSHRs, events,
+    /// parked locks, chaos stream all live), restore it into a fresh
+    /// instance, and run both to quiescence: every observable — completion
+    /// stream, stats, chaos counters, memory image — must be identical.
+    #[test]
+    fn mid_flight_snapshot_round_trips_bit_exact() {
+        let build = || {
+            let cfg = MemConfig {
+                chaos: crate::ChaosConfig::with_level(42, 2),
+                ..MemConfig::default()
+            };
+            let mut mem = MemorySystem::new(cfg, 2);
+            mem.set_blocking_locks(true);
+            mem.gmem_mut().alloc(1024);
+            mem
+        };
+        let drive = |mem: &mut MemorySystem, upto: u64| {
+            let mut done = Vec::new();
+            for now in 0..upto {
+                if now % 7 == 0 {
+                    let tag = 100 + now;
+                    mem.enqueue(
+                        (now % 2) as usize,
+                        MemRequest::new(ReqKind::Load { bypass_l1: now % 3 == 0 }, now * 8, tag),
+                        now,
+                    );
+                }
+                if now % 11 == 0 {
+                    let mut op = LaneAtomic::new(0, 512, AtomOp::Cas, 0, 1);
+                    op.role = LockRole::Acquire;
+                    op.holder = now;
+                    mem.enqueue(
+                        0,
+                        MemRequest::new(ReqKind::Atomic { ops: vec![op] }, 512, 1_000 + now)
+                            .sync(),
+                        now,
+                    );
+                }
+                mem.cycle_into(now, &mut done);
+            }
+            done
+        };
+        let finish = |mem: &mut MemorySystem, from: u64| {
+            let mut done = Vec::new();
+            let mut now = from;
+            while !mem.quiescent() && now < from + 100_000 {
+                mem.cycle_into(now, &mut done);
+                now += 1;
+            }
+            done
+        };
+
+        // Uninterrupted run.
+        let mut a = build();
+        let mut a_done = drive(&mut a, 200);
+        a_done.extend(finish(&mut a, 200));
+
+        // Same run snapshotted mid-flight and restored into a fresh system.
+        let mut b = build();
+        let mut b_done = drive(&mut b, 200);
+        let mut w = SnapWriter::new();
+        b.save_snap(&mut w);
+        let body = w.into_bytes();
+        let mut c = build();
+        let mut r = SnapReader::new(&body);
+        c.load_snap(&mut r).expect("round trip");
+        r.expect_exhausted().expect("full consumption");
+        b_done.extend(finish(&mut c, 200));
+
+        assert_eq!(a_done, b_done, "completion streams diverged");
+        assert_eq!(a.stats(), c.stats());
+        assert_eq!(a.chaos_stats(), c.chaos_stats());
+        assert_eq!(a.gmem().first_diff(c.gmem()), None);
+
+        // A second snapshot of the restored system is byte-identical to
+        // the original snapshot taken at the same point (canonical form).
+        let mut b2 = build();
+        drive(&mut b2, 200);
+        let mut w2 = SnapWriter::new();
+        b2.save_snap(&mut w2);
+        let mut c2 = build();
+        let body2 = w2.into_bytes();
+        let mut r2 = SnapReader::new(&body2);
+        c2.load_snap(&mut r2).unwrap();
+        let mut w3 = SnapWriter::new();
+        c2.save_snap(&mut w3);
+        let mut w4 = SnapWriter::new();
+        b2.save_snap(&mut w4);
+        assert_eq!(w3.into_bytes(), w4.into_bytes(), "snapshot not canonical");
     }
 }

@@ -18,9 +18,18 @@ fn usage() -> ! {
         "usage: bows-serve [--addr HOST:PORT] [--workers N]\n\
          \x20    [--queue-cap N] [--tenant-quota N] [--max-queue-wait-ms N]\n\
          \x20    [--cache-entries N] [--max-retries N] [--attempt-deadline-ms N]\n\
-         \x20    [--sm-threads N]\n\
+         \x20    [--sm-threads N] [--state-dir DIR] [--checkpoint-every-cycles N]\n\
          \x20    [--chaos-seed N] [--chaos-panic-ppm N] [--chaos-slow-ppm N]\n\
          \x20    [--chaos-slow-ms N] [--chaos-corrupt-ppm N]\n\
+         \x20    [--chaos-store-torn-ppm N] [--chaos-store-short-ppm N]\n\
+         \x20    [--chaos-store-flip-ppm N]\n\
+         \n\
+         --state-dir DIR persists the result cache to an fsync'd append\n\
+         log under DIR and replays it on restart (crash-safe: a torn tail\n\
+         is truncated, committed entries survive SIGKILL).\n\
+         --checkpoint-every-cycles N checkpoints in-flight simulations so\n\
+         a retried attempt resumes mid-run instead of replaying (0 = off).\n\
+         --chaos-store-* arm fault injection on the persistence path.\n\
          \n\
          Routes: POST /simulate, GET /healthz, GET /stats, POST /admin/drain."
     );
@@ -62,12 +71,27 @@ fn main() {
             // at any value, so this never fragments the cache. Size it so
             // workers × sm-threads stays within the host's cores.
             "--sm-threads" => cfg.pool.sm_threads = num!(&mut args, "--sm-threads"),
+            "--state-dir" => {
+                cfg.state_dir = Some(std::path::PathBuf::from(next(&mut args, "--state-dir")));
+            }
+            "--checkpoint-every-cycles" => {
+                cfg.pool.checkpoint_every_cycles = num!(&mut args, "--checkpoint-every-cycles");
+            }
             "--chaos-seed" => chaos.seed = num!(&mut args, "--chaos-seed"),
             "--chaos-panic-ppm" => chaos.worker_panic_ppm = num!(&mut args, "--chaos-panic-ppm"),
             "--chaos-slow-ppm" => chaos.worker_slow_ppm = num!(&mut args, "--chaos-slow-ppm"),
             "--chaos-slow-ms" => chaos.slow_ms = num!(&mut args, "--chaos-slow-ms"),
             "--chaos-corrupt-ppm" => {
                 chaos.cache_corrupt_ppm = num!(&mut args, "--chaos-corrupt-ppm");
+            }
+            "--chaos-store-torn-ppm" => {
+                chaos.store_torn_ppm = num!(&mut args, "--chaos-store-torn-ppm");
+            }
+            "--chaos-store-short-ppm" => {
+                chaos.store_short_ppm = num!(&mut args, "--chaos-store-short-ppm");
+            }
+            "--chaos-store-flip-ppm" => {
+                chaos.store_flip_ppm = num!(&mut args, "--chaos-store-flip-ppm");
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -85,6 +109,7 @@ fn main() {
             chaos.cache_corrupt_ppm
         );
     }
+    let (nworkers, ncache) = (cfg.workers, cfg.cache_entries);
     let service = Arc::new(Service::start(cfg));
     let server = match HttpServer::serve(&addr, Arc::clone(&service)) {
         Ok(s) => s,
@@ -96,8 +121,8 @@ fn main() {
     eprintln!(
         "bows-serve listening on {} ({} workers, {}-entry cache)",
         server.addr(),
-        cfg.workers,
-        cfg.cache_entries
+        nworkers,
+        ncache
     );
     // Serve until killed. A drain (POST /admin/drain) flips /healthz to
     // 503 so an orchestrator can stop routing, then terminate us.

@@ -362,6 +362,9 @@ fn main() {
                 worker_slow_ppm: 30_000,
                 slow_ms: 1_500, // past deadline + grace: forces reaps
                 cache_corrupt_ppm: 100_000,
+                store_torn_ppm: 0,
+                store_short_ppm: 0,
+                store_flip_ppm: 0,
             }
         } else {
             ServiceChaos::off()
@@ -380,9 +383,11 @@ fn main() {
                 attempt_deadline_ms: 1_000,
                 reap_grace_ms: 200,
                 sm_threads: 0,
+                checkpoint_every_cycles: 0,
             },
             cache_entries: 64,
             chaos,
+            state_dir: None,
         };
         let service = Arc::new(Service::start(cfg));
         let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&service)).expect("bind");

@@ -26,7 +26,8 @@ pub fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Chaos plan for the serving plane. All rates are parts-per-million per
-/// *attempt* (or per insert, for cache corruption).
+/// *attempt* (or per insert, for cache corruption and the persistence
+/// faults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceChaos {
     /// Seed of the decision stream (same seed ⇒ same faults).
@@ -39,6 +40,29 @@ pub struct ServiceChaos {
     pub slow_ms: u64,
     /// Probability a freshly inserted cache entry is corrupted.
     pub cache_corrupt_ppm: u32,
+    /// Probability a durable-store append is torn mid-record (only the
+    /// first half of the record reaches the log, as if the process died
+    /// between `write` and `fsync`).
+    pub store_torn_ppm: u32,
+    /// Probability a durable-store append loses its final byte (a short
+    /// write the file system acknowledged anyway).
+    pub store_short_ppm: u32,
+    /// Probability one bit of a durable-store record flips on its way to
+    /// the log (silent media corruption).
+    pub store_flip_ppm: u32,
+}
+
+/// One persistence-path fault, chosen deterministically per record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Write the record intact.
+    None,
+    /// Write only the first half of the record.
+    Torn,
+    /// Drop the record's last byte.
+    Short,
+    /// Flip one payload bit (the record checksum no longer matches).
+    BitFlip,
 }
 
 impl ServiceChaos {
@@ -50,12 +74,20 @@ impl ServiceChaos {
             worker_slow_ppm: 0,
             slow_ms: 0,
             cache_corrupt_ppm: 0,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         }
     }
 
     /// True when any fault rate is nonzero.
     pub fn enabled(&self) -> bool {
-        self.worker_panic_ppm > 0 || self.worker_slow_ppm > 0 || self.cache_corrupt_ppm > 0
+        self.worker_panic_ppm > 0
+            || self.worker_slow_ppm > 0
+            || self.cache_corrupt_ppm > 0
+            || self.store_torn_ppm > 0
+            || self.store_short_ppm > 0
+            || self.store_flip_ppm > 0
     }
 
     fn roll(&self, salt: u64, job: u64, attempt: u32, ppm: u32) -> bool {
@@ -84,6 +116,21 @@ impl ServiceChaos {
     /// Should this cache insert be corrupted?
     pub fn corrupt_insert(&self, job: u64) -> bool {
         self.roll(0x636f_7272, job, 0, self.cache_corrupt_ppm)
+    }
+
+    /// Which persistence fault (if any) hits this job's durable-store
+    /// append. At most one fires; torn wins over short wins over bit-flip
+    /// so overlapping rates stay deterministic.
+    pub fn store_fault(&self, job: u64) -> StoreFault {
+        if self.roll(0x746f_726e, job, 0, self.store_torn_ppm) {
+            StoreFault::Torn
+        } else if self.roll(0x7368_7274, job, 0, self.store_short_ppm) {
+            StoreFault::Short
+        } else if self.roll(0x666c_6970, job, 0, self.store_flip_ppm) {
+            StoreFault::BitFlip
+        } else {
+            StoreFault::None
+        }
     }
 }
 
@@ -116,6 +163,9 @@ mod tests {
             worker_slow_ppm: 500_000,
             slow_ms: 1,
             cache_corrupt_ppm: 500_000,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         };
         let d = c; // Copy
         let mut differs_by_attempt = false;
@@ -138,8 +188,34 @@ mod tests {
             worker_slow_ppm: 0,
             slow_ms: 0,
             cache_corrupt_ppm: 0,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         };
         let fired = (0..10_000).filter(|&j| c.panic_attempt(j, 0)).count();
         assert!((1_500..3_500).contains(&fired), "got {fired} / 10000");
+    }
+
+    #[test]
+    fn store_faults_are_deterministic_and_exclusive() {
+        let c = ServiceChaos {
+            store_torn_ppm: 400_000,
+            store_short_ppm: 400_000,
+            store_flip_ppm: 400_000,
+            ..ServiceChaos::off()
+        };
+        let mut seen = [false; 4];
+        for job in 0..1_000 {
+            let f = c.store_fault(job);
+            assert_eq!(f, c.store_fault(job), "same job, same fault");
+            seen[match f {
+                StoreFault::None => 0,
+                StoreFault::Torn => 1,
+                StoreFault::Short => 2,
+                StoreFault::BitFlip => 3,
+            }] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all faults occur at these rates");
+        assert_eq!(ServiceChaos::off().store_fault(7), StoreFault::None);
     }
 }

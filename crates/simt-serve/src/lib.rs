@@ -32,6 +32,7 @@ pub mod json;
 pub mod pool;
 pub mod request;
 pub mod service;
+pub mod store;
 
 pub use admission::{Admission, AdmissionConfig, Refusal};
 pub use cache::{Lookup, ResultCache};
@@ -41,3 +42,4 @@ pub use json::Json;
 pub use pool::{install_quiet_panic_hook, JobResult, PoolConfig};
 pub use request::{run_request, run_request_with, RunOutcome, SimRequest};
 pub use service::{Response, ServeConfig, Service};
+pub use store::{DurableStore, RecoveryStats, StoredEntry};

@@ -23,11 +23,13 @@
 //! returned as structured errors instead.
 
 use crate::chaos::{splitmix64, ServiceChaos};
-use crate::request::{run_request_with, RunOutcome, SimRequest};
+use crate::request::{
+    checkpoint_hash, run_request_resumable, CheckpointSlot, RunOutcome, SimRequest,
+};
 use simt_core::CancelToken;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Supervision knobs.
@@ -49,6 +51,13 @@ pub struct PoolConfig {
     /// request's cache key. Keep `pool workers × sm_threads` within the
     /// host's cores.
     pub sm_threads: usize,
+    /// Mid-run checkpoint cadence in *simulated* cycles (0 = off). An
+    /// attempt killed by its deadline or a panic leaves its newest
+    /// checkpoint in the job's slot, and the retry resumes from it instead
+    /// of replaying from cycle 0 — resumed and fresh runs are bit-identical
+    /// (the determinism invariant), so this is purely a latency knob and
+    /// never enters the cache key.
+    pub checkpoint_every_cycles: u64,
 }
 
 impl Default for PoolConfig {
@@ -60,6 +69,7 @@ impl Default for PoolConfig {
             attempt_deadline_ms: 10_000,
             reap_grace_ms: 500,
             sm_threads: 0,
+            checkpoint_every_cycles: 32_768,
         }
     }
 }
@@ -75,6 +85,8 @@ pub struct PoolCounters {
     pub reaped: AtomicU64,
     /// Retry sleeps taken.
     pub retries: AtomicU64,
+    /// Retry attempts that resumed from a mid-run checkpoint.
+    pub resumed: AtomicU64,
 }
 
 /// Terminal result of a supervised job.
@@ -124,10 +136,22 @@ pub fn execute_supervised(
     counters: &PoolCounters,
 ) -> JobResult {
     let mut last_failure_was_panic = false;
+    // One checkpoint slot for the whole job: a dying attempt's last
+    // snapshot survives here (the slot is outside the attempt thread and
+    // outside `catch_unwind`), and the next attempt picks it up.
+    let slot: Arc<CheckpointSlot> = Arc::new(Mutex::new(None));
     for attempt in 0..=cfg.max_retries {
         if attempt > 0 {
             counters.retries.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(Duration::from_millis(backoff_ms(cfg, job_id, attempt)));
+            // The checkpoint hash feeds the jitter (retry *accounting*),
+            // never the cache key: a resumed job de-correlates its sleep
+            // from fresh retries of the same id without fragmenting the
+            // response cache.
+            let ckpt = checkpoint_hash(&slot);
+            if ckpt != 0 {
+                counters.resumed.fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(Duration::from_millis(backoff_ms(cfg, job_id, attempt, ckpt)));
         }
         let deadline = Duration::from_millis(cfg.attempt_deadline_ms);
         let token = CancelToken::with_deadline(deadline);
@@ -136,6 +160,8 @@ pub fn execute_supervised(
         let attempt_req = req.clone();
         let attempt_chaos = *chaos;
         let sm_threads = cfg.sm_threads;
+        let every = cfg.checkpoint_every_cycles;
+        let attempt_slot = Arc::clone(&slot);
         std::thread::spawn(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if attempt_chaos.slow_attempt(job_id, attempt) {
@@ -144,7 +170,13 @@ pub fn execute_supervised(
                 if attempt_chaos.panic_attempt(job_id, attempt) {
                     panic!("{CHAOS_PANIC_PREFIX}injected worker panic (job {job_id})");
                 }
-                run_request_with(&attempt_req, Some(attempt_token), sm_threads)
+                run_request_resumable(
+                    &attempt_req,
+                    Some(attempt_token),
+                    sm_threads,
+                    every,
+                    Some(&attempt_slot),
+                )
             }));
             // A dropped receiver (reaped attempt) makes this send fail;
             // the late result is deliberately discarded.
@@ -178,13 +210,16 @@ pub fn execute_supervised(
 }
 
 /// Exponential backoff with deterministic jitter: `min(cap, base·2^(a-1))`
-/// plus up to `base` of jitter derived from `(job, attempt)`.
-fn backoff_ms(cfg: &PoolConfig, job_id: u64, attempt: u32) -> u64 {
+/// plus up to `base` of jitter derived from `(job, attempt, checkpoint)`.
+/// `ckpt_hash` is the hash of the checkpoint the retry resumes from (0 =
+/// cold retry) — part of retry accounting only, never request identity.
+fn backoff_ms(cfg: &PoolConfig, job_id: u64, attempt: u32, ckpt_hash: u64) -> u64 {
     let exp = cfg
         .backoff_base_ms
         .saturating_mul(1u64 << (attempt - 1).min(16))
         .min(cfg.backoff_cap_ms);
-    let jitter = splitmix64(job_id ^ ((attempt as u64) << 32)) % cfg.backoff_base_ms.max(1);
+    let jitter = splitmix64(job_id ^ ((attempt as u64) << 32) ^ ckpt_hash)
+        % cfg.backoff_base_ms.max(1);
     exp + jitter
 }
 
@@ -207,6 +242,7 @@ mod tests {
             attempt_deadline_ms: 5_000,
             reap_grace_ms: 200,
             sm_threads: 0,
+            checkpoint_every_cycles: 0,
         }
     }
 
@@ -240,6 +276,9 @@ mod tests {
             worker_slow_ppm: 0,
             slow_ms: 0,
             cache_corrupt_ppm: 0,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         };
         let job = job_failing_only_first(&chaos);
         let counters = PoolCounters::default();
@@ -258,6 +297,9 @@ mod tests {
             worker_slow_ppm: 0,
             slow_ms: 0,
             cache_corrupt_ppm: 0,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         };
         let counters = PoolCounters::default();
         let r = execute_supervised(&tiny_request(), 9, &pool_cfg(), &chaos, &counters);
@@ -276,6 +318,9 @@ mod tests {
             worker_slow_ppm: 300_000,
             slow_ms: 100,
             cache_corrupt_ppm: 0,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         };
         let job = (0..10_000)
             .find(|&j| chaos.slow_attempt(j, 0) && !chaos.slow_attempt(j, 1))
@@ -302,6 +347,9 @@ mod tests {
             worker_slow_ppm: 300_000,
             slow_ms: 300,
             cache_corrupt_ppm: 0,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         };
         let job = (0..10_000)
             .find(|&j| chaos.slow_attempt(j, 0) && !chaos.slow_attempt(j, 1))
@@ -342,10 +390,10 @@ mod tests {
             backoff_cap_ms: 80,
             ..pool_cfg()
         };
-        let b1 = backoff_ms(&cfg, 1, 1);
-        let b4 = backoff_ms(&cfg, 1, 4);
+        let b1 = backoff_ms(&cfg, 1, 1, 0);
+        let b4 = backoff_ms(&cfg, 1, 4, 0);
         assert!((10..20).contains(&b1), "base + jitter, got {b1}");
         assert!((80..90).contains(&b4), "capped + jitter, got {b4}");
-        assert_eq!(backoff_ms(&cfg, 1, 2), backoff_ms(&cfg, 1, 2), "deterministic");
+        assert_eq!(backoff_ms(&cfg, 1, 2, 0), backoff_ms(&cfg, 1, 2, 0), "deterministic");
     }
 }

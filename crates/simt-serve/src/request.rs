@@ -9,8 +9,29 @@
 
 use crate::json::{kernel_report_json, sim_error_json, Json};
 use bows::{AdaptiveConfig, DdosConfig, DelayMode};
-use simt_core::{BasePolicy, CancelToken, Engine, Gpu, GpuConfig, LaunchSpec, SimError};
+use simt_core::{BasePolicy, CancelToken, CheckpointCtl, Engine, Gpu, GpuConfig, LaunchSpec, SimError};
 use simt_mem::ChaosConfig;
+use std::sync::Mutex;
+
+/// Shared slot holding a job's newest mid-run checkpoint:
+/// `(fnv1a(snapshot), snapshot body)`. One slot lives for the whole
+/// supervised life of a job, across attempts: an attempt that dies to a
+/// deadline or a panic leaves its last checkpoint here, and the retry
+/// resumes from it instead of replaying the simulation from cycle 0.
+/// Replacement is atomic under the lock, so the slot never holds a
+/// half-written snapshot — the failure mode that would need detecting.
+pub type CheckpointSlot = Mutex<Option<(u64, Vec<u8>)>>;
+
+/// Hash of the checkpoint currently in `slot` (0 = none). Folded into the
+/// retry backoff jitter — and deliberately *never* into the cache key:
+/// resumed and fresh runs produce byte-identical bodies, so a checkpoint
+/// must not fragment the cache.
+pub fn checkpoint_hash(slot: &CheckpointSlot) -> u64 {
+    slot.lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .map_or(0, |(h, _)| *h)
+}
 
 /// One kernel parameter slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -347,12 +368,60 @@ pub fn run_request(req: &SimRequest, cancel: Option<CancelToken>) -> RunOutcome 
 /// from [`crate::PoolConfig::sm_threads`]; the loadgen oracle runs
 /// serial and still expects byte-equal bodies.
 pub fn run_request_with(req: &SimRequest, cancel: Option<CancelToken>, sm_threads: usize) -> RunOutcome {
+    run_request_resumable(req, cancel, sm_threads, 0, None)
+}
+
+/// [`run_request_with`] plus mid-run checkpointing into `slot` every
+/// `checkpoint_every` cycles (0 = off), resuming from whatever checkpoint
+/// the slot already holds. The supervised pool passes one slot across all
+/// attempts of a job; a checkpoint the simulator rejects on resume
+/// (impossible for a slot the same request filled, but this is the
+/// persistence plane — assume damage) is discarded and the attempt
+/// replays from cycle 0 rather than failing the job.
+pub fn run_request_resumable(
+    req: &SimRequest,
+    cancel: Option<CancelToken>,
+    sm_threads: usize,
+    checkpoint_every: u64,
+    slot: Option<&CheckpointSlot>,
+) -> RunOutcome {
+    let resume: Option<Vec<u8>> = slot.and_then(|s| {
+        s.lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .map(|(_, b)| b.clone())
+    });
+    match attempt_once(req, cancel.clone(), sm_threads, checkpoint_every, slot, resume.as_deref()) {
+        Ok(out) => out,
+        Err(()) => {
+            // The checkpoint was rejected. Forget it (structured
+            // degradation: re-simulate, never fail the request on a
+            // recovery artifact) and run from scratch.
+            if let Some(s) = slot {
+                *s.lock().unwrap_or_else(|p| p.into_inner()) = None;
+            }
+            attempt_once(req, cancel, sm_threads, checkpoint_every, slot, None)
+                .unwrap_or(RunOutcome::Cancelled)
+        }
+    }
+}
+
+/// One execution attempt. `Err(())` means the resume snapshot was
+/// rejected before any simulation happened.
+fn attempt_once(
+    req: &SimRequest,
+    cancel: Option<CancelToken>,
+    sm_threads: usize,
+    checkpoint_every: u64,
+    slot: Option<&CheckpointSlot>,
+    resume: Option<&[u8]>,
+) -> Result<RunOutcome, ()> {
     // The simulator polls the token only at forward-progress scans, which a
     // short kernel never reaches — so honor an already-fired deadline here
     // (e.g. an attempt delayed past its deadline before it could start).
     if let Some(c) = &cancel {
         if c.fired().is_some() {
-            return RunOutcome::Cancelled;
+            return Ok(RunOutcome::Cancelled);
         }
     }
     let kernel = match simt_isa::asm::assemble(&req.kernel) {
@@ -366,7 +435,7 @@ pub fn run_request_with(req: &SimRequest, cancel: Option<CancelToken>, sm_thread
                 ]),
             )])
             .render();
-            return RunOutcome::SimError(body);
+            return Ok(RunOutcome::SimError(body));
         }
     };
     let mut cfg = req.gpu_config();
@@ -403,15 +472,31 @@ pub fn run_request_with(req: &SimRequest, cancel: Option<CancelToken>, sm_thread
     let rotate = gpu.cfg.gto_rotate_period;
     let warps = gpu.cfg.warps_per_sm();
     let policy = bows::policy_factory(req.sched, req.bows, rotate);
+    let mut sink = |_cycle: u64, body: &[u8]| {
+        if let Some(s) = slot {
+            *s.lock().unwrap_or_else(|p| p.into_inner()) =
+                Some((simt_snap::fnv1a(body), body.to_vec()));
+        }
+    };
+    let ctl = if checkpoint_every > 0 || resume.is_some() {
+        Some(CheckpointCtl {
+            every: checkpoint_every,
+            sink: &mut sink,
+            resume,
+        })
+    } else {
+        None
+    };
     let result = if req.ddos {
         let det = bows::ddos_factory(DdosConfig::default(), warps);
-        gpu.run(&kernel, &launch, &policy, &det)
+        gpu.run_with_checkpoints(&kernel, &launch, &policy, &det, ctl)
     } else {
-        gpu.run(&kernel, &launch, &policy, &|k: &simt_isa::Kernel| {
+        let det = |k: &simt_isa::Kernel| -> Box<dyn simt_core::SpinDetector> {
             Box::new(simt_core::StaticSibDetector::new(k.true_sibs.clone()))
-        })
+        };
+        gpu.run_with_checkpoints(&kernel, &launch, &policy, &det, ctl)
     };
-    match result {
+    Ok(match result {
         Ok(report) => {
             let mut dumps = Vec::new();
             for &(slot, words) in &req.dumps {
@@ -421,12 +506,13 @@ pub fn run_request_with(req: &SimRequest, cancel: Option<CancelToken>, sm_thread
             }
             RunOutcome::Ok(kernel_report_json(&report, &dumps).render())
         }
+        Err(SimError::Snapshot { .. }) if resume.is_some() => return Err(()),
         Err(SimError::Cancelled { .. }) => RunOutcome::Cancelled,
         Err(e) => {
             let body = Json::Obj(vec![("error".into(), sim_error_json(&e))]).render();
             RunOutcome::SimError(body)
         }
-    }
+    })
 }
 
 /// FNV-1a, 64-bit: the same checksum family the cache uses.
@@ -561,6 +647,101 @@ mod tests {
             }
             other => panic!("expected Ok, got {other:?}"),
         }
+    }
+
+    /// A spin-lock kernel with enough contention to run for hundreds of
+    /// cycles, so a small `checkpoint_every` produces real mid-run
+    /// snapshots.
+    const LOCK_KERNEL: &str = r#"
+        .kernel locked_inc
+        .regs 10
+        .params 2
+            ld.param r1, [0]      ; mutex
+            ld.param r2, [4]      ; counter
+            mov r9, 0             ; done = false
+        SPIN:
+            atom.global.cas r3, [r1], 0, 1 !acquire !sync
+            setp.eq.s32 p1, r3, 0
+        @!p1 bra TEST
+            ld.global.volatile r4, [r2]
+            add r4, r4, 1
+            st.global [r2], r4
+            membar
+            atom.global.exch r5, [r1], 0 !release !sync
+            mov r9, 1
+        TEST:
+            setp.eq.s32 p2, r9, 0 !sync
+        @p2 bra SPIN !sib !sync
+            exit
+    "#;
+
+    fn lock_body() -> String {
+        format!(
+            "{{\"kernel\":{},\"ctas\":2,\"tpc\":32,\"bows\":\"adaptive\",\
+             \"params\":[{{\"buf\":1,\"fill\":0}},{{\"buf\":1,\"fill\":0}}],\
+             \"dumps\":[[1,1]]}}",
+            crate::json::json_string(LOCK_KERNEL)
+        )
+    }
+
+    fn expect_ok(out: RunOutcome) -> String {
+        match out {
+            RunOutcome::Ok(body) => body,
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumed_run_returns_byte_identical_body() {
+        let r = SimRequest::from_json(&lock_body()).unwrap();
+        let fresh = expect_ok(run_request_with(&r, None, 0));
+
+        // Fill the slot by running with checkpointing armed; the slot
+        // keeps the newest snapshot the run produced.
+        let slot: CheckpointSlot = Mutex::new(None);
+        let ckpt = expect_ok(run_request_resumable(&r, None, 0, 64, Some(&slot)));
+        assert_eq!(fresh, ckpt, "checkpointing must not perturb the run");
+        assert!(
+            checkpoint_hash(&slot) != 0,
+            "a contended lock kernel must live past 64 cycles"
+        );
+
+        // Resume from that snapshot: same bytes out.
+        let resumed = expect_ok(run_request_resumable(&r, None, 0, 64, Some(&slot)));
+        assert_eq!(fresh, resumed, "resumed body must be byte-identical");
+    }
+
+    #[test]
+    fn rejected_resume_snapshot_degrades_to_a_fresh_run() {
+        // Poison the slot with a snapshot from a *different* request: the
+        // fingerprint check rejects it, the slot is cleared, and the run
+        // replays from cycle 0 — correct bytes, no error surfaced.
+        let lock = SimRequest::from_json(&lock_body()).unwrap();
+        let slot: CheckpointSlot = Mutex::new(None);
+        expect_ok(run_request_resumable(&lock, None, 0, 64, Some(&slot)));
+        assert!(checkpoint_hash(&slot) != 0);
+
+        let vec = SimRequest::from_json(&sample_body()).unwrap();
+        let fresh = expect_ok(run_request_with(&vec, None, 0));
+        let recovered = expect_ok(run_request_resumable(&vec, None, 0, 0, Some(&slot)));
+        assert_eq!(fresh, recovered, "degraded run must still be correct");
+        assert_eq!(
+            checkpoint_hash(&slot),
+            0,
+            "the rejected snapshot must be discarded"
+        );
+    }
+
+    #[test]
+    fn garbage_resume_snapshot_degrades_to_a_fresh_run() {
+        // Structurally broken snapshot bytes (not just a mismatched
+        // fingerprint) take the same degradation path: discard, replay.
+        let vec = SimRequest::from_json(&sample_body()).unwrap();
+        let slot: CheckpointSlot = Mutex::new(Some((1, vec![0xAB; 64])));
+        let fresh = expect_ok(run_request_with(&vec, None, 0));
+        let recovered = expect_ok(run_request_resumable(&vec, None, 0, 0, Some(&slot)));
+        assert_eq!(fresh, recovered);
+        assert_eq!(checkpoint_hash(&slot), 0);
     }
 
     #[test]

@@ -16,17 +16,18 @@
 
 use crate::admission::{Admission, AdmissionConfig, Refusal};
 use crate::cache::{Lookup, ResultCache};
-use crate::chaos::ServiceChaos;
+use crate::chaos::{ServiceChaos, StoreFault};
 use crate::json::Json;
 use crate::pool::{execute_supervised, JobResult, PoolConfig, PoolCounters};
 use crate::request::SimRequest;
+use crate::store::DurableStore;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Service configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker (supervisor) threads.
     pub workers: usize,
@@ -38,6 +39,11 @@ pub struct ServeConfig {
     pub cache_entries: usize,
     /// Service-level fault injection.
     pub chaos: ServiceChaos,
+    /// Durable result store directory. When set, every cold success body
+    /// is appended to an fsync'd log here and replayed into the cache on
+    /// the next start, so a restart (or a SIGKILL) loses no committed
+    /// result. `None` keeps the cache purely in-memory.
+    pub state_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +54,7 @@ impl Default for ServeConfig {
             pool: PoolConfig::default(),
             cache_entries: 256,
             chaos: ServiceChaos::off(),
+            state_dir: None,
         }
     }
 }
@@ -80,6 +87,9 @@ struct Shared {
     admission: Mutex<Admission<Job>>,
     work_cv: Condvar,
     cache: Mutex<ResultCache>,
+    /// Durable backing log for the cache; `None` without `state_dir` or
+    /// when the log failed to open (the service degrades to in-memory).
+    store: Option<Mutex<DurableStore>>,
     pool_counters: PoolCounters,
     requests: AtomicU64,
     ok_responses: AtomicU64,
@@ -99,14 +109,40 @@ pub struct Service {
 }
 
 impl Service {
-    /// Start the worker pool.
+    /// Start the worker pool. With a `state_dir`, first recover the
+    /// durable log — truncating any torn tail — and replay every
+    /// committed result into the cache, so a restarted service serves
+    /// pre-crash results as warm hits. A store that cannot open is a
+    /// warning, not a startup failure: the service runs in-memory.
     pub fn start(mut cfg: ServeConfig) -> Service {
         cfg.workers = cfg.workers.max(1);
         cfg.admission.workers = cfg.workers;
+        let nworkers = cfg.workers;
+        let mut cache = ResultCache::new(cfg.cache_entries);
+        let store = cfg.state_dir.as_ref().and_then(|dir| {
+            match DurableStore::open(dir) {
+                Ok((store, entries)) => {
+                    // Log order: the newest record for a key replays last
+                    // and wins, matching the order results were committed.
+                    for e in entries {
+                        cache.insert(e.key, e.canon, e.body);
+                    }
+                    Some(Mutex::new(store))
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: durable store at {} unavailable ({e}); running in-memory",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let shared = Arc::new(Shared {
             admission: Mutex::new(Admission::new(cfg.admission)),
             work_cv: Condvar::new(),
-            cache: Mutex::new(ResultCache::new(cfg.cache_entries)),
+            cache: Mutex::new(cache),
+            store,
             pool_counters: PoolCounters::default(),
             requests: AtomicU64::new(0),
             ok_responses: AtomicU64::new(0),
@@ -119,7 +155,7 @@ impl Service {
             shutdown: AtomicBool::new(false),
             cfg,
         });
-        let workers = (0..cfg.workers)
+        let workers = (0..nworkers)
             .map(|_| {
                 let s = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&s))
@@ -240,6 +276,17 @@ impl Service {
             s.cache.lock().unwrap().stats();
         let (admitted, shed_quota, shed_overload) = s.admission.lock().unwrap().stats();
         let backlog = s.admission.lock().unwrap().backlog();
+        let store_stats = s.store.as_ref().map(|st| {
+            let st = st.lock().unwrap_or_else(|p| p.into_inner());
+            let rec = st.recovery_stats();
+            (
+                st.persisted_entries(),
+                rec.recovered,
+                rec.truncated_bytes,
+                rec.dropped_records,
+                st.append_errors(),
+            )
+        });
         Json::Obj(vec![
             (
                 "requests".into(),
@@ -299,6 +346,30 @@ impl Service {
             (
                 "retries".into(),
                 Json::UInt(s.pool_counters.retries.load(Ordering::Relaxed)),
+            ),
+            (
+                "attempts_resumed".into(),
+                Json::UInt(s.pool_counters.resumed.load(Ordering::Relaxed)),
+            ),
+            (
+                "persisted_entries".into(),
+                Json::UInt(store_stats.map_or(0, |t| t.0)),
+            ),
+            (
+                "store_recovered_entries".into(),
+                Json::UInt(store_stats.map_or(0, |t| t.1)),
+            ),
+            (
+                "store_truncated_bytes".into(),
+                Json::UInt(store_stats.map_or(0, |t| t.2)),
+            ),
+            (
+                "store_dropped_records".into(),
+                Json::UInt(store_stats.map_or(0, |t| t.3)),
+            ),
+            (
+                "store_append_errors".into(),
+                Json::UInt(store_stats.map_or(0, |t| t.4)),
             ),
             (
                 "draining".into(),
@@ -412,9 +483,24 @@ fn worker_loop(s: &Shared) {
             JobResult::Ok(body) => {
                 {
                     let mut cache = s.cache.lock().unwrap();
-                    cache.insert(job.key, job.canon, body.clone());
+                    cache.insert(job.key, job.canon.clone(), body.clone());
                     if s.cfg.chaos.corrupt_insert(job.id) {
                         cache.corrupt_for_chaos(job.key);
+                    }
+                }
+                // Persist after the in-memory insert; the response does
+                // not wait on durability semantics beyond the append's
+                // own fsync, and an append failure (disk error or an
+                // injected torn/short/flipped write) only means the next
+                // restart re-simulates this key. Never a wrong body.
+                if let Some(store) = &s.store {
+                    let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+                    let r = match s.cfg.chaos.store_fault(job.id) {
+                        StoreFault::None => store.append(job.key, &job.canon, &body),
+                        fault => store.append_faulty(job.key, &job.canon, &body, fault),
+                    };
+                    if let Err(e) = r {
+                        eprintln!("warning: durable store append failed: {e}");
                     }
                 }
                 s.ok_responses.fetch_add(1, Ordering::Relaxed);
@@ -489,9 +575,11 @@ mod tests {
                 attempt_deadline_ms: 10_000,
                 reap_grace_ms: 200,
                 sm_threads: 0,
+                checkpoint_every_cycles: 0,
             },
             cache_entries: 16,
             chaos,
+            state_dir: None,
         })
     }
 
@@ -520,6 +608,9 @@ mod tests {
             worker_slow_ppm: 0,
             slow_ms: 0,
             cache_corrupt_ppm: 1_000_000,
+            store_torn_ppm: 0,
+            store_short_ppm: 0,
+            store_flip_ppm: 0,
         });
         let req = SimRequest::from_json(VEC_KERNEL_REQ).unwrap();
         let first = svc.submit(req.clone());
@@ -555,14 +646,19 @@ mod tests {
                 attempt_deadline_ms: 10_000,
                 reap_grace_ms: 1_000,
                 sm_threads: 0,
+                checkpoint_every_cycles: 0,
             },
             cache_entries: 16,
+            state_dir: None,
             chaos: ServiceChaos {
                 seed: 1,
                 worker_panic_ppm: 0,
                 worker_slow_ppm: 1_000_000,
                 slow_ms: 400,
                 cache_corrupt_ppm: 0,
+                store_torn_ppm: 0,
+                store_short_ppm: 0,
+                store_flip_ppm: 0,
             },
         });
         let req = SimRequest::from_json(VEC_KERNEL_REQ).unwrap();

@@ -41,7 +41,10 @@ done
 bins=()
 for src in crates/experiments/src/bin/*.rs; do
     bin=$(basename "$src" .rs)
-    [[ $bin == bench_report ]] && continue
+    # bench_report is the tracked-performance harness, crash_drill and
+    # snap_fuzz are the CI crash-recovery/fuzz drills (seeded, no --scale);
+    # none of them regenerate a figure.
+    [[ $bin == bench_report || $bin == crash_drill || $bin == snap_fuzz ]] && continue
     bins+=("$bin")
 done
 ((${#bins[@]} >= 17)) || { echo "error: expected >=17 experiment binaries, found ${#bins[@]}" >&2; exit 1; }

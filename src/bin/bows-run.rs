@@ -34,6 +34,9 @@ struct Cli {
     sm_threads: Option<usize>,
     lint: bool,
     format_json: bool,
+    checkpoint_every: Option<u64>,
+    resume: Option<String>,
+    state_dir: Option<std::path::PathBuf>,
 }
 
 enum ParamSpec {
@@ -50,6 +53,16 @@ fn usage() -> ! {
          \x20            [--timeout-cycles N] [--timeout-wall SECS]\n\
          \x20            [--engine cycle|skip] [--sm-threads N] [--lint]\n\
          \x20            [--format human|json]\n\
+         \x20            [--state-dir DIR] [--checkpoint-every N] [--resume SNAP]\n\
+         \n\
+         --checkpoint-every writes a deterministic snapshot of the full\n\
+         simulation state into --state-dir every N cycles (atomic\n\
+         temp-file + fsync + rename; requires --state-dir). --resume\n\
+         restarts from such a snapshot file and produces bit-identical\n\
+         final stats and memory to the uninterrupted run, on either\n\
+         engine and at any --sm-threads. A snapshot records the kernel,\n\
+         launch geometry, and GPU config it was taken under; resuming\n\
+         with a mismatched kernel or config exits 2 with a clear error.\n\
          \n\
          --engine picks the main-loop time-advance strategy: `skip`\n\
          (default) fast-forwards over cycles in which nothing can issue,\n\
@@ -72,7 +85,9 @@ fn usage() -> ! {
          --timeout-wall caps *host* wall-clock time (fractional seconds\n\
          allowed). On expiry the simulator exits at its next\n\
          forward-progress scan with a structured JSON timeout error on\n\
-         stdout and exit status 3.\n\
+         stdout and exit status 3; when checkpointing is on, the JSON\n\
+         carries the path of the last completed snapshot so the run can\n\
+         be picked up with --resume.\n\
          \n\
          --lint runs the static analyzer instead of simulating: prints\n\
          correctness diagnostics and the statically-classified spin\n\
@@ -105,6 +120,9 @@ fn parse_cli() -> Cli {
         sm_threads: None,
         lint: false,
         format_json: false,
+        checkpoint_every: None,
+        resume: None,
+        state_dir: None,
     };
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -204,6 +222,20 @@ fn parse_cli() -> Cli {
                 }
                 cli.sm_threads = Some(n);
             }
+            "--checkpoint-every" => {
+                let n: u64 = next(&mut args, "--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--checkpoint-every must be positive");
+                    usage();
+                }
+                cli.checkpoint_every = Some(n);
+            }
+            "--resume" => cli.resume = Some(next(&mut args, "--resume")),
+            "--state-dir" => {
+                cli.state_dir = Some(next(&mut args, "--state-dir").into());
+            }
             "--lint" => cli.lint = true,
             "--format" => match next(&mut args, "--format").as_str() {
                 "human" => cli.format_json = false,
@@ -218,6 +250,14 @@ fn parse_cli() -> Cli {
         }
     }
     if cli.kernel_path.is_empty() {
+        usage();
+    }
+    if cli.checkpoint_every.is_some() && cli.state_dir.is_none() {
+        eprintln!("--checkpoint-every needs --state-dir to know where snapshots go");
+        usage();
+    }
+    if cli.lint && (cli.checkpoint_every.is_some() || cli.resume.is_some()) {
+        eprintln!("--lint does not simulate, so --checkpoint-every/--resume make no sense with it");
         usage();
     }
     // Applied after the loop so the flags compose with --gpu in any order.
@@ -304,6 +344,18 @@ fn lint_file(path: &str, src: &str, as_json: bool) -> ExitCode {
     }
 }
 
+/// Read and envelope-check a snapshot file written by `--checkpoint-every`.
+///
+/// Returns the decoded body, ready for [`CheckpointCtl::resume`]. Any
+/// problem — unreadable file, bad magic, truncation, checksum mismatch —
+/// comes back as one human-readable line; the caller exits 2 (the same
+/// status as a usage error: the *invocation* is wrong, not the simulator).
+fn read_snapshot(path: &str) -> Result<Vec<u8>, String> {
+    let bytes = bows_sim::snap::read_file(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    bows_sim::snap::decode_envelope(&bytes).map(<[u8]>::to_vec).map_err(|e| format!("{path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let cli = parse_cli();
     let src = match std::fs::read_to_string(&cli.kernel_path) {
@@ -354,18 +406,59 @@ fn main() -> ExitCode {
         threads_per_cta: cli.tpc,
         params,
     };
+    let resume_body = match cli.resume.as_deref() {
+        Some(path) => match read_snapshot(path) {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                eprintln!("cannot resume: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    if let Some(dir) = &cli.state_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --state-dir {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    let mut last_ckpt: Option<std::path::PathBuf> = None;
     let report = {
         let cfg = &gpu.cfg;
         let rotate = cfg.gto_rotate_period;
         let warps = cfg.warps_per_sm();
         let policy = bows_sim::bows::policy_factory(cli.sched, cli.bows, rotate);
+        let every = cli.checkpoint_every.unwrap_or(0);
+        let state_dir = cli.state_dir.clone();
+        let mut sink = |cycle: u64, body: &[u8]| {
+            let Some(dir) = &state_dir else { return };
+            let path = dir.join(format!("ckpt-{cycle:012}.bsnp"));
+            let bytes = bows_sim::snap::encode_envelope(body);
+            match bows_sim::snap::atomic_write(&path, &bytes) {
+                // Only a fully written, fsynced, renamed file counts as
+                // "the last checkpoint" — a failed write leaves the
+                // previous one in charge.
+                Ok(()) => last_ckpt = Some(path),
+                Err(e) => eprintln!("warning: checkpoint at cycle {cycle} not written: {e}"),
+            }
+        };
+        let ctl = if every > 0 || resume_body.is_some() {
+            Some(CheckpointCtl {
+                every,
+                sink: &mut sink,
+                resume: resume_body.as_deref(),
+            })
+        } else {
+            None
+        };
         let result = if cli.ddos {
             let det = bows_sim::bows::ddos_factory(DdosConfig::default(), warps);
-            gpu.run(&kernel, &launch, &policy, &det)
+            gpu.run_with_checkpoints(&kernel, &launch, &policy, &det, ctl)
         } else {
-            gpu.run(&kernel, &launch, &policy, &|k: &simt_isa::Kernel| {
+            let det = |k: &simt_isa::Kernel| -> Box<dyn simt_core::SpinDetector> {
                 Box::new(simt_core::StaticSibDetector::new(k.true_sibs.clone()))
-            })
+            };
+            gpu.run_with_checkpoints(&kernel, &launch, &policy, &det, ctl)
         };
         match result {
             Ok(r) => r,
@@ -373,13 +466,24 @@ fn main() -> ExitCode {
                 // Structured, machine-readable timeout on stdout (the same
                 // shape the simulation service returns) and a distinct
                 // exit status, so wrappers can tell "out of wall time"
-                // from "kernel is broken".
-                let body = simt_serve::Json::Obj(vec![(
-                    "error".into(),
-                    simt_serve::json::sim_error_json(&e),
-                )]);
+                // from "kernel is broken". When checkpointing was on, the
+                // last completed snapshot rides along so the caller can
+                // pick the run back up with --resume.
+                let mut fields = vec![("error".into(), simt_serve::json::sim_error_json(&e))];
+                if let Some(p) = &last_ckpt {
+                    fields.push(("checkpoint".into(), simt_serve::Json::Str(p.display().to_string())));
+                }
+                let body = simt_serve::Json::Obj(fields);
                 println!("{}", body.render());
                 return ExitCode::from(3);
+            }
+            Err(e @ SimError::Snapshot { .. }) => {
+                // The snapshot didn't match this invocation (different
+                // kernel, launch geometry, or GPU config) or was corrupt
+                // past the envelope. Like a flag conflict: the command
+                // line is wrong, not the simulator.
+                eprintln!("cannot resume: {e}");
+                return ExitCode::from(2);
             }
             Err(e) => {
                 eprintln!("simulation failed: {e}");

@@ -46,14 +46,15 @@ pub use bows;
 pub use simt_core as core;
 pub use simt_isa as isa;
 pub use simt_mem as mem;
+pub use simt_snap as snap;
 pub use workloads;
 
 /// One-stop imports for examples and experiments.
 pub mod prelude {
     pub use crate::bows::{AdaptiveConfig, Bows, Ddos, DdosConfig, DelayMode, HashKind};
     pub use crate::core::{
-        BasePolicy, EnergyModel, Engine, Gpu, GpuConfig, HangClass, HangReport, KernelReport,
-        LaunchSpec, SimError,
+        BasePolicy, CheckpointCtl, EnergyModel, Engine, Gpu, GpuConfig, HangClass, HangReport,
+        KernelReport, LaunchSpec, SimError,
     };
     pub use crate::isa::asm::assemble;
     pub use crate::mem::{ChaosConfig, ChaosStats};
