@@ -107,6 +107,25 @@ impl BenchReport {
     /// warnings are wall-time regressions beyond [`WALL_WARN_RATIO`] on
     /// groups slower than [`WALL_WARN_FLOOR_MS`].
     pub fn check_against(&self, baseline: &BenchReport) -> (Vec<String>, Vec<String>) {
+        self.check_with(baseline, WALL_WARN_RATIO, false)
+    }
+
+    /// [`BenchReport::check_against`] with wall time as a *gate*: any group
+    /// slower than [`WALL_WARN_FLOOR_MS`] whose wall-time ratio exceeds
+    /// `tolerance` is a failure, not a warning. For CI jobs that must catch
+    /// hot-path performance regressions, at the cost of sensitivity to
+    /// runner load (pick `tolerance` with headroom; 1.25 is the default
+    /// warning threshold).
+    pub fn check_wall(&self, baseline: &BenchReport, tolerance: f64) -> (Vec<String>, Vec<String>) {
+        self.check_with(baseline, tolerance, true)
+    }
+
+    fn check_with(
+        &self,
+        baseline: &BenchReport,
+        wall_ratio: f64,
+        wall_fails: bool,
+    ) -> (Vec<String>, Vec<String>) {
         let mut failures = Vec::new();
         let mut warnings = Vec::new();
         if self.scale != baseline.scale {
@@ -127,11 +146,17 @@ impl BenchReport {
                         ));
                     }
                     let ratio = g.wall_ms / b.wall_ms.max(1e-9);
-                    if g.wall_ms > WALL_WARN_FLOOR_MS && ratio > WALL_WARN_RATIO {
-                        warnings.push(format!(
-                            "group `{}`: wall time {:.1}ms vs baseline {:.1}ms ({ratio:.1}x)",
+                    if g.wall_ms > WALL_WARN_FLOOR_MS && ratio > wall_ratio {
+                        let msg = format!(
+                            "group `{}`: wall time {:.1}ms vs baseline {:.1}ms ({ratio:.1}x, \
+                             tolerance {wall_ratio:.2}x)",
                             b.name, g.wall_ms, b.wall_ms
-                        ));
+                        );
+                        if wall_fails {
+                            failures.push(msg);
+                        } else {
+                            warnings.push(msg);
+                        }
                     }
                 }
             }
@@ -457,6 +482,20 @@ mod tests {
         let (failures, warnings) = cur.check_against(&base);
         assert!(failures.is_empty(), "{failures:?}");
         assert_eq!(warnings.len(), 1, "{warnings:?}");
+    }
+
+    #[test]
+    fn check_wall_promotes_regressions_to_failures() {
+        let base = sample();
+        let mut cur = sample();
+        cur.groups[0].wall_ms *= 2.0;
+        let (failures, warnings) = cur.check_wall(&base, 1.5);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("tolerance 1.50x"));
+        assert!(warnings.is_empty());
+        let (failures, warnings) = cur.check_wall(&base, 3.0);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.is_empty(), "within tolerance is silent: {warnings:?}");
     }
 
     #[test]

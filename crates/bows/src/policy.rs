@@ -224,7 +224,12 @@ impl SchedulerPolicy for Bows {
             return self.inner.pick(ctx, eligible);
         }
         // Normal warps first; backed-off warps only when nothing else is
-        // ready, in FIFO back-off order.
+        // ready, in FIFO back-off order. With nothing backed off (the
+        // common case) the eligible set passes through unchanged, so the
+        // per-pick filtered copy is only built while a back-off is live.
+        if self.queue.is_empty() {
+            return self.inner.pick(ctx, eligible);
+        }
         let normal: Vec<usize> = eligible
             .iter()
             .copied()
@@ -311,7 +316,11 @@ impl SchedulerPolicy for Bows {
             fold(a.next_update);
         }
         if self.components.throttle {
-            for s in &self.warps {
+            // Backed-off warps are exactly the back-off FIFO's members
+            // (`on_sib` enqueues, `on_issue`/`on_warp_launch` dequeue), so
+            // the scan is over the queue, not every warp slot.
+            for &warp in &self.queue {
+                let s = self.state(warp);
                 if s.backed_off && s.delay_zero_at > now {
                     // The can_issue veto flips off at delay_zero_at.
                     fold(s.delay_zero_at);

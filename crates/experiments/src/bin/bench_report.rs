@@ -90,7 +90,7 @@ const GROUPS: &[Group] = &[
     ("pascal_sync_suite", group_pascal),
 ];
 
-const USAGE: &str = "usage: bench_report [--label <name>] [--out <dir>] [--check <baseline.json>] [--jobs <n>] [--engine cycle|skip] [--sm-threads <n>]";
+const USAGE: &str = "usage: bench_report [--label <name>] [--out <dir>] [--check <baseline.json>] [--check-wall [<ratio>]] [--reps <n>] [--only <substr>] [--jobs <n>] [--engine cycle|skip] [--sm-threads <n>] [--profile]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -101,6 +101,15 @@ struct Cli {
     label: String,
     out_dir: String,
     check: Option<String>,
+    /// Wall-time gate ratio for `--check`: regressions beyond it fail the
+    /// check instead of warning. `None` keeps wall drift advisory.
+    check_wall: Option<f64>,
+    profile: bool,
+    /// Timing repetitions per group; the best (minimum) wall time is
+    /// reported. Simulated cycles must agree across reps (determinism).
+    reps: usize,
+    /// Run only groups whose name contains this substring.
+    only: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -108,8 +117,12 @@ fn parse_cli() -> Cli {
         label: "local".to_string(),
         out_dir: ".".to_string(),
         check: None,
+        check_wall: None,
+        profile: false,
+        reps: 1,
+        only: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--label" => match args.next() {
@@ -126,6 +139,28 @@ fn parse_cli() -> Cli {
             "--check" => match args.next() {
                 Some(v) => cli.check = Some(v),
                 None => usage_error("--check requires a value"),
+            },
+            // The tolerance value is optional: a bare `--check-wall` gates
+            // at the default 1.25x.
+            "--check-wall" => match args.peek().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r.is_finite() && r >= 1.0 => {
+                    args.next();
+                    cli.check_wall = Some(r);
+                }
+                Some(_) => usage_error("--check-wall ratio must be >= 1.0 (e.g. 1.25)"),
+                None => cli.check_wall = Some(1.25),
+            },
+            "--profile" => {
+                cli.profile = true;
+                experiments::set_profile(true);
+            }
+            "--reps" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cli.reps = n,
+                _ => usage_error("--reps requires a positive integer"),
+            },
+            "--only" => match args.next() {
+                Some(v) => cli.only = Some(v),
+                None => usage_error("--only requires a value"),
             },
             "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => grid::set_jobs(n),
@@ -156,14 +191,67 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// Render the per-group phase breakdown `--profile` collected: one row
+/// per group, one column per phase, in milliseconds with the share of the
+/// group's attributed time.
+fn print_profiles(profiles: &[(&str, simt_core::ProfileReport)]) {
+    if profiles.is_empty() {
+        eprintln!("profile: no phase data collected");
+        return;
+    }
+    println!("\nphase profile (ms, % of run-loop wall):");
+    for (name, p) in profiles {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pct = |ns: u64| 100.0 * ns as f64 / (p.total_ns.max(1)) as f64;
+        let cells: Vec<String> = p
+            .phases()
+            .iter()
+            .map(|&(ph, ns)| format!("{ph} {:.1} ({:.0}%)", ms(ns), pct(ns)))
+            .collect();
+        println!(
+            "  {name}: total {:.1}  {}  other {:.1}",
+            ms(p.total_ns),
+            cells.join("  "),
+            ms(p.other_ns())
+        );
+    }
+}
+
 fn main() {
     let cli = parse_cli();
+    if cli.check_wall.is_some() && cli.check.is_none() {
+        usage_error("--check-wall needs --check <baseline.json> to gate against");
+    }
     let jobs = grid::jobs();
     let mut groups = Vec::new();
+    let mut profiles: Vec<(&str, simt_core::ProfileReport)> = Vec::new();
     for (name, f) in GROUPS {
-        let t0 = Instant::now();
-        let cycles = f();
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if cli.only.as_ref().is_some_and(|s| !name.contains(s.as_str())) {
+            continue;
+        }
+        // Wall time is best-of-`reps`: the minimum is the run least
+        // disturbed by whatever else the host was doing, which is the
+        // honest estimate of the code's speed. Cycles must not vary — the
+        // simulator is deterministic, so a flicker here is a real bug.
+        let mut wall_ms = f64::INFINITY;
+        let mut cycles = 0u64;
+        for rep in 0..cli.reps {
+            experiments::take_profile_totals(); // drop any stale accumulation
+            let t0 = Instant::now();
+            let c = f();
+            let rep_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if let Some(p) = experiments::take_profile_totals() {
+                if rep == 0 {
+                    profiles.push((name, p));
+                }
+            }
+            if rep > 0 && c != cycles {
+                eprintln!("FAIL: {name}: cycles flickered across reps ({cycles} vs {c})");
+                std::process::exit(1);
+            }
+            cycles = c;
+            wall_ms = wall_ms.min(rep_ms);
+        }
         eprintln!("{name}: {wall_ms:.1}ms, {cycles} cycles");
         groups.push(bench::report::GroupResult {
             name: name.to_string(),
@@ -171,6 +259,9 @@ fn main() {
             cycles,
             cycles_per_sec: cycles as f64 / (wall_ms / 1e3).max(1e-9),
         });
+    }
+    if cli.profile {
+        print_profiles(&profiles);
     }
     let report = bench::report::BenchReport {
         label: cli.label,
@@ -182,9 +273,21 @@ fn main() {
     if let Some(baseline_path) = cli.check {
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| usage_error(&format!("cannot read `{baseline_path}`: {e}")));
-        let baseline = bench::report::BenchReport::from_json(&text)
+        let mut baseline = bench::report::BenchReport::from_json(&text)
             .unwrap_or_else(|e| usage_error(&format!("bad baseline `{baseline_path}`: {e}")));
-        let (failures, warnings) = report.check_against(&baseline);
+        // `--only` narrows the baseline the same way it narrowed the run,
+        // so a partial check compares the groups that ran instead of
+        // failing on the ones it deliberately skipped.
+        if let Some(only) = &cli.only {
+            baseline.groups.retain(|g| g.name.contains(only.as_str()));
+            if baseline.groups.is_empty() {
+                usage_error(&format!("--only {only} matches no baseline group"));
+            }
+        }
+        let (failures, warnings) = match cli.check_wall {
+            Some(tol) => report.check_wall(&baseline, tol),
+            None => report.check_against(&baseline),
+        };
         for d in report.wall_deltas(&baseline) {
             eprintln!("wall: {d}");
         }

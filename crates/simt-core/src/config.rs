@@ -96,6 +96,11 @@ pub struct GpuConfig {
     /// [`crate::KernelReport::final_state`]. Used by the differential
     /// oracle; off by default so measurement runs pay nothing for it.
     pub capture_final_state: bool,
+    /// Collect wall-clock phase timings (fetch/issue/execute/mem-cycle/
+    /// merge/skip-horizon) into [`crate::KernelReport::profile`]. Purely
+    /// observational: never touches simulated state, excluded from the
+    /// snapshot fingerprint, and when off the run loop takes no timestamps.
+    pub profile: bool,
     /// Main-loop time-advance strategy (see [`Engine`]).
     pub engine: Engine,
     /// Worker threads cycling SMs inside a single simulation. `0` (the
@@ -128,6 +133,7 @@ impl GpuConfig {
             backoff_starvation_cycles: 0,
             blocking_locks: false,
             capture_final_state: false,
+            profile: false,
             engine: Engine::default(),
             sm_threads: 0,
         }
@@ -154,6 +160,7 @@ impl GpuConfig {
             backoff_starvation_cycles: 0,
             blocking_locks: false,
             capture_final_state: false,
+            profile: false,
             engine: Engine::default(),
             sm_threads: 0,
         }
@@ -179,6 +186,7 @@ impl GpuConfig {
             backoff_starvation_cycles: 0,
             blocking_locks: false,
             capture_final_state: false,
+            profile: false,
             engine: Engine::default(),
             sm_threads: 0,
         }

@@ -176,6 +176,69 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Wall-clock breakdown of where *host* time went during a run, collected
+/// only when [`GpuConfig::profile`] is set. All figures are nanoseconds.
+///
+/// SM-side phases (`fetch`/`issue`/`execute`) accrue on whichever worker
+/// thread cycles the SM, then sum over SMs — with `sm_threads > 1` they
+/// measure CPU time and can exceed the coordinator's wall clock.
+/// Coordinator phases (`mem_cycle`/`merge`/`skip_horizon`) and `total` are
+/// straight wall time on the run-loop thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Writeback wheel drain, CTA retirement, fence clearing, and per-warp
+    /// eligibility (the front of every SM cycle).
+    pub fetch_ns: u64,
+    /// Scheduler-unit arbitration and end-of-cycle policy bookkeeping,
+    /// excluding the nested execute time.
+    pub issue_ns: u64,
+    /// Instruction execution proper (decoded-dispatch, operand reads,
+    /// register writes, memory-op staging).
+    pub execute_ns: u64,
+    /// Memory-system cycling plus completion delivery to SMs.
+    pub mem_cycle_ns: u64,
+    /// Deterministic replay of staged global-memory work in SM-id order.
+    pub merge_ns: u64,
+    /// Skip-engine horizon computation and bulk dead-span accrual.
+    pub skip_horizon_ns: u64,
+    /// The whole run loop, launch to grid completion.
+    pub total_ns: u64,
+}
+
+impl ProfileReport {
+    /// `(label, nanoseconds)` rows in display order — the six phases.
+    pub fn phases(&self) -> [(&'static str, u64); 6] {
+        [
+            ("fetch", self.fetch_ns),
+            ("issue", self.issue_ns),
+            ("execute", self.execute_ns),
+            ("mem-cycle", self.mem_cycle_ns),
+            ("merge", self.merge_ns),
+            ("skip-horizon", self.skip_horizon_ns),
+        ]
+    }
+
+    /// Run-loop wall time not attributed to any phase (watchdog scans,
+    /// checkpoint serialization, dispatch refills, loop overhead). With
+    /// `sm_threads > 1` the SM phases overlap the coordinator, so this
+    /// saturates at zero rather than going negative.
+    pub fn other_ns(&self) -> u64 {
+        let attributed: u64 = self.phases().iter().map(|&(_, ns)| ns).sum();
+        self.total_ns.saturating_sub(attributed)
+    }
+
+    /// Fold another report into this one (multi-kernel aggregation).
+    pub fn add(&mut self, o: &ProfileReport) {
+        self.fetch_ns += o.fetch_ns;
+        self.issue_ns += o.issue_ns;
+        self.execute_ns += o.execute_ns;
+        self.mem_cycle_ns += o.mem_cycle_ns;
+        self.merge_ns += o.merge_ns;
+        self.skip_horizon_ns += o.skip_horizon_ns;
+        self.total_ns += o.total_ns;
+    }
+}
+
 /// Everything measured during one kernel run.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -202,6 +265,10 @@ pub struct KernelReport {
     /// populated when [`GpuConfig::capture_final_state`] is set; `None`
     /// otherwise, so measurement runs carry no capture cost.
     pub final_state: Option<Vec<crate::warp::CtaState>>,
+    /// Host wall-clock phase breakdown. Only populated when
+    /// [`GpuConfig::profile`] is set; `None` otherwise, so measurement runs
+    /// take no timestamps.
+    pub profile: Option<ProfileReport>,
 }
 
 /// A simulated GPU: configuration plus device memory. SM state is created
@@ -345,8 +412,12 @@ impl Gpu {
         kernel.validate().map_err(|e| SimError::InternalInvariant {
             what: format!("kernel failed validation at launch: {e}"),
         })?;
+        // Lower the kernel into its pre-decoded micro-op stream once per
+        // launch; the per-cycle hot path dispatches on this flat table.
+        let decoded = simt_isa::DecodedKernel::decode(kernel);
         let lctx = LaunchCtx {
             kernel,
+            decoded: &decoded,
             params: &launch.params,
             threads_per_cta: launch.threads_per_cta,
             grid_ctas: launch.grid_ctas,
@@ -460,6 +531,14 @@ impl Gpu {
         // common zero-or-few-completions case.
         let mut completions = Vec::new();
         let skip = self.cfg.engine == Engine::Skip;
+        // Coordinator-side phase timers. `profile` is false by default and
+        // the `.then(Instant::now)` pattern makes the off path a single
+        // untaken branch per phase — no timestamps, no accumulation.
+        let profile = self.cfg.profile;
+        let run_start = profile.then(std::time::Instant::now);
+        let mut prof_mem_ns = 0u64;
+        let mut prof_merge_ns = 0u64;
+        let mut prof_skip_ns = 0u64;
 
         // Worker handoff slots (none when serial). Workers spin between
         // rounds — a blocking handoff would cost a park/unpark round trip
@@ -516,11 +595,15 @@ impl Gpu {
                 // today. Chunks are always resident on this thread between
                 // rounds, so completions, dispatch, scans, and replay all
                 // see every SM.
+                let t = profile.then(std::time::Instant::now);
                 completions.clear();
                 self.mem.cycle_into(now, &mut completions);
                 for c in completions.drain(..) {
                     let sm = c.sm;
                     sm_at_mut(&mut chunks, threads, sm).on_mem_complete(c)?;
+                }
+                if let Some(t) = t {
+                    prof_mem_ns += t.elapsed().as_nanos() as u64;
                 }
                 round += 1;
                 run_round(
@@ -554,8 +637,17 @@ impl Gpu {
                 // from an earlier SM takes precedence — serial execution
                 // would have hit it first.
                 let limit = cycle_err.as_ref().map_or(num_sms, |(id, _)| id + 1);
+                let t = profile.then(std::time::Instant::now);
                 for id in 0..limit {
-                    sm_at_mut(&mut chunks, threads, id).replay_stage(&mut self.mem, now)?;
+                    let sm = sm_at_mut(&mut chunks, threads, id);
+                    // Replaying an empty stage is a no-op; skip the call so
+                    // idle SMs cost nothing in the merge.
+                    if sm.has_staged() {
+                        sm.replay_stage(&mut self.mem, now)?;
+                    }
+                }
+                if let Some(t) = t {
+                    prof_merge_ns += t.elapsed().as_nanos() as u64;
                 }
                 if let Some((_, e)) = cycle_err {
                     return Err(e);
@@ -682,6 +774,7 @@ impl Gpu {
                 // cycle limit trips at exactly `max_cycles`.
                 let mut next = now + 1;
                 if skip && !issued_any && finished == 0 {
+                    let t = profile.then(std::time::Instant::now);
                     let mut horizon = u64::MAX;
                     if let Some(t) = self.mem.next_event(now) {
                         horizon = horizon.min(t);
@@ -723,6 +816,9 @@ impl Gpu {
                         round += 1;
                         run_round(&slots, &mut chunks, Job::Skip { now, span }, &lctx, round);
                         next = horizon;
+                    }
+                    if let Some(t) = t {
+                        prof_skip_ns += t.elapsed().as_nanos() as u64;
                     }
                 }
                 now = next;
@@ -772,6 +868,26 @@ impl Gpu {
         } else {
             None
         };
+        let profile_report = run_start.map(|start| {
+            let mut p = ProfileReport {
+                mem_cycle_ns: prof_mem_ns,
+                merge_ns: prof_merge_ns,
+                skip_horizon_ns: prof_skip_ns,
+                total_ns: start.elapsed().as_nanos() as u64,
+                ..ProfileReport::default()
+            };
+            let mut issue_incl = 0u64;
+            for id in 0..num_sms {
+                let sm = sm_at(&chunks, threads, id);
+                p.fetch_ns += sm.prof.fetch_ns;
+                issue_incl += sm.prof.issue_ns;
+                p.execute_ns += sm.prof.execute_ns;
+            }
+            // The SM's issue timer brackets the whole scheduler loop;
+            // carve the nested execute time out so phases don't overlap.
+            p.issue_ns = issue_incl.saturating_sub(p.execute_ns);
+            p
+        });
         Ok(KernelReport {
             cycles: now,
             sim: stats,
@@ -783,6 +899,7 @@ impl Gpu {
             detector: detector_name,
             time_ms: self.cfg.cycles_to_ms(now),
             final_state,
+            profile: profile_report,
         })
     }
 }
@@ -810,6 +927,9 @@ struct RunState {
 fn snapshot_fingerprint(cfg: &GpuConfig, kernel: &Kernel, launch: &LaunchSpec) -> u64 {
     let mut c = cfg.clone();
     c.sm_threads = 0;
+    // Profiling is observational (wall-clock timers only), so a profiled
+    // run and a plain run share a snapshot identity.
+    c.profile = false;
     // The kernel must be encoded canonically — its `labels` map has
     // process- and instance-dependent iteration order, so `{kernel:?}`
     // would make the fingerprint differ between two assemblies of the

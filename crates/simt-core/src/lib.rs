@@ -60,11 +60,12 @@ pub use config::{Engine, GpuConfig, Latencies};
 pub use detect::{BranchLog, BranchTimeline, NullDetector, SpinDetector, StaticSibDetector};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use gpu::{
-    CheckpointCtl, DetectorFactory, Gpu, KernelReport, LaunchSpec, PolicyFactory, SimError,
+    CheckpointCtl, DetectorFactory, Gpu, KernelReport, LaunchSpec, PolicyFactory, ProfileReport,
+    SimError,
 };
 pub use sched::{BasePolicy, IssueInfo, SchedCtx, SchedulerPolicy, WarpMeta};
 pub use scoreboard::Scoreboard;
-pub use sm::{LaunchCtx, Sm, SmCycle};
+pub use sm::{LaunchCtx, Sm, SmCycle, SmProf};
 pub use stack::{SimtStack, StackEntry};
 pub use stats::SimStats;
 pub use warp::{Cta, CtaState, Warp};

@@ -61,6 +61,33 @@ impl Scoreboard {
         false
     }
 
+    /// Mask-based hazard check against a pre-decoded instruction's
+    /// read/write sets: four ANDs and one predicate AND, no allocation.
+    /// Equivalent to [`Scoreboard::has_hazard`] on the instruction the
+    /// masks were decoded from.
+    #[inline]
+    pub fn has_hazard_masks(&self, regs: &[u64; 4], preds: u8) -> bool {
+        ((self.regs[0] & regs[0])
+            | (self.regs[1] & regs[1])
+            | (self.regs[2] & regs[2])
+            | (self.regs[3] & regs[3]))
+            != 0
+            || (self.preds & preds) != 0
+    }
+
+    /// Reserve a single destination register at issue (decoded path).
+    #[inline]
+    pub fn reserve_reg(&mut self, r: Reg) {
+        let (w, b) = Self::reg_bit(r);
+        self.regs[w] |= b;
+    }
+
+    /// Reserve a single destination predicate at issue (decoded path).
+    #[inline]
+    pub fn reserve_pred(&mut self, p: Pred) {
+        self.preds |= 1 << p.0;
+    }
+
     /// Reserve the destinations of `inst` at issue.
     pub fn reserve(&mut self, inst: &Inst) {
         if let Some(d) = inst.dst {

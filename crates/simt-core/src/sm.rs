@@ -6,11 +6,10 @@ use crate::sched::{IssueInfo, SchedCtx, SchedulerPolicy, WarpMeta};
 use crate::warp::{Cta, Warp};
 use crate::watchdog::{ProgressScan, WarpProgress, WarpSnapshot};
 use crate::{GpuConfig, SimError, SimStats};
-use simt_isa::{Inst, Kernel, Op, OpClass, Operand, Reg, Space, Special, Ty};
+use simt_isa::{DecodedInst, DecodedKernel, ExecClass, Kernel, OpClass, Operand, Reg, Special};
 use simt_mem::{
-    LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind, RequestStage,
+    LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind, RequestStage, TagSlab,
 };
-use std::collections::HashMap;
 
 /// Writeback-wheel capacity; must exceed every ALU latency.
 const WHEEL: usize = 64;
@@ -30,6 +29,9 @@ fn device_fault(sm: usize, pc: usize, fault: simt_mem::MemFault) -> SimError {
 pub struct LaunchCtx<'a> {
     /// The kernel being executed.
     pub kernel: &'a Kernel,
+    /// The kernel's pre-decoded micro-op stream (same indices as
+    /// `kernel.insts`); the per-cycle issue/execute path reads only this.
+    pub decoded: &'a DecodedKernel,
     /// Kernel parameters (32-bit slots; `ld.param [4*i]` reads slot *i*).
     pub params: &'a [u32],
     /// Threads per CTA.
@@ -135,6 +137,20 @@ pub struct SnapLimits {
     pub grid_ctas: usize,
 }
 
+/// Wall-clock phase accumulators for one SM, populated only when
+/// [`GpuConfig::profile`] is set. `issue_ns` brackets the whole scheduler
+/// loop *including* nested execute time; the GPU-level aggregation carves
+/// execute back out (see [`crate::ProfileReport`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SmProf {
+    /// Writeback drain + CTA retirement + fence/eligibility scan.
+    pub fetch_ns: u64,
+    /// Scheduler-unit issue loop + end-of-cycle bookkeeping (incl. execute).
+    pub issue_ns: u64,
+    /// Instruction execution proper.
+    pub execute_ns: u64,
+}
+
 /// Result of one SM cycle.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SmCycle {
@@ -161,9 +177,14 @@ pub struct Sm {
     pub detector: Box<dyn SpinDetector>,
     /// Backward-branch encounter timelines (Table I's DPR denominator).
     pub branch_log: BranchLog,
-    pending: HashMap<u64, PendingMem>,
-    next_tag: u64,
+    pending: TagSlab<PendingMem>,
     wheel: Vec<Vec<WbEntry>>,
+    /// Entries across all wheel slots, so empty-wheel cycles skip both the
+    /// drain and the horizon scan.
+    wheel_len: usize,
+    /// Occupied CTA slots, so [`Sm::has_work`] is a compare instead of a
+    /// per-call slot sweep.
+    ctas_resident: usize,
     /// Forward-progress watchdog state, one entry per warp slot.
     progress: Vec<WarpProgress>,
     resident_version: u64,
@@ -172,9 +193,23 @@ pub struct Sm {
     max_regs: usize,
     max_shared: usize,
     meta: Vec<WarpMeta>,
-    /// Warp slots owned by each scheduler unit (fixed striding), precomputed
-    /// so the per-cycle issue and end-of-cycle loops never rebuild it.
-    unit_warps: Vec<Vec<usize>>,
+    /// Live (resident) warp slots in ascending order — the per-cycle scans
+    /// iterate this instead of every slot, so their cost tracks occupancy
+    /// rather than the SM's slot count. Rebuilt lazily by
+    /// [`Sm::refresh_live`] whenever `resident_version` moves (CTA launch
+    /// or retirement); a warp that merely finishes (`done`) stays listed
+    /// until its CTA retires, guarded by the same `resident && !done`
+    /// checks the full-slot scans used.
+    live: Vec<usize>,
+    /// Per-unit slice of `live` (ascending), passed to the scheduler
+    /// policies in place of the full `unit_warps` list. Behavior-identical:
+    /// every in-tree policy either ignores the list or filters it on
+    /// `meta.resident && !meta.done`, which excludes exactly the slots the
+    /// live list omits.
+    unit_live: Vec<Vec<usize>>,
+    /// `resident_version` value the live lists were built against;
+    /// initialized out-of-sync to force a build on the first cycle.
+    live_version: u64,
     /// Per-cycle scratch: the warp each unit issued (reused, never freed).
     issued_scratch: Vec<Option<usize>>,
     /// Per-unit scratch for the eligible-warp list (reused, never freed).
@@ -188,6 +223,11 @@ pub struct Sm {
     /// Snapshots of retired CTAs, in retirement order (drained by the GPU
     /// loop into [`crate::KernelReport::final_state`]).
     pub captured: Vec<crate::warp::CtaState>,
+    /// Collect per-phase wall time into [`Sm::prof`] (observational only;
+    /// never serialized, never consulted by simulation logic).
+    profile: bool,
+    /// Phase accumulators, all zero unless profiling is on.
+    pub prof: SmProf,
 }
 
 impl std::fmt::Debug for Sm {
@@ -231,9 +271,10 @@ impl Sm {
             units,
             detector,
             branch_log: BranchLog::default(),
-            pending: HashMap::new(),
-            next_tag: 1,
+            pending: TagSlab::new(),
             wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            ctas_resident: 0,
             progress: vec![WarpProgress::default(); cfg.warps_per_sm()],
             resident_version: 0,
             regs_in_use: 0,
@@ -241,19 +282,19 @@ impl Sm {
             max_regs: cfg.regs_per_sm,
             max_shared: cfg.shared_words_per_sm,
             meta: vec![WarpMeta::default(); cfg.warps_per_sm()],
-            unit_warps: (0..cfg.schedulers_per_sm)
-                .map(|u| {
-                    (u..cfg.warps_per_sm())
-                        .step_by(cfg.schedulers_per_sm)
-                        .collect()
-                })
+            live: Vec::with_capacity(cfg.warps_per_sm()),
+            unit_live: (0..cfg.schedulers_per_sm)
+                .map(|_| Vec::with_capacity(cfg.warps_per_sm().div_ceil(cfg.schedulers_per_sm)))
                 .collect(),
+            live_version: u64::MAX,
             issued_scratch: vec![None; cfg.schedulers_per_sm],
             eligible_scratch: Vec::with_capacity(cfg.warps_per_sm()),
             staged: Vec::new(),
             stage: RequestStage::new(),
             capture_state: cfg.capture_final_state,
             captured: Vec::new(),
+            profile: cfg.profile,
+            prof: SmProf::default(),
         }
     }
 
@@ -305,6 +346,7 @@ impl Sm {
         ));
         self.regs_in_use += regs_needed;
         self.shared_in_use += shared_needed;
+        self.ctas_resident += 1;
         // Age keys are assigned as one contiguous block per CTA (base + 1
         // + warp-in-cta), not by incrementing the counter once per warp:
         // the keys a CTA's warps receive depend only on the counter value
@@ -332,9 +374,7 @@ impl Sm {
 
     fn free_cta(&mut self, cta_slot: usize) {
         let cta = self.ctas[cta_slot].take().expect("freeing live CTA");
-        if self.capture_state {
-            self.captured.push(cta.snapshot());
-        }
+        self.ctas_resident -= 1;
         self.regs_in_use -= cta.threads * cta.regs_per_thread;
         self.shared_in_use -= cta.shared.len();
         for w in &mut self.warps {
@@ -344,6 +384,11 @@ impl Sm {
             }
         }
         self.resident_version += 1;
+        if self.capture_state {
+            // The CTA is already detached from the slot: move its register
+            // file into the capture instead of cloning it.
+            self.captured.push(cta.into_state());
+        }
     }
 
     /// Handle a memory completion routed to this SM.
@@ -353,7 +398,7 @@ impl Sm {
     /// [`SimError::InternalInvariant`] on a completion for an unknown tag
     /// or a retired CTA (simulator bugs surfaced as errors, not panics).
     pub fn on_mem_complete(&mut self, c: MemCompletion) -> Result<(), SimError> {
-        let Some(entry) = self.pending.get_mut(&c.tag) else {
+        let Some(entry) = self.pending.get_mut(c.tag) else {
             return Err(invariant(format!(
                 "sm {}: memory completion for unknown tag {}",
                 self.id, c.tag
@@ -364,7 +409,7 @@ impl Sm {
         entry.remaining -= 1;
         let finished = entry.remaining == 0;
         if finished {
-            self.pending.remove(&c.tag);
+            self.pending.remove(c.tag);
         }
         if let PendKind::Atomic { dst } = kind {
             let cta_slot = self.warps[warp].cta_slot;
@@ -390,6 +435,36 @@ impl Sm {
         Ok(())
     }
 
+    /// Rebuild the live-warp lists if a CTA launched or retired since the
+    /// last build. Slots are pushed in ascending order, so iterating a
+    /// live list visits warps in exactly the order the full-slot scans
+    /// did. The rebuild also re-freezes `meta` for every slot: slots
+    /// leaving the lists keep the metadata a full scan would have kept
+    /// recomputing for them (non-resident or done, never eligible), which
+    /// the scheduler policies and the dead-span sampling rely on.
+    fn refresh_live(&mut self) {
+        if self.live_version == self.resident_version {
+            return;
+        }
+        self.live_version = self.resident_version;
+        self.live.clear();
+        for ul in &mut self.unit_live {
+            ul.clear();
+        }
+        for (i, w) in self.warps.iter().enumerate() {
+            self.meta[i] = WarpMeta {
+                resident: w.resident,
+                done: w.done,
+                age_key: w.age_key,
+                eligible: false,
+            };
+            if w.resident && !w.done {
+                self.live.push(i);
+                self.unit_live[i % self.num_units].push(i);
+            }
+        }
+    }
+
     /// Advance one cycle: writebacks, then one issue attempt per unit.
     ///
     /// Touches no shared state: global-memory effects are staged on the SM
@@ -409,20 +484,31 @@ impl Sm {
         stats: &mut SimStats,
     ) -> Result<SmCycle, SimError> {
         let mut result = SmCycle::default();
+        // Phase timer: `profile` is off by default, making this a single
+        // untaken branch — the hot path takes no timestamps.
+        let t0 = self.profile.then(std::time::Instant::now);
+        // Catch the live lists up with any launches since the last cycle.
+        // (A retirement in step 2 below leaves them one cycle stale — a
+        // harmless superset, since every consumer re-checks the warp's
+        // resident/done flags.)
+        self.refresh_live();
         // 1. Writebacks. The slot's vector is swapped out, drained and
         // swapped back so its capacity is reused every WHEEL cycles.
         let slot = (now as usize) % WHEEL;
-        let mut drained = std::mem::take(&mut self.wheel[slot]);
-        for wb in drained.drain(..) {
-            let w = &mut self.warps[wb.warp];
-            if let Some(r) = wb.reg {
-                w.sb.release_reg(r);
+        if !self.wheel[slot].is_empty() {
+            let mut drained = std::mem::take(&mut self.wheel[slot]);
+            self.wheel_len -= drained.len();
+            for wb in drained.drain(..) {
+                let w = &mut self.warps[wb.warp];
+                if let Some(r) = wb.reg {
+                    w.sb.release_reg(r);
+                }
+                if let Some(p) = wb.pred {
+                    w.sb.release_pred(p);
+                }
             }
-            if let Some(p) = wb.pred {
-                w.sb.release_pred(p);
-            }
+            self.wheel[slot] = drained;
         }
-        self.wheel[slot] = drained;
         // 2. Retire CTAs whose warps have all exited and drained their
         // outstanding memory (stores may still be in flight at exit).
         for slot in 0..self.ctas.len() {
@@ -439,8 +525,13 @@ impl Sm {
                 }
             }
         }
-        // 3. Clear drained fences and compute per-warp eligibility.
-        for i in 0..self.warps.len() {
+        // 3. Clear drained fences and compute per-warp eligibility. Only
+        // live slots are scanned: every other slot's metadata was frozen
+        // by the last `refresh_live` at exactly the values this loop
+        // would recompute (non-resident or done warps never change state
+        // without bumping `resident_version`).
+        for idx in 0..self.live.len() {
+            let i = self.live[idx];
             let w = &mut self.warps[i];
             if w.waiting_membar && w.outstanding_mem == 0 {
                 w.waiting_membar = false;
@@ -464,14 +555,14 @@ impl Sm {
                     // resumed snapshot that passed shape validation with a
                     // semantically twisted stack) can run a warp off the
                     // end of the program. Fail structured, not by index.
-                    let Some(inst) = lctx.kernel.insts.get(pc) else {
+                    let Some(d) = lctx.decoded.insts.get(pc) else {
                         return Err(invariant(format!(
                             "sm {}: warp {i} pc {pc} past program end ({} insts)",
                             self.id,
-                            lctx.kernel.insts.len()
+                            lctx.decoded.insts.len()
                         )));
                     };
-                    if w.sb.has_hazard(inst) {
+                    if w.sb.has_hazard_masks(&d.reg_mask, d.pred_mask) {
                         stats.stall_data += 1;
                     } else {
                         m.eligible = true;
@@ -480,6 +571,12 @@ impl Sm {
             }
             self.meta[i] = m;
         }
+        // Phase boundary: everything above is "fetch", the rest "issue".
+        let t_issue = t0.map(|t0| {
+            let t = std::time::Instant::now();
+            self.prof.fetch_ns += (t - t0).as_nanos() as u64;
+            t
+        });
         // 3. Issue per scheduler unit. The eligible list and the per-unit
         // issue record live in reusable scratch buffers — this loop runs
         // every cycle and must not allocate.
@@ -488,8 +585,8 @@ impl Sm {
         }
         for u in 0..self.num_units {
             self.eligible_scratch.clear();
-            for i in 0..self.unit_warps[u].len() {
-                let w = self.unit_warps[u][i];
+            for i in 0..self.unit_live[u].len() {
+                let w = self.unit_live[u][i];
                 if self.meta[w].eligible {
                     if self.units[u].can_issue(now, w) {
                         self.eligible_scratch.push(w);
@@ -515,7 +612,14 @@ impl Sm {
             );
             stats.issued_cycles += 1;
             stats.stall_arbitration += (self.eligible_scratch.len() - 1) as u64;
-            let outcome = self.execute(w, now, lctx, stats)?;
+            let outcome = if self.profile {
+                let t = std::time::Instant::now();
+                let o = self.execute(w, now, lctx, stats)?;
+                self.prof.execute_ns += t.elapsed().as_nanos() as u64;
+                o
+            } else {
+                self.execute(w, now, lctx, stats)?
+            };
             result.issued += 1;
             self.issued_scratch[u] = Some(w);
             self.progress[w].on_issue(now, &outcome.info);
@@ -576,8 +680,8 @@ impl Sm {
                 meta: &self.meta,
                 resident_version: self.resident_version,
             };
-            self.units[u].end_cycle(&ctx, &self.unit_warps[u], issued);
-            for &w in &self.unit_warps[u] {
+            self.units[u].end_cycle(&ctx, &self.unit_live[u], issued);
+            for &w in &self.unit_live[u] {
                 if self.meta[w].resident && !self.meta[w].done {
                     stats.resident_warp_samples += 1;
                     if self.units[u].is_backed_off(w) {
@@ -585,6 +689,9 @@ impl Sm {
                     }
                 }
             }
+        }
+        if let Some(t) = t_issue {
+            self.prof.issue_ns += t.elapsed().as_nanos() as u64;
         }
         Ok(result)
     }
@@ -674,13 +781,19 @@ impl Sm {
         // Writeback wheel: every entry lies within (now, now + WHEEL), and
         // slot `now % WHEEL` was drained this cycle, so the first non-empty
         // slot ahead of `now` is the earliest scoreboard release.
-        for off in 1..WHEEL as u64 {
-            if !self.wheel[((now + off) as usize) % WHEEL].is_empty() {
-                fold(now + off);
-                break;
+        if self.wheel_len > 0 {
+            for off in 1..WHEEL as u64 {
+                if !self.wheel[((now + off) as usize) % WHEEL].is_empty() {
+                    fold(now + off);
+                    break;
+                }
             }
         }
-        for (i, w) in self.warps.iter().enumerate() {
+        // The live lists are exact here: a dead cycle retires no CTA and
+        // the GPU loop launches none before asking for a horizon, so
+        // `resident_version` has not moved since this cycle's rebuild.
+        for &i in &self.live {
+            let w = &self.warps[i];
             if !w.resident || w.done {
                 continue;
             }
@@ -715,7 +828,12 @@ impl Sm {
     /// residency/back-off sampling. `self.meta` still holds cycle `now`'s
     /// snapshot — nothing that feeds it changes during a dead span.
     pub fn fast_forward(&mut self, now: u64, span: u64, stats: &mut SimStats) {
-        for (i, w) in self.warps.iter().enumerate() {
+        // Same staleness argument as [`Sm::next_ready_cycle`]; crucially,
+        // `refresh_live` must NOT run here — it would wipe the `eligible`
+        // bits of cycle `now`'s metadata snapshot, which the stall
+        // classification below and the policies' idle bookkeeping read.
+        for &i in &self.live {
+            let w = &self.warps[i];
             if !w.resident || w.done {
                 continue;
             }
@@ -741,8 +859,8 @@ impl Sm {
                 meta: &self.meta,
                 resident_version: self.resident_version,
             };
-            self.units[u].on_idle_span(&ctx, &self.unit_warps[u], span);
-            for &w in &self.unit_warps[u] {
+            self.units[u].on_idle_span(&ctx, &self.unit_live[u], span);
+            for &w in &self.unit_live[u] {
                 if self.meta[w].resident && !self.meta[w].done {
                     stats.resident_warp_samples += span;
                     if self.units[u].is_backed_off(w) {
@@ -773,11 +891,11 @@ impl Sm {
         };
         let warp = &mut self.warps[w_idx];
         let pc = warp.stack.pc();
-        let Some(inst) = lctx.kernel.insts.get(pc) else {
+        let Some(d) = lctx.decoded.insts.get(pc) else {
             return Err(invariant(format!(
                 "sm {}: warp {w_idx} pc {pc} past program end ({} insts)",
                 self.id,
-                lctx.kernel.insts.len()
+                lctx.decoded.insts.len()
             )));
         };
         let active = warp.stack.active_mask();
@@ -791,7 +909,7 @@ impl Sm {
 
         // Guard evaluation.
         let mut exec = active;
-        if let Some((p, want)) = inst.guard {
+        if let Some((p, want)) = d.guard {
             let mut m = 0u32;
             for lane in BitIter(active) {
                 if cta.pred(warp.thread_of(lane), p) == want {
@@ -803,7 +921,7 @@ impl Sm {
         let lanes = exec.count_ones();
         stats.issued_inst += 1;
         stats.thread_inst += lanes as u64;
-        if inst.ann.sync {
+        if d.sync {
             stats.sync_thread_inst += lanes as u64;
         }
         warp.next_issue = now + 1;
@@ -831,44 +949,36 @@ impl Sm {
             };
         }
 
-        // The operand `expect`s below (dst/pdst/target/addr) rely on
-        // `simt_isa::check_operand_shape`, which every kernel passes in
-        // `Kernel::validate`/`from_insts` before it can be launched — a
-        // malformed request fails there with a typed `KernelError`, so
-        // these are unreachable-by-construction invariants, not
-        // request-reachable panics.
-        match inst.op {
+        // Decoding unwrapped every class-required operand (dst/pdst/
+        // target/addr) relying on `simt_isa::check_operand_shape`, which
+        // every kernel passes in `Kernel::validate`/`from_insts` before it
+        // can be launched — a malformed request fails there with a typed
+        // `KernelError`.
+        match d.class {
             // ---- ALU ----
-            Op::Mov
-            | Op::Add(_)
-            | Op::Sub(_)
-            | Op::Mul(_)
-            | Op::Mad(_)
-            | Op::Div(_)
-            | Op::Rem(_)
-            | Op::Min(_)
-            | Op::Max(_)
-            | Op::And
-            | Op::Or
-            | Op::Xor
-            | Op::Not
-            | Op::Neg(_)
-            | Op::Shl
-            | Op::Shr
-            | Op::Sra
-            | Op::Sqrt
-            | Op::CvtI2F
-            | Op::CvtF2I => {
-                let dst = inst.dst.expect("ALU dst");
-                for lane in BitIter(exec) {
-                    let t = warp.thread_of(lane);
-                    let a = inst.srcs.first().map(|s| val!(s, lane, t)).unwrap_or(0);
-                    let b = inst.srcs.get(1).map(|s| val!(s, lane, t)).unwrap_or(0);
-                    let c = inst.srcs.get(2).map(|s| val!(s, lane, t)).unwrap_or(0);
-                    cta.set_reg(t, dst, alu_eval(inst.op, a, b, c));
+            ExecClass::Alu(alu) => {
+                let dst = d.dst;
+                if d.uniform {
+                    // Warp-invariant sources: evaluate one lane, broadcast.
+                    let a = val!(&d.srcs[0], 0, 0);
+                    let b = val!(&d.srcs[1], 0, 0);
+                    let c = val!(&d.srcs[2], 0, 0);
+                    let v = alu(a, b, c);
+                    for lane in BitIter(exec) {
+                        cta.set_reg(warp.thread_of(lane), dst, v);
+                    }
+                } else {
+                    for lane in BitIter(exec) {
+                        let t = warp.thread_of(lane);
+                        let a = val!(&d.srcs[0], lane, t);
+                        let b = val!(&d.srcs[1], lane, t);
+                        let c = val!(&d.srcs[2], lane, t);
+                        cta.set_reg(t, dst, alu(a, b, c));
+                    }
                 }
-                warp.sb.reserve(inst);
-                let lat = latency(inst.op.class());
+                warp.sb.reserve_reg(dst);
+                let lat = latency(d.op_class);
+                self.wheel_len += 1;
                 self.wheel[((now + lat) as usize) % WHEEL].push(WbEntry {
                     warp: w_idx,
                     reg: Some(dst),
@@ -877,17 +987,18 @@ impl Sm {
                 });
                 warp.stack.advance(pc + 1);
             }
-            Op::Selp => {
-                let dst = inst.dst.expect("selp dst");
-                let p = inst.psrcs[0];
+            ExecClass::Selp => {
+                let dst = d.dst;
+                let p = d.psrc0;
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
-                    let a = val!(&inst.srcs[0], lane, t);
-                    let b = val!(&inst.srcs[1], lane, t);
+                    let a = val!(&d.srcs[0], lane, t);
+                    let b = val!(&d.srcs[1], lane, t);
                     let v = if cta.pred(t, p) { a } else { b };
                     cta.set_reg(t, dst, v);
                 }
-                warp.sb.reserve(inst);
+                warp.sb.reserve_reg(dst);
+                self.wheel_len += 1;
                 self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
                     warp: w_idx,
                     reg: Some(dst),
@@ -896,20 +1007,21 @@ impl Sm {
                 });
                 warp.stack.advance(pc + 1);
             }
-            Op::Setp(cmp, ty) => {
-                let pdst = inst.pdst.expect("setp pdst");
+            ExecClass::Setp(cmp, ty) => {
+                let pdst = d.pdst;
                 let mut profiled: Option<[u32; 2]> = None;
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
-                    let a = val!(&inst.srcs[0], lane, t);
-                    let b = val!(&inst.srcs[1], lane, t);
+                    let a = val!(&d.srcs[0], lane, t);
+                    let b = val!(&d.srcs[1], lane, t);
                     if profiled.is_none() {
                         profiled = Some([a, b]);
                     }
                     cta.set_pred(t, pdst, cmp.eval(ty, a, b));
                 }
-                warp.sb.reserve(inst);
-                let lat = latency(inst.op.class());
+                warp.sb.reserve_pred(pdst);
+                let lat = latency(d.op_class);
+                self.wheel_len += 1;
                 self.wheel[((now + lat) as usize) % WHEEL].push(WbEntry {
                     warp: w_idx,
                     reg: None,
@@ -921,19 +1033,20 @@ impl Sm {
                 }
                 warp.stack.advance(pc + 1);
             }
-            Op::PAnd | Op::POr | Op::PNot => {
-                let pdst = inst.pdst.expect("pred dst");
+            ExecClass::PAnd | ExecClass::POr | ExecClass::PNot => {
+                let pdst = d.pdst;
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
-                    let a = cta.pred(t, inst.psrcs[0]);
-                    let v = match inst.op {
-                        Op::PAnd => a && cta.pred(t, inst.psrcs[1]),
-                        Op::POr => a || cta.pred(t, inst.psrcs[1]),
+                    let a = cta.pred(t, d.psrc0);
+                    let v = match d.class {
+                        ExecClass::PAnd => a && cta.pred(t, d.psrc1),
+                        ExecClass::POr => a || cta.pred(t, d.psrc1),
                         _ => !a,
                     };
                     cta.set_pred(t, pdst, v);
                 }
-                warp.sb.reserve(inst);
+                warp.sb.reserve_pred(pdst);
+                self.wheel_len += 1;
                 self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
                     warp: w_idx,
                     reg: None,
@@ -943,12 +1056,11 @@ impl Sm {
                 warp.stack.advance(pc + 1);
             }
             // ---- Control ----
-            Op::Bra => {
-                let target = inst.target.expect("resolved branch");
-                let rpc = lctx.kernel.reconv[pc];
+            ExecClass::Bra => {
+                let target = d.target;
                 let taken = exec;
                 let taken_any = taken != 0;
-                let backward = target <= pc;
+                let backward = d.backward;
                 if backward {
                     self.branch_log.record(pc, now);
                 }
@@ -957,18 +1069,18 @@ impl Sm {
                 if is_sib {
                     stats.sib_inst += 1;
                 }
-                if inst.ann.wait {
+                if d.wait {
                     stats.wait_exit_fail += taken.count_ones() as u64;
                     stats.wait_exit_success += (active & !taken).count_ones() as u64;
                 }
-                warp.stack.branch(taken, target, pc + 1, rpc);
+                warp.stack.branch(taken, target, pc + 1, d.rpc);
                 outcome.info.is_branch = true;
                 outcome.info.taken_backward = backward && taken_any;
-                outcome.info.branch_distance = if backward { pc - target } else { 0 };
+                outcome.info.branch_distance = d.branch_distance;
                 outcome.info.is_sib = is_sib;
                 outcome.sib_taken = is_sib && backward && taken_any;
             }
-            Op::Exit => {
+            ExecClass::Exit => {
                 warp.stack.exit_threads(exec);
                 if warp.stack.is_empty() {
                     warp.done = true;
@@ -979,14 +1091,15 @@ impl Sm {
                     warp.stack.advance(pc + 1);
                 }
             }
-            Op::Nop => warp.stack.advance(pc + 1),
-            Op::Clock => {
-                let dst = inst.dst.expect("clock dst");
+            ExecClass::Nop => warp.stack.advance(pc + 1),
+            ExecClass::Clock => {
+                let dst = d.dst;
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
                     cta.set_reg(t, dst, now as u32);
                 }
-                warp.sb.reserve(inst);
+                warp.sb.reserve_reg(dst);
+                self.wheel_len += 1;
                 self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
                     warp: w_idx,
                     reg: Some(dst),
@@ -995,7 +1108,7 @@ impl Sm {
                 });
                 warp.stack.advance(pc + 1);
             }
-            Op::Bar => {
+            ExecClass::Bar => {
                 warp.at_barrier = true;
                 warp.stack.advance(pc + 1);
                 cta.barrier_arrived += 1;
@@ -1003,187 +1116,171 @@ impl Sm {
                     outcome.cta_event = Some(CtaEvent::BarrierFull(cta_slot));
                 }
             }
-            Op::Membar => {
+            ExecClass::Membar => {
                 if warp.outstanding_mem > 0 {
                     warp.waiting_membar = true;
                 }
                 warp.stack.advance(pc + 1);
             }
             // ---- Memory ----
-            Op::Ld(space, volatile) => {
-                let dst = inst.dst.expect("load dst");
-                match space {
-                    Space::Param => {
-                        for lane in BitIter(exec) {
-                            let t = warp.thread_of(lane);
-                            let addr = mem_addr(inst, cta, t);
-                            let slot = (addr / 4) as usize;
-                            let Some(&v) = lctx.params.get(slot) else {
-                                return Err(invariant(format!(
-                                    "sm {sm_id} pc {pc}: ld.param slot {slot} out of \
-                                     range ({} params passed)",
-                                    lctx.params.len()
-                                )));
-                            };
-                            cta.set_reg(t, dst, v);
-                        }
-                        warp.sb.reserve(inst);
-                        self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
-                            warp: w_idx,
-                            reg: Some(dst),
-                            pred: None,
-                            _pad: (),
-                        });
-                    }
-                    Space::Shared => {
-                        for lane in BitIter(exec) {
-                            let t = warp.thread_of(lane);
-                            let addr = mem_addr(inst, cta, t);
-                            let Some(&v) = cta.shared.get((addr / 4) as usize) else {
-                                return Err(invariant(format!(
-                                    "sm {sm_id} pc {pc}: ld.shared at byte {addr} past \
-                                     the CTA's {} shared words",
-                                    cta.shared.len()
-                                )));
-                            };
-                            cta.set_reg(t, dst, v);
-                        }
-                        warp.sb.reserve(inst);
-                        self.wheel[((now + lat_shared) as usize) % WHEEL].push(WbEntry {
-                            warp: w_idx,
-                            reg: Some(dst),
-                            pred: None,
-                            _pad: (),
-                        });
-                    }
-                    Space::Global => {
-                        stats.load_inst += 1;
-                        let mut accesses = Vec::with_capacity(lanes as usize);
-                        let mut stage_lanes = Vec::with_capacity(lanes as usize);
-                        for lane in BitIter(exec) {
-                            let t = warp.thread_of(lane);
-                            let addr = mem_addr(inst, cta, t);
-                            stage_lanes.push((t, addr));
-                            accesses.push(simt_mem::LaneAccess {
-                                lane: lane as u8,
-                                addr,
-                            });
-                        }
-                        if accesses.is_empty() {
-                            warp.stack.advance(pc + 1);
-                            return Ok(outcome);
-                        }
-                        warp.sb.reserve(inst);
-                        let txs = simt_mem::Coalescer::coalesce(&accesses);
-                        let tag = self.next_tag;
-                        self.next_tag += 1;
-                        self.pending.insert(
-                            tag,
-                            PendingMem {
-                                warp: w_idx,
-                                remaining: txs.len() as u32,
-                                kind: PendKind::Load { dst },
-                            },
-                        );
-                        warp.outstanding_mem += 1;
-                        let mut n_reqs = 0u32;
-                        for tx in txs {
-                            let mut req = MemRequest::new(
-                                ReqKind::Load {
-                                    bypass_l1: volatile,
-                                },
-                                tx.line,
-                                tag,
-                            );
-                            if inst.ann.sync {
-                                req = req.sync();
-                            }
-                            self.stage.push(req);
-                            n_reqs += 1;
-                        }
-                        self.staged.push(StagedOp::Load {
-                            warp: w_idx,
-                            pc,
-                            dst,
-                            lanes: stage_lanes,
-                            n_reqs,
-                        });
-                    }
-                }
-                warp.stack.advance(pc + 1);
-            }
-            Op::St(space, _volatile) => {
-                outcome.info.writes_mem = true;
-                match space {
-                    Space::Param => {
+            ExecClass::LdParam => {
+                let dst = d.dst;
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let addr = dec_addr(d, cta, t);
+                    let slot = (addr / 4) as usize;
+                    let Some(&v) = lctx.params.get(slot) else {
                         return Err(invariant(format!(
-                            "sm {sm_id} pc {pc}: store to param space"
+                            "sm {sm_id} pc {pc}: ld.param slot {slot} out of \
+                             range ({} params passed)",
+                            lctx.params.len()
                         )));
+                    };
+                    cta.set_reg(t, dst, v);
+                }
+                warp.sb.reserve_reg(dst);
+                self.wheel_len += 1;
+                self.wheel[((now + lat_int) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: Some(dst),
+                    pred: None,
+                    _pad: (),
+                });
+                warp.stack.advance(pc + 1);
+            }
+            ExecClass::LdShared => {
+                let dst = d.dst;
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let addr = dec_addr(d, cta, t);
+                    let Some(&v) = cta.shared.get((addr / 4) as usize) else {
+                        return Err(invariant(format!(
+                            "sm {sm_id} pc {pc}: ld.shared at byte {addr} past \
+                             the CTA's {} shared words",
+                            cta.shared.len()
+                        )));
+                    };
+                    cta.set_reg(t, dst, v);
+                }
+                warp.sb.reserve_reg(dst);
+                self.wheel_len += 1;
+                self.wheel[((now + lat_shared) as usize) % WHEEL].push(WbEntry {
+                    warp: w_idx,
+                    reg: Some(dst),
+                    pred: None,
+                    _pad: (),
+                });
+                warp.stack.advance(pc + 1);
+            }
+            ExecClass::LdGlobal { bypass_l1 } => {
+                let dst = d.dst;
+                stats.load_inst += 1;
+                let mut accesses = Vec::with_capacity(lanes as usize);
+                let mut stage_lanes = Vec::with_capacity(lanes as usize);
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let addr = dec_addr(d, cta, t);
+                    stage_lanes.push((t, addr));
+                    accesses.push(simt_mem::LaneAccess {
+                        lane: lane as u8,
+                        addr,
+                    });
+                }
+                if accesses.is_empty() {
+                    warp.stack.advance(pc + 1);
+                    return Ok(outcome);
+                }
+                warp.sb.reserve_reg(dst);
+                let txs = simt_mem::Coalescer::coalesce(&accesses);
+                let tag = self.pending.insert(PendingMem {
+                    warp: w_idx,
+                    remaining: txs.len() as u32,
+                    kind: PendKind::Load { dst },
+                });
+                warp.outstanding_mem += 1;
+                let mut n_reqs = 0u32;
+                for tx in txs {
+                    let mut req = MemRequest::new(ReqKind::Load { bypass_l1 }, tx.line, tag);
+                    if d.sync {
+                        req = req.sync();
                     }
-                    Space::Shared => {
-                        for lane in BitIter(exec) {
-                            let t = warp.thread_of(lane);
-                            let addr = mem_addr(inst, cta, t);
-                            let v = val!(&inst.srcs[0], lane, t);
-                            let words = cta.shared.len();
-                            let Some(s) = cta.shared.get_mut((addr / 4) as usize) else {
-                                return Err(invariant(format!(
-                                    "sm {sm_id} pc {pc}: st.shared at byte {addr} past \
-                                     the CTA's {words} shared words"
-                                )));
-                            };
-                            *s = v;
+                    self.stage.push(req);
+                    n_reqs += 1;
+                }
+                self.staged.push(StagedOp::Load {
+                    warp: w_idx,
+                    pc,
+                    dst,
+                    lanes: stage_lanes,
+                    n_reqs,
+                });
+                warp.stack.advance(pc + 1);
+            }
+            ExecClass::StParam => {
+                return Err(invariant(format!(
+                    "sm {sm_id} pc {pc}: store to param space"
+                )));
+            }
+            ExecClass::StShared => {
+                outcome.info.writes_mem = true;
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let addr = dec_addr(d, cta, t);
+                    let v = val!(&d.srcs[0], lane, t);
+                    let words = cta.shared.len();
+                    let Some(s) = cta.shared.get_mut((addr / 4) as usize) else {
+                        return Err(invariant(format!(
+                            "sm {sm_id} pc {pc}: st.shared at byte {addr} past \
+                             the CTA's {words} shared words"
+                        )));
+                    };
+                    *s = v;
+                }
+                // Shared stores complete in-pipeline; no scoreboard.
+                warp.stack.advance(pc + 1);
+            }
+            ExecClass::StGlobal => {
+                outcome.info.writes_mem = true;
+                stats.store_inst += 1;
+                let mut accesses = Vec::with_capacity(lanes as usize);
+                let mut writes = Vec::with_capacity(lanes as usize);
+                for lane in BitIter(exec) {
+                    let t = warp.thread_of(lane);
+                    let addr = dec_addr(d, cta, t);
+                    let v = val!(&d.srcs[0], lane, t);
+                    writes.push((addr, v));
+                    accesses.push(simt_mem::LaneAccess {
+                        lane: lane as u8,
+                        addr,
+                    });
+                }
+                if !accesses.is_empty() {
+                    let txs = simt_mem::Coalescer::coalesce(&accesses);
+                    let tag = self.pending.insert(PendingMem {
+                        warp: w_idx,
+                        remaining: txs.len() as u32,
+                        kind: PendKind::Store,
+                    });
+                    warp.outstanding_mem += 1;
+                    let mut n_reqs = 0u32;
+                    for tx in txs {
+                        let mut req = MemRequest::new(ReqKind::Store, tx.line, tag);
+                        if d.sync {
+                            req = req.sync();
                         }
-                        // Shared stores complete in-pipeline; no scoreboard.
+                        self.stage.push(req);
+                        n_reqs += 1;
                     }
-                    Space::Global => {
-                        stats.store_inst += 1;
-                        let mut accesses = Vec::with_capacity(lanes as usize);
-                        let mut writes = Vec::with_capacity(lanes as usize);
-                        for lane in BitIter(exec) {
-                            let t = warp.thread_of(lane);
-                            let addr = mem_addr(inst, cta, t);
-                            let v = val!(&inst.srcs[0], lane, t);
-                            writes.push((addr, v));
-                            accesses.push(simt_mem::LaneAccess {
-                                lane: lane as u8,
-                                addr,
-                            });
-                        }
-                        if !accesses.is_empty() {
-                            let txs = simt_mem::Coalescer::coalesce(&accesses);
-                            let tag = self.next_tag;
-                            self.next_tag += 1;
-                            self.pending.insert(
-                                tag,
-                                PendingMem {
-                                    warp: w_idx,
-                                    remaining: txs.len() as u32,
-                                    kind: PendKind::Store,
-                                },
-                            );
-                            warp.outstanding_mem += 1;
-                            let mut n_reqs = 0u32;
-                            for tx in txs {
-                                let mut req = MemRequest::new(ReqKind::Store, tx.line, tag);
-                                if inst.ann.sync {
-                                    req = req.sync();
-                                }
-                                self.stage.push(req);
-                                n_reqs += 1;
-                            }
-                            self.staged.push(StagedOp::Store { pc, writes, n_reqs });
-                        }
-                    }
+                    self.staged.push(StagedOp::Store { pc, writes, n_reqs });
                 }
                 warp.stack.advance(pc + 1);
             }
-            Op::Atom(aop) => {
+            ExecClass::Atom(aop) => {
                 stats.atomic_inst += 1;
-                let dst = inst.dst.expect("atomic dst");
-                let role = if inst.ann.acquire {
+                let dst = d.dst;
+                let role = if d.acquire {
                     LockRole::Acquire
-                } else if inst.ann.release {
+                } else if d.release {
                     LockRole::Release
                 } else {
                     LockRole::None
@@ -1197,10 +1294,10 @@ impl Sm {
                 let mut addrs = Vec::with_capacity(lanes as usize);
                 for lane in BitIter(exec) {
                     let t = warp.thread_of(lane);
-                    let addr = mem_addr(inst, cta, t);
+                    let addr = dec_addr(d, cta, t);
                     addrs.push(addr);
-                    let a = val!(&inst.srcs[0], lane, t);
-                    let b = inst.srcs.get(1).map(|s| val!(s, lane, t)).unwrap_or(0);
+                    let a = val!(&d.srcs[0], lane, t);
+                    let b = val!(&d.srcs[1], lane, t);
                     let op = LaneAtomic {
                         lane: lane as u8,
                         addr,
@@ -1217,24 +1314,19 @@ impl Sm {
                     }
                 }
                 if !groups.is_empty() {
-                    warp.sb.reserve(inst);
-                    let tag = self.next_tag;
-                    self.next_tag += 1;
-                    self.pending.insert(
-                        tag,
-                        PendingMem {
-                            warp: w_idx,
-                            remaining: groups.len() as u32,
-                            kind: PendKind::Atomic { dst },
-                        },
-                    );
+                    warp.sb.reserve_reg(dst);
+                    let tag = self.pending.insert(PendingMem {
+                        warp: w_idx,
+                        remaining: groups.len() as u32,
+                        kind: PendKind::Atomic { dst },
+                    });
                     warp.outstanding_mem += 1;
                     let sole = groups.len() == 1;
                     let mut n_reqs = 0u32;
                     for (line, ops) in groups {
                         let mut req = MemRequest::new(ReqKind::Atomic { ops }, line, tag);
                         req.sole = sole;
-                        if inst.ann.sync {
+                        if d.sync {
                             req = req.sync();
                         }
                         self.stage.push(req);
@@ -1340,7 +1432,13 @@ impl Sm {
 
     /// Any CTA slots occupied?
     pub fn has_work(&self) -> bool {
-        self.ctas.iter().any(Option::is_some)
+        self.ctas_resident > 0
+    }
+
+    /// Whether this cycle staged any global-memory work — lets the merge
+    /// loop skip the [`Sm::replay_stage`] call for idle SMs.
+    pub fn has_staged(&self) -> bool {
+        !self.staged.is_empty()
     }
 
     /// Serialize the SM's full dynamic state at a checkpoint boundary (top
@@ -1389,12 +1487,11 @@ impl Sm {
             w.bytes(&inner.into_bytes());
         }
         self.branch_log.save_snap(w);
-        let mut tags: Vec<u64> = self.pending.keys().copied().collect();
-        tags.sort_unstable();
-        w.usize(tags.len());
-        for tag in tags {
-            let p = self.pending[&tag];
-            w.u64(tag);
+        // The slab serializes its slot layout verbatim (generations and
+        // free-list order included): iteration is deterministic by
+        // construction, so there is no sort-before-write pass, and resumed
+        // runs assign future tags bit-identically.
+        self.pending.save_snap(w, |w, p| {
             w.usize(p.warp);
             w.u32(p.remaining);
             match p.kind {
@@ -1408,8 +1505,7 @@ impl Sm {
                     w.u8(dst.0);
                 }
             }
-        }
-        w.u64(self.next_tag);
+        });
         w.usize(self.wheel.len());
         for slot in &self.wheel {
             w.usize(slot.len());
@@ -1520,15 +1616,12 @@ impl Sm {
         }
         let detector_blob = r.bytes()?.to_vec();
         let branch_log = BranchLog::load_snap(r)?;
-        let npending = r.len(21)?;
-        let mut pending = HashMap::with_capacity(npending);
-        for _ in 0..npending {
-            let tag = r.u64()?;
+        let sm_id = self.id;
+        let pending = TagSlab::load_snap(r, |r| {
             let warp = r.usize()?;
             if warp >= nwarps {
                 return Err(SnapshotError::malformed(format!(
-                    "sm {}: pending tag {tag} names warp {warp} of {nwarps}",
-                    self.id
+                    "sm {sm_id}: pending entry names warp {warp} of {nwarps}"
                 )));
             }
             let remaining = r.u32()?;
@@ -1538,37 +1631,24 @@ impl Sm {
                 2 => PendKind::Atomic { dst: Reg(r.u8()?) },
                 k => {
                     return Err(SnapshotError::malformed(format!(
-                        "sm {}: unknown pending-mem kind {k}",
-                        self.id
+                        "sm {sm_id}: unknown pending-mem kind {k}"
                     )))
                 }
             };
             if let PendKind::Load { dst } | PendKind::Atomic { dst } = kind {
                 if dst.index() >= limits.regs_per_thread {
                     return Err(SnapshotError::malformed(format!(
-                        "sm {}: pending tag {tag} writes r{} of {} kernel registers",
-                        self.id, dst.0, limits.regs_per_thread
+                        "sm {sm_id}: pending entry writes r{} of {} kernel registers",
+                        dst.0, limits.regs_per_thread
                     )));
                 }
             }
-            if pending
-                .insert(
-                    tag,
-                    PendingMem {
-                        warp,
-                        remaining,
-                        kind,
-                    },
-                )
-                .is_some()
-            {
-                return Err(SnapshotError::malformed(format!(
-                    "sm {}: duplicate pending tag {tag}",
-                    self.id
-                )));
-            }
-        }
-        let next_tag = r.u64()?;
+            Ok(PendingMem {
+                warp,
+                remaining,
+                kind,
+            })
+        })?;
         let nwheel = r.len(8)?;
         if nwheel != WHEEL {
             return Err(SnapshotError::malformed(format!(
@@ -1738,12 +1818,16 @@ impl Sm {
         // either way.
         self.warps = warps;
         self.ctas = ctas;
+        self.ctas_resident = self.ctas.iter().filter(|c| c.is_some()).count();
         self.branch_log = branch_log;
         self.pending = pending;
-        self.next_tag = next_tag;
         self.wheel = wheel;
+        self.wheel_len = self.wheel.iter().map(Vec::len).sum();
         self.progress = progress;
         self.resident_version = resident_version;
+        // The live lists are a derived cache, never serialized; force the
+        // first post-restore cycle to rebuild them from the restored warps.
+        self.live_version = resident_version.wrapping_add(1);
         self.regs_in_use = regs_in_use;
         self.shared_in_use = shared_in_use;
         self.meta = meta;
@@ -1798,69 +1882,11 @@ fn operand_value(
     }
 }
 
-/// Effective byte address of a memory operand for `thread`.
-fn mem_addr(inst: &Inst, cta: &Cta, thread: usize) -> u64 {
-    let a = inst.addr.expect("memory instruction has address");
-    let base = a.base.map(|r| cta.reg(thread, r)).unwrap_or(0) as i64;
-    (base + a.offset as i64) as u64
-}
-
-/// Evaluate an ALU op over up to three operands.
-fn alu_eval(op: Op, a: u32, b: u32, c: u32) -> u32 {
-    let f = |x: u32| f32::from_bits(x);
-    match op {
-        Op::Mov => a,
-        Op::Add(Ty::F32) => (f(a) + f(b)).to_bits(),
-        Op::Add(_) => a.wrapping_add(b),
-        Op::Sub(Ty::F32) => (f(a) - f(b)).to_bits(),
-        Op::Sub(_) => a.wrapping_sub(b),
-        Op::Mul(Ty::F32) => (f(a) * f(b)).to_bits(),
-        Op::Mul(_) => a.wrapping_mul(b),
-        Op::Mad(Ty::F32) => (f(a) * f(b) + f(c)).to_bits(),
-        Op::Mad(_) => a.wrapping_mul(b).wrapping_add(c),
-        Op::Div(Ty::F32) => (f(a) / f(b)).to_bits(),
-        Op::Div(Ty::U32) => a.checked_div(b).unwrap_or(u32::MAX),
-        Op::Div(Ty::S32) => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                ((a as i32).wrapping_div(b as i32)) as u32
-            }
-        }
-        Op::Rem(Ty::U32) => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
-        Op::Rem(_) => {
-            if b == 0 {
-                a
-            } else {
-                ((a as i32).wrapping_rem(b as i32)) as u32
-            }
-        }
-        Op::Min(Ty::F32) => f(a).min(f(b)).to_bits(),
-        Op::Min(Ty::U32) => a.min(b),
-        Op::Min(_) => ((a as i32).min(b as i32)) as u32,
-        Op::Max(Ty::F32) => f(a).max(f(b)).to_bits(),
-        Op::Max(Ty::U32) => a.max(b),
-        Op::Max(_) => ((a as i32).max(b as i32)) as u32,
-        Op::And => a & b,
-        Op::Or => a | b,
-        Op::Xor => a ^ b,
-        Op::Not => !a,
-        Op::Neg(Ty::F32) => (-f(a)).to_bits(),
-        Op::Neg(_) => (a as i32).wrapping_neg() as u32,
-        Op::Shl => a.wrapping_shl(b & 31),
-        Op::Shr => a.wrapping_shr(b & 31),
-        Op::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
-        Op::Sqrt => f(a).sqrt().to_bits(),
-        Op::CvtI2F => (a as i32 as f32).to_bits(),
-        Op::CvtF2I => (f(a) as i32) as u32,
-        other => unreachable!("{other:?} is not an ALU op"),
-    }
+/// Effective byte address of a decoded memory operand for `thread`.
+#[inline]
+fn dec_addr(d: &DecodedInst, cta: &Cta, thread: usize) -> u64 {
+    let base = d.addr_base.map(|r| cta.reg(thread, r)).unwrap_or(0) as i64;
+    (base + d.addr_off as i64) as u64
 }
 
 /// Iterator over set bits of a u32 (lane indices).
@@ -1883,6 +1909,7 @@ impl Iterator for BitIter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simt_isa::{alu_fn, Op, Ty};
 
     #[test]
     fn bit_iter_yields_lanes() {
@@ -1890,6 +1917,12 @@ mod tests {
         assert_eq!(v, vec![0, 5, 7]);
         assert_eq!(BitIter(0).count(), 0);
         assert_eq!(BitIter(u32::MAX).count(), 32);
+    }
+
+    // The executor's ALU semantics now come from `simt_isa::alu_fn`; these
+    // stay as regression coverage at the point of use.
+    fn alu_eval(op: Op, a: u32, b: u32, c: u32) -> u32 {
+        alu_fn(op)(a, b, c)
     }
 
     #[test]

@@ -76,16 +76,17 @@ impl Cta {
         self.num_warps - self.warps_done
     }
 
-    /// Copy out the CTA's architectural state (for the differential
-    /// oracle's final-state capture).
-    pub fn snapshot(&self) -> CtaState {
+    /// Move the CTA's architectural state out at retirement (for the
+    /// differential oracle's final-state capture). The CTA is consumed, so
+    /// the register file transfers without a clone.
+    pub fn into_state(self) -> CtaState {
         CtaState {
             cta_id: self.id,
             threads: self.threads,
             regs_per_thread: self.regs_per_thread,
-            regs: self.regs.clone(),
-            preds: self.preds.clone(),
-            shared: self.shared.clone(),
+            regs: self.regs,
+            preds: self.preds,
+            shared: self.shared,
         }
     }
 

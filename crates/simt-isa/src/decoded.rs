@@ -1,0 +1,372 @@
+//! Pre-decoded micro-op stream: the flat, hot-path form of a kernel.
+//!
+//! The `Inst` form is optimized for assembly, linting and display: operands
+//! live in `Vec`s, opcodes carry nested type parameters, and every consumer
+//! re-derives what it needs (source-register lists, branch direction,
+//! reconvergence points) on each use. The SM's issue/execute path runs that
+//! derivation once per instruction *per cycle*, which is pure overhead.
+//!
+//! [`DecodedKernel::decode`] lowers a validated [`Kernel`] once, at launch,
+//! into a dense [`DecodedInst`] table:
+//!
+//! * scoreboard hazard masks (`reg_mask`/`pred_mask`) are precomputed, so
+//!   eligibility checks are four ANDs instead of a `Vec`-allocating walk over
+//!   the operand list;
+//! * sources are a fixed `[Operand; 3]` (absent slots read as `Imm(0)`,
+//!   matching the executor's defaults), destinations and predicates are
+//!   unwrapped, and the address operand is split into base/offset fields;
+//! * ALU opcodes resolve to a monomorphic `fn(u32, u32, u32) -> u32` so the
+//!   per-lane loop makes one indirect call instead of a nested `Op`/`Ty`
+//!   match;
+//! * branches carry their reconvergence pc, direction and distance;
+//! * a lane-uniformity hint marks instructions whose sources cannot vary
+//!   across the warp, letting the executor evaluate once and broadcast.
+//!
+//! Decoding relies on the operand-shape validation that every kernel passes
+//! before launch (`Kernel::validate` / `Kernel::from_insts`): a class that
+//! requires a destination or address is guaranteed to have one.
+
+use crate::{AtomOp, CmpOp, Inst, Kernel, Op, OpClass, Operand, Pred, Reg, Space, Special, Ty};
+
+/// Monomorphic ALU evaluator: `(a, b, c) -> result`.
+pub type AluFn = fn(u32, u32, u32) -> u32;
+
+/// Executor dispatch class with pre-resolved payloads. One flat match in the
+/// SM replaces the nested `Op`/`Space` matches of the `Inst` path.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecClass {
+    /// Register-writing ALU op; the payload evaluates one lane.
+    Alu(AluFn),
+    /// Predicate-select between two sources.
+    Selp,
+    /// Predicate-writing compare.
+    Setp(CmpOp, Ty),
+    /// Predicate logic over `psrc0`/`psrc1`.
+    PAnd,
+    POr,
+    PNot,
+    /// Branch to `target` (reconvergence at `rpc`).
+    Bra,
+    /// Parameter-space load.
+    LdParam,
+    /// Shared-memory load.
+    LdShared,
+    /// Global load; `bypass_l1` for volatile accesses.
+    LdGlobal { bypass_l1: bool },
+    /// Store to param space is a kernel bug the executor reports.
+    StParam,
+    StShared,
+    StGlobal,
+    /// Global atomic.
+    Atom(AtomOp),
+    Bar,
+    Membar,
+    Clock,
+    Exit,
+    Nop,
+}
+
+/// One pre-decoded instruction. All fields are flat and `Copy`; fields that
+/// a class does not use hold harmless defaults (`Reg(0)`, `Pred(0)`, zero).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInst {
+    /// Executor dispatch class.
+    pub class: ExecClass,
+    /// Latency/statistics class (from [`Op::class`]).
+    pub op_class: OpClass,
+    /// Sources, padded with `Imm(0)` (the executor's default for absent
+    /// operands).
+    pub srcs: [Operand; 3],
+    /// Destination register, when the class writes one.
+    pub dst: Reg,
+    /// Destination predicate (`setp` / predicate logic).
+    pub pdst: Pred,
+    /// First predicate source (`selp` select, `pand`/`por`/`pnot` input).
+    pub psrc0: Pred,
+    /// Second predicate source (`pand`/`por`).
+    pub psrc1: Pred,
+    /// `@p` / `@!p` guard.
+    pub guard: Option<(Pred, bool)>,
+    /// Memory address base register, when the address has one.
+    pub addr_base: Option<Reg>,
+    /// Memory address byte offset.
+    pub addr_off: i32,
+    /// Branch target (instruction index).
+    pub target: usize,
+    /// Reconvergence pc for this instruction's branch.
+    pub rpc: usize,
+    /// `target <= pc`: a backward branch.
+    pub backward: bool,
+    /// `pc - target` for backward branches, else 0.
+    pub branch_distance: usize,
+    /// Scoreboard register read/write set as bit mask (sources, address
+    /// base, and destination — matching `Inst::src_regs` + `dst`).
+    pub reg_mask: [u64; 4],
+    /// Scoreboard predicate read/write set (psrcs, guard, pdst).
+    pub pred_mask: u8,
+    /// `!acquire` annotation.
+    pub acquire: bool,
+    /// `!release` annotation.
+    pub release: bool,
+    /// `!wait` annotation.
+    pub wait: bool,
+    /// `!sync` annotation.
+    pub sync: bool,
+    /// All sources are warp-invariant (immediates or warp-uniform specials):
+    /// the executor may evaluate once and broadcast.
+    pub uniform: bool,
+}
+
+/// A kernel lowered to its dense decoded form. Index with the warp's pc;
+/// the table is parallel to `Kernel::insts`.
+#[derive(Debug, Clone)]
+pub struct DecodedKernel {
+    /// One entry per instruction, same indices as `Kernel::insts`.
+    pub insts: Vec<DecodedInst>,
+}
+
+impl DecodedKernel {
+    /// Lower `kernel` (already shape-validated) into its decoded table.
+    pub fn decode(kernel: &Kernel) -> DecodedKernel {
+        let insts = kernel
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(pc, inst)| decode_inst(pc, inst, kernel))
+            .collect();
+        DecodedKernel { insts }
+    }
+
+    /// Number of decoded instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// True if evaluating `s` yields the same value for every lane of a warp.
+/// Register sources vary per thread; `%tid`, `%laneid` and `%gtid` vary per
+/// lane; the remaining specials are constant across one warp's lanes.
+fn operand_is_warp_uniform(s: &Operand) -> bool {
+    match s {
+        Operand::Reg(_) => false,
+        Operand::Imm(_) => true,
+        Operand::Special(sp) => !matches!(
+            sp,
+            Special::TidX | Special::LaneId | Special::GlobalTid
+        ),
+    }
+}
+
+fn decode_inst(pc: usize, inst: &Inst, kernel: &Kernel) -> DecodedInst {
+    use Op::*;
+    let class = match inst.op {
+        Mov | Add(_) | Sub(_) | Mul(_) | Mad(_) | Div(_) | Rem(_) | Min(_) | Max(_) | And
+        | Or | Xor | Not | Neg(_) | Shl | Shr | Sra | Sqrt | CvtI2F | CvtF2I => {
+            ExecClass::Alu(alu_fn(inst.op))
+        }
+        Selp => ExecClass::Selp,
+        Setp(c, t) => ExecClass::Setp(c, t),
+        PAnd => ExecClass::PAnd,
+        POr => ExecClass::POr,
+        PNot => ExecClass::PNot,
+        Bra => ExecClass::Bra,
+        Ld(Space::Param, _) => ExecClass::LdParam,
+        Ld(Space::Shared, _) => ExecClass::LdShared,
+        Ld(Space::Global, v) => ExecClass::LdGlobal { bypass_l1: v },
+        St(Space::Param, _) => ExecClass::StParam,
+        St(Space::Shared, _) => ExecClass::StShared,
+        St(Space::Global, _) => ExecClass::StGlobal,
+        Atom(a) => ExecClass::Atom(a),
+        Bar => ExecClass::Bar,
+        Membar => ExecClass::Membar,
+        Clock => ExecClass::Clock,
+        Exit => ExecClass::Exit,
+        Nop => ExecClass::Nop,
+    };
+    let mut srcs = [Operand::Imm(0); 3];
+    for (slot, s) in inst.srcs.iter().take(3).enumerate() {
+        srcs[slot] = *s;
+    }
+    let mut reg_mask = [0u64; 4];
+    let mut set_reg = |r: Reg| reg_mask[(r.0 >> 6) as usize] |= 1u64 << (r.0 & 63);
+    for r in inst.src_regs() {
+        set_reg(r);
+    }
+    if let Some(d) = inst.dst {
+        set_reg(d);
+    }
+    let mut pred_mask = 0u8;
+    for p in &inst.psrcs {
+        pred_mask |= 1 << (p.0 & 7);
+    }
+    if let Some((p, _)) = inst.guard {
+        pred_mask |= 1 << (p.0 & 7);
+    }
+    if let Some(p) = inst.pdst {
+        pred_mask |= 1 << (p.0 & 7);
+    }
+    let target = inst.target.unwrap_or(0);
+    let backward = matches!(inst.op, Bra) && target <= pc;
+    let uniform = matches!(class, ExecClass::Alu(_))
+        && inst.srcs.iter().all(operand_is_warp_uniform);
+    DecodedInst {
+        class,
+        op_class: inst.op.class(),
+        srcs,
+        dst: inst.dst.unwrap_or(Reg(0)),
+        pdst: inst.pdst.unwrap_or(Pred(0)),
+        psrc0: inst.psrcs.first().copied().unwrap_or(Pred(0)),
+        psrc1: inst.psrcs.get(1).copied().unwrap_or(Pred(0)),
+        guard: inst.guard,
+        addr_base: inst.addr.and_then(|a| a.base),
+        addr_off: inst.addr.map(|a| a.offset).unwrap_or(0),
+        target,
+        rpc: kernel.reconv.get(pc).copied().unwrap_or(crate::RECONV_EXIT),
+        backward,
+        branch_distance: if backward { pc - target } else { 0 },
+        reg_mask,
+        pred_mask,
+        acquire: inst.ann.acquire,
+        release: inst.ann.release,
+        wait: inst.ann.wait,
+        sync: inst.ann.sync,
+        uniform,
+    }
+}
+
+/// The monomorphic evaluator for an ALU opcode. Semantics are the single
+/// source of truth for both engines: F32 ops reinterpret register bits,
+/// integer division by zero yields `u32::MAX`, remainder by zero yields the
+/// dividend, shifts mask their count to 5 bits.
+///
+/// # Panics
+///
+/// On a non-ALU opcode — callers dispatch those to their own classes.
+pub fn alu_fn(op: Op) -> AluFn {
+    fn f(x: u32) -> f32 {
+        f32::from_bits(x)
+    }
+    match op {
+        Op::Mov => |a, _, _| a,
+        Op::Add(Ty::F32) => |a, b, _| (f(a) + f(b)).to_bits(),
+        Op::Add(_) => |a, b, _| a.wrapping_add(b),
+        Op::Sub(Ty::F32) => |a, b, _| (f(a) - f(b)).to_bits(),
+        Op::Sub(_) => |a, b, _| a.wrapping_sub(b),
+        Op::Mul(Ty::F32) => |a, b, _| (f(a) * f(b)).to_bits(),
+        Op::Mul(_) => |a, b, _| a.wrapping_mul(b),
+        Op::Mad(Ty::F32) => |a, b, c| (f(a) * f(b) + f(c)).to_bits(),
+        Op::Mad(_) => |a, b, c| a.wrapping_mul(b).wrapping_add(c),
+        Op::Div(Ty::F32) => |a, b, _| (f(a) / f(b)).to_bits(),
+        Op::Div(Ty::U32) => |a, b, _| a.checked_div(b).unwrap_or(u32::MAX),
+        Op::Div(Ty::S32) => |a, b, _| {
+            if b == 0 {
+                u32::MAX
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        },
+        Op::Rem(Ty::U32) => |a, b, _| if b == 0 { a } else { a % b },
+        Op::Rem(_) => |a, b, _| {
+            if b == 0 {
+                a
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        },
+        Op::Min(Ty::F32) => |a, b, _| f(a).min(f(b)).to_bits(),
+        Op::Min(Ty::U32) => |a, b, _| a.min(b),
+        Op::Min(_) => |a, b, _| ((a as i32).min(b as i32)) as u32,
+        Op::Max(Ty::F32) => |a, b, _| f(a).max(f(b)).to_bits(),
+        Op::Max(Ty::U32) => |a, b, _| a.max(b),
+        Op::Max(_) => |a, b, _| ((a as i32).max(b as i32)) as u32,
+        Op::And => |a, b, _| a & b,
+        Op::Or => |a, b, _| a | b,
+        Op::Xor => |a, b, _| a ^ b,
+        Op::Not => |a, _, _| !a,
+        Op::Neg(Ty::F32) => |a, _, _| (-f(a)).to_bits(),
+        Op::Neg(_) => |a, _, _| (a as i32).wrapping_neg() as u32,
+        Op::Shl => |a, b, _| a.wrapping_shl(b & 31),
+        Op::Shr => |a, b, _| a.wrapping_shr(b & 31),
+        Op::Sra => |a, b, _| ((a as i32).wrapping_shr(b & 31)) as u32,
+        Op::Sqrt => |a, _, _| f(a).sqrt().to_bits(),
+        Op::CvtI2F => |a, _, _| (a as i32 as f32).to_bits(),
+        Op::CvtF2I => |a, _, _| (f(a) as i32) as u32,
+        other => unreachable!("{other:?} is not an ALU op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemAddr;
+
+    fn decode_kernel(body: Vec<Inst>) -> DecodedKernel {
+        let k = Kernel::from_insts("t", body, std::collections::HashMap::new(), 128, 4, 0)
+            .expect("valid kernel");
+        DecodedKernel::decode(&k)
+    }
+
+    fn decode_one(inst: Inst) -> DecodedInst {
+        decode_kernel(vec![inst, Inst::new(Op::Exit)]).insts[0]
+    }
+
+    #[test]
+    fn hazard_masks_cover_sources_dest_and_addr_base() {
+        let d = decode_one(Inst::st(Space::Global, MemAddr::new(Reg(2), 4), Reg(67)));
+        assert_ne!(d.reg_mask[0] & (1 << 2), 0, "addr base r2");
+        assert_ne!(d.reg_mask[1] & (1 << 3), 0, "value source r67");
+        let d = decode_one(Inst::binary(Op::Add(Ty::S32), Reg(1), Reg(5), 7));
+        assert_ne!(d.reg_mask[0] & (1 << 1), 0, "dst r1 (WAW)");
+        assert_ne!(d.reg_mask[0] & (1 << 5), 0, "src r5");
+    }
+
+    #[test]
+    fn pred_masks_cover_guard_and_pdst() {
+        let mut i = Inst::setp(CmpOp::Eq, Ty::S32, Pred(2), Reg(1), 0);
+        i.guard = Some((Pred(5), true));
+        let d = decode_one(i);
+        assert_eq!(d.pred_mask, (1 << 2) | (1 << 5));
+    }
+
+    #[test]
+    fn branch_direction_and_distance() {
+        let dk = decode_kernel(vec![Inst::mov(Reg(0), 1), Inst::bra(0), Inst::new(Op::Exit)]);
+        let d = &dk.insts[1];
+        assert!(d.backward);
+        assert_eq!(d.target, 0);
+        assert_eq!(d.branch_distance, 1);
+    }
+
+    #[test]
+    fn uniformity_hint() {
+        assert!(decode_one(Inst::mov(Reg(0), 7)).uniform, "imm is uniform");
+        assert!(
+            decode_one(Inst::mov(Reg(0), Special::CtaIdX)).uniform,
+            "ctaid is warp-uniform"
+        );
+        assert!(
+            !decode_one(Inst::mov(Reg(0), Special::TidX)).uniform,
+            "tid varies per lane"
+        );
+        assert!(
+            !decode_one(Inst::binary(Op::Add(Ty::S32), Reg(1), Reg(2), 1)).uniform,
+            "register sources vary per thread"
+        );
+    }
+
+    #[test]
+    fn alu_fn_matches_reference_semantics() {
+        assert_eq!(alu_fn(Op::Add(Ty::S32))(2, 3, 0), 5);
+        assert_eq!(alu_fn(Op::Div(Ty::S32))(7, 0, 0), u32::MAX);
+        assert_eq!(alu_fn(Op::Div(Ty::U32))(7, 0, 0), u32::MAX);
+        assert_eq!(alu_fn(Op::Rem(Ty::U32))(7, 0, 0), 7);
+        assert_eq!(alu_fn(Op::Shl)(1, 37, 0), 32, "shift count masked to 5 bits");
+        let b = |x: f32| x.to_bits();
+        assert_eq!(alu_fn(Op::Mad(Ty::F32))(b(2.0), b(3.0), b(1.0)), b(7.0));
+    }
+}

@@ -41,12 +41,14 @@
 pub mod asm;
 pub mod builder;
 pub mod cfg;
+mod decoded;
 mod inst;
 mod kernel;
 mod op;
 mod reg;
 
 pub use asm::{AsmError, RawKernel};
+pub use decoded::{alu_fn, AluFn, DecodedInst, DecodedKernel, ExecClass};
 pub use inst::{Annot, Inst, MemAddr, Operand};
 pub use kernel::{Kernel, KernelError, RECONV_EXIT};
 pub use op::{AtomOp, CmpOp, Op, OpClass, Space, Ty};

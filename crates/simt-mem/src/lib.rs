@@ -46,6 +46,7 @@ mod coalescer;
 mod config;
 mod gmem;
 mod mshr;
+mod slab;
 mod stats;
 mod system;
 
@@ -55,6 +56,7 @@ pub use coalescer::{Coalescer, LaneAccess, Transaction};
 pub use config::MemConfig;
 pub use gmem::{GlobalMem, MemFault};
 pub use mshr::Mshr;
+pub use slab::{ProbeMap, TagSlab};
 pub use stats::MemStats;
 pub use system::{
     LaneAtomic, LockRole, MemCompletion, MemRequest, MemorySystem, ReqKind, RequestStage,

@@ -1,13 +1,18 @@
 //! Miss-status holding registers: merge concurrent misses to the same line.
 
 use crate::Addr;
-use std::collections::HashMap;
 
 /// MSHR file for one cache. Each entry tracks an in-flight line fill and the
 /// opaque request tags waiting on it.
+///
+/// Capacity is a handful of entries (the paper's Table II configures 16-32),
+/// so entries live in a dense insertion-ordered vector: lookups are a linear
+/// scan over a few words — faster than hashing at this size — and iteration
+/// order is deterministic by construction, so snapshots encode the vector
+/// verbatim with no sorting pass.
 #[derive(Debug, Clone)]
 pub struct Mshr {
-    entries: HashMap<Addr, Vec<u64>>,
+    entries: Vec<(Addr, Vec<u64>)>,
     capacity: usize,
 }
 
@@ -15,7 +20,7 @@ impl Mshr {
     /// An MSHR file with `capacity` distinct in-flight lines.
     pub fn new(capacity: usize) -> Mshr {
         Mshr {
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
             capacity,
         }
     }
@@ -27,7 +32,7 @@ impl Mshr {
 
     /// True if `line` already has an in-flight fill.
     pub fn pending(&self, line: Addr) -> bool {
-        self.entries.contains_key(&line)
+        self.entries.iter().any(|(l, _)| *l == line)
     }
 
     /// Record a miss on `line` for `tag`.
@@ -37,7 +42,7 @@ impl Mshr {
     /// one. Callers should check [`Mshr::has_space`] / [`Mshr::pending`]
     /// first; allocating past capacity panics.
     pub fn record(&mut self, line: Addr, tag: u64) -> bool {
-        if let Some(waiters) = self.entries.get_mut(&line) {
+        if let Some((_, waiters)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
             waiters.push(tag);
             false
         } else {
@@ -45,14 +50,19 @@ impl Mshr {
                 self.entries.len() < self.capacity,
                 "MSHR overflow: caller must check has_space()"
             );
-            self.entries.insert(line, vec![tag]);
+            self.entries.push((line, vec![tag]));
             true
         }
     }
 
     /// The fill for `line` arrived: release and return all waiting tags.
     pub fn fill(&mut self, line: Addr) -> Vec<u64> {
-        self.entries.remove(&line).unwrap_or_default()
+        match self.entries.iter().position(|(l, _)| *l == line) {
+            // `remove`, not `swap_remove`: later entries keep their relative
+            // (allocation) order, which the snapshot encoding exposes.
+            Some(i) => self.entries.remove(i).1,
+            None => Vec::new(),
+        }
     }
 
     /// Number of lines currently in flight.
@@ -60,16 +70,13 @@ impl Mshr {
         self.entries.len()
     }
 
-    /// Serialize in-flight entries, keys sorted so the encoding is
-    /// independent of hash-map iteration order; waiter lists keep their
-    /// arrival order verbatim (fills release waiters in that order).
+    /// Serialize in-flight entries in their live (allocation) order; waiter
+    /// lists keep their arrival order verbatim (fills release waiters in
+    /// that order).
     pub(crate) fn save_snap(&self, w: &mut simt_snap::SnapWriter) {
-        let mut lines: Vec<Addr> = self.entries.keys().copied().collect();
-        lines.sort_unstable();
-        w.usize(lines.len());
-        for line in lines {
-            w.u64(line);
-            let waiters = &self.entries[&line];
+        w.usize(self.entries.len());
+        for (line, waiters) in &self.entries {
+            w.u64(*line);
             w.usize(waiters.len());
             for &tag in waiters {
                 w.u64(tag);
@@ -90,7 +97,7 @@ impl Mshr {
                 self.capacity
             )));
         }
-        let mut entries = HashMap::with_capacity(n);
+        let mut entries: Vec<(Addr, Vec<u64>)> = Vec::with_capacity(n);
         for _ in 0..n {
             let line = r.u64()?;
             let m = r.len(8)?;
@@ -98,11 +105,12 @@ impl Mshr {
             for _ in 0..m {
                 waiters.push(r.u64()?);
             }
-            if entries.insert(line, waiters).is_some() {
+            if entries.iter().any(|(l, _)| *l == line) {
                 return Err(simt_snap::SnapshotError::malformed(format!(
                     "duplicate mshr line {line:#x}"
                 )));
             }
+            entries.push((line, waiters));
         }
         self.entries = entries;
         Ok(())
@@ -149,5 +157,16 @@ mod tests {
     fn fill_unknown_line_is_empty() {
         let mut m = Mshr::new(1);
         assert!(m.fill(0x40).is_empty());
+    }
+
+    #[test]
+    fn fill_preserves_allocation_order_of_survivors() {
+        let mut m = Mshr::new(4);
+        m.record(0x000, 1);
+        m.record(0x080, 2);
+        m.record(0x100, 3);
+        m.fill(0x080);
+        assert_eq!(m.fill(0x000), vec![1]);
+        assert_eq!(m.fill(0x100), vec![3]);
     }
 }

@@ -3,11 +3,11 @@
 
 use crate::{
     line_of, Addr, AccessOutcome, Cache, ChaosEngine, ChaosStats, GlobalMem, MemConfig, MemStats,
-    Mshr, LINE_BYTES,
+    Mshr, ProbeMap, LINE_BYTES,
 };
 use simt_isa::AtomOp;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Lock-protocol role of an atomic lane operation, for the exact
 /// lock-outcome classification the paper's Figures 2 and 12 report.
@@ -216,7 +216,7 @@ pub struct MemorySystem {
     free_slots: Vec<usize>,
     seq: u64,
     stats: MemStats,
-    lock_owners: HashMap<Addr, u64>,
+    lock_owners: ProbeMap<u64>,
     /// Idealized queue-based blocking locks (the HQL-style mechanism of
     /// Yilmazer & Kaeli that the paper compares against, without its cache
     /// constraints): when enabled, a lock-acquire whose lock is held by
@@ -225,7 +225,7 @@ pub struct MemorySystem {
     /// oldest parked request. Deadlock-free as long as programs acquire
     /// multiple locks in a global order (all bundled workloads do).
     blocking_locks: bool,
-    parked: HashMap<Addr, VecDeque<PartReq>>,
+    parked: ProbeMap<VecDeque<PartReq>>,
     chaos: ChaosEngine,
 }
 
@@ -260,9 +260,9 @@ impl MemorySystem {
             free_slots: Vec::new(),
             seq: 0,
             stats: MemStats::default(),
-            lock_owners: HashMap::new(),
+            lock_owners: ProbeMap::new(),
             blocking_locks: false,
-            parked: HashMap::new(),
+            parked: ProbeMap::new(),
         }
     }
 
@@ -728,12 +728,14 @@ impl MemorySystem {
                     let would_succeed = ops
                         .iter()
                         .any(|o| self.gmem.read_u32(o.addr) == o.a);
-                    let intra = ops.iter().any(|o| {
-                        self.lock_owners.get(&o.addr) == Some(&o.holder)
-                    });
+                    let intra = ops
+                        .iter()
+                        .any(|o| self.lock_owners.get(o.addr) == Some(&o.holder));
                     if !would_succeed && !intra {
                         let park_on = ops[0].addr;
-                        self.parked.entry(park_on).or_default().push_back(preq);
+                        self.parked
+                            .get_or_insert_with(park_on, VecDeque::new)
+                            .push_back(preq);
                         return;
                     }
                 }
@@ -753,14 +755,14 @@ impl MemorySystem {
                             if old == op.a {
                                 self.stats.lock_success += 1;
                                 self.lock_owners.insert(op.addr, op.holder);
-                            } else if self.lock_owners.get(&op.addr) == Some(&op.holder) {
+                            } else if self.lock_owners.get(op.addr) == Some(&op.holder) {
                                 self.stats.lock_intra_fail += 1;
                             } else {
                                 self.stats.lock_inter_fail += 1;
                             }
                         }
                         LockRole::Release => {
-                            self.lock_owners.remove(&op.addr);
+                            self.lock_owners.remove(op.addr);
                             released.push(op.addr);
                         }
                         LockRole::None => {}
@@ -770,11 +772,11 @@ impl MemorySystem {
                 // Releases wake the oldest parked acquirer (it re-enters
                 // the partition queue and re-arbitrates for the port).
                 for addr in released {
-                    let waiter = match self.parked.get_mut(&addr) {
+                    let waiter = match self.parked.get_mut(addr) {
                         Some(q) => {
                             let w = q.pop_front();
                             if q.is_empty() {
-                                self.parked.remove(&addr);
+                                self.parked.remove(addr);
                             }
                             w
                         }
@@ -1048,24 +1050,16 @@ impl MemorySystem {
         }
         w.u64(self.seq);
         self.stats.save_snap(w);
-        let mut locks: Vec<Addr> = self.lock_owners.keys().copied().collect();
-        locks.sort_unstable();
-        w.usize(locks.len());
-        for addr in locks {
-            w.u64(addr);
-            w.u64(self.lock_owners[&addr]);
-        }
-        let mut parked: Vec<Addr> = self.parked.keys().copied().collect();
-        parked.sort_unstable();
-        w.usize(parked.len());
-        for addr in parked {
-            w.u64(addr);
-            let q = &self.parked[&addr];
+        // Probe tables serialize their layout verbatim (slot order is the
+        // iteration order), so no sort-before-write pass is needed and a
+        // restored table is bit-identical to the saved one.
+        self.lock_owners.save_snap(w, |w, &owner| w.u64(owner));
+        self.parked.save_snap(w, |w, q| {
             w.usize(q.len());
             for preq in q {
                 save_partreq(w, preq);
             }
-        }
+        });
         w.bool(self.blocking_locks);
         self.chaos.save_snap(w);
     }
@@ -1174,22 +1168,15 @@ impl MemorySystem {
         }
         fresh.seq = r.u64()?;
         fresh.stats = MemStats::load_snap(r)?;
-        let nlocks = r.len(16)?;
-        for _ in 0..nlocks {
-            let addr = r.u64()?;
-            let owner = r.u64()?;
-            fresh.lock_owners.insert(addr, owner);
-        }
-        let nparked = r.len(16)?;
-        for _ in 0..nparked {
-            let addr = r.u64()?;
+        fresh.lock_owners = ProbeMap::load_snap(r, |r| r.u64())?;
+        fresh.parked = ProbeMap::load_snap(r, |r| {
             let n = r.len(8)?;
             let mut q = VecDeque::with_capacity(n);
             for _ in 0..n {
                 q.push_back(load_partreq(r, num_sms, &fresh.gmem)?);
             }
-            fresh.parked.insert(addr, q);
-        }
+            Ok(q)
+        })?;
         fresh.blocking_locks = r.bool()?;
         fresh.chaos.load_snap(r)?;
         *self = fresh;

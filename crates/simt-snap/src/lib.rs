@@ -34,7 +34,7 @@ pub const MAGIC: [u8; 4] = *b"BSNP";
 /// Current snapshot format version. Bump on any incompatible layout
 /// change; readers reject other versions with
 /// [`SnapshotError::UnsupportedVersion`].
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Envelope size: magic (4) + version (4) + body length (8) + checksum (8).
 pub const ENVELOPE_BYTES: usize = 24;

@@ -42,9 +42,10 @@ bins=()
 for src in crates/experiments/src/bin/*.rs; do
     bin=$(basename "$src" .rs)
     # bench_report is the tracked-performance harness, crash_drill and
-    # snap_fuzz are the CI crash-recovery/fuzz drills (seeded, no --scale);
-    # none of them regenerate a figure.
-    [[ $bin == bench_report || $bin == crash_drill || $bin == snap_fuzz ]] && continue
+    # snap_fuzz are the CI crash-recovery/fuzz drills (seeded, no --scale),
+    # and hotpath_bench is a wall-clock microbenchmark (nondeterministic
+    # output that would churn results/); none of them regenerate a figure.
+    [[ $bin == bench_report || $bin == crash_drill || $bin == snap_fuzz || $bin == hotpath_bench ]] && continue
     bins+=("$bin")
 done
 ((${#bins[@]} >= 17)) || { echo "error: expected >=17 experiment binaries, found ${#bins[@]}" >&2; exit 1; }

@@ -34,6 +34,7 @@ struct Cli {
     sm_threads: Option<usize>,
     lint: bool,
     format_json: bool,
+    profile: bool,
     checkpoint_every: Option<u64>,
     resume: Option<String>,
     state_dir: Option<std::path::PathBuf>,
@@ -52,7 +53,7 @@ fn usage() -> ! {
          \x20            [--chaos-seed N] [--chaos-level 0..3]\n\
          \x20            [--timeout-cycles N] [--timeout-wall SECS]\n\
          \x20            [--engine cycle|skip] [--sm-threads N] [--lint]\n\
-         \x20            [--format human|json]\n\
+         \x20            [--format human|json] [--profile]\n\
          \x20            [--state-dir DIR] [--checkpoint-every N] [--resume SNAP]\n\
          \n\
          --checkpoint-every writes a deterministic snapshot of the full\n\
@@ -63,6 +64,12 @@ fn usage() -> ! {
          engine and at any --sm-threads. A snapshot records the kernel,\n\
          launch geometry, and GPU config it was taken under; resuming\n\
          with a mismatched kernel or config exits 2 with a clear error.\n\
+         \n\
+         --profile collects a host wall-clock breakdown of the run loop\n\
+         (fetch/issue/execute/mem-cycle/merge/skip-horizon), printed\n\
+         after the run report; with --format json the breakdown is also\n\
+         emitted as one JSON object. Purely observational: simulated\n\
+         results are bit-identical with and without it.\n\
          \n\
          --engine picks the main-loop time-advance strategy: `skip`\n\
          (default) fast-forwards over cycles in which nothing can issue,\n\
@@ -120,6 +127,7 @@ fn parse_cli() -> Cli {
         sm_threads: None,
         lint: false,
         format_json: false,
+        profile: false,
         checkpoint_every: None,
         resume: None,
         state_dir: None,
@@ -237,6 +245,7 @@ fn parse_cli() -> Cli {
                 cli.state_dir = Some(next(&mut args, "--state-dir").into());
             }
             "--lint" => cli.lint = true,
+            "--profile" => cli.profile = true,
             "--format" => match next(&mut args, "--format").as_str() {
                 "human" => cli.format_json = false,
                 "json" => cli.format_json = true,
@@ -274,6 +283,10 @@ fn parse_cli() -> Cli {
     }
     if let Some(n) = cli.sm_threads {
         cli.gpu.sm_threads = n;
+    }
+    // After the loop so it composes with --gpu in any order.
+    if cli.profile {
+        cli.gpu.profile = true;
     }
     cli
 }
@@ -512,6 +525,30 @@ fn main() -> ExitCode {
         report.mem.lock_success, report.mem.lock_inter_fail, report.mem.lock_intra_fail
     );
     println!("energy      : {:.3} mJ dynamic", report.energy.dynamic_j() * 1e3);
+    if let Some(p) = &report.profile {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pct = |ns: u64| 100.0 * ns as f64 / (p.total_ns.max(1)) as f64;
+        println!(
+            "profile     : {:.2} ms host wall, {:.0} cycles/sec",
+            ms(p.total_ns),
+            report.cycles as f64 / (p.total_ns as f64 / 1e9).max(1e-9)
+        );
+        for (name, ns) in p.phases() {
+            println!("  {name:<12}: {:>10.3} ms ({:>4.1}%)", ms(ns), pct(ns));
+        }
+        println!("  {:<12}: {:>10.3} ms ({:>4.1}%)", "other", ms(p.other_ns()), pct(p.other_ns()));
+        if cli.format_json {
+            let mut fields: Vec<(String, simt_serve::Json)> = p
+                .phases()
+                .iter()
+                .map(|&(name, ns)| (format!("{name}_ns"), simt_serve::Json::UInt(ns)))
+                .collect();
+            fields.push(("other_ns".into(), simt_serve::Json::UInt(p.other_ns())));
+            fields.push(("total_ns".into(), simt_serve::Json::UInt(p.total_ns)));
+            let doc = simt_serve::Json::Obj(vec![("profile".into(), simt_serve::Json::Obj(fields))]);
+            println!("{}", doc.render());
+        }
+    }
     if gpu.cfg.mem.chaos.enabled() {
         let c = gpu.mem().chaos_stats();
         println!(
